@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benchmarks (E1-E12).
+
+Every benchmark prints its table with :func:`emit` (so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the EXPERIMENTS.md
+tables verbatim) and also appends it to ``benchmarks/results/<name>.txt``
+for the record.
+
+The pytest-benchmark fixture times one *representative* unit of work per
+experiment (clearly named in each file); the scientific content is the
+printed table, which is computed once outside the timed region.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+from repro.analysis.tables import render_rows
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Global knobs so a quick local run can shrink the grids.
+SIZES = [256, 512, 1024, 2048, 4096]
+SEEDS = [0, 1, 2]
+
+
+def emit(name: str, rows: Sequence[Mapping[str, object]], title: str) -> str:
+    """Render, print, and persist one experiment table."""
+    text = render_rows(rows, title=title)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text

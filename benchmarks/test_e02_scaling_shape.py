@@ -1,0 +1,68 @@
+"""E2 — Growth-shape fit: is ArbMIS sublogarithmic where Luby is log?
+
+Claim instrumented (Theorem 2.1): ArbMIS rounds grow like
+sqrt(log n · log log n) in n, i.e. with exponent ≈ 0.5 in log n, while the
+Luby/Métivier family grows like log n (exponent ≈ 1.0 in log n).
+
+Method: sweep n geometrically, average iterations over seeds, then fit
+``iterations ≈ c · (log₂ n)^e`` and report the exponent e per algorithm.
+Small absolute counts make the fit noisy; the reproduction target is the
+*ordering* e(arb-mis) < e(luby) and both fits' constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _common import emit
+from repro.analysis.rounds import fit_growth_exponent
+from repro.analysis.stats import summarize
+from repro.core.arb_mis import arb_mis
+from repro.graphs.generators import bounded_arboricity_graph
+from repro.mis.luby import luby_b_mis
+from repro.mis.metivier import metivier_mis
+
+SIZES = [128, 256, 512, 1024, 2048, 4096, 8192]
+SEEDS = list(range(5))
+ALPHA = 2
+
+ALGORITHMS = {
+    "luby-b": lambda g, seed: luby_b_mis(g, seed=seed),
+    "metivier": lambda g, seed: metivier_mis(g, seed=seed),
+    "arb-mis": lambda g, seed: arb_mis(g, alpha=ALPHA, seed=seed),
+}
+
+
+def test_e2_scaling_shape(benchmark):
+    means = {name: [] for name in ALGORITHMS}
+    for n in SIZES:
+        graphs = [bounded_arboricity_graph(n, ALPHA, seed=s) for s in SEEDS]
+        for name, fn in ALGORITHMS.items():
+            iterations = [fn(g, seed).iterations for g, seed in zip(graphs, SEEDS)]
+            means[name].append(summarize(iterations).mean)
+
+    log_ns = [math.log2(n) for n in SIZES]
+    rows = []
+    for name in ALGORITHMS:
+        exponent, constant = fit_growth_exponent(log_ns, means[name])
+        rows.append(
+            {
+                "algorithm": name,
+                "fit: iters ~ c*(log2 n)^e": "",
+                "e": round(exponent, 3),
+                "c": round(constant, 3),
+                "iters@n=128": round(means[name][0], 2),
+                f"iters@n={SIZES[-1]}": round(means[name][-1], 2),
+            }
+        )
+    emit("e2_scaling_shape", rows, "E2: growth exponent in log n (paper: e<1 for arb-mis)")
+
+    exponents = {row["algorithm"]: row["e"] for row in rows}
+    # The reproduction check: the shattering algorithm's growth in log n is
+    # no steeper than the plain Luby/Métivier baselines'.
+    assert exponents["arb-mis"] <= exponents["luby-b"] + 0.15
+
+    graph = bounded_arboricity_graph(1024, ALPHA, seed=0)
+    benchmark.pedantic(lambda: arb_mis(graph, alpha=ALPHA, seed=0), rounds=3, iterations=1)

@@ -1,0 +1,58 @@
+"""E4 — Validating the read-k conjunction bound (paper Theorem 1.1).
+
+Claim instrumented: for a read-k family with Pr[Y_i = 1] = p,
+Pr[Y_1 = ... = Y_n = 1] ≤ p^(n/k).
+
+Method: synthetic shared-parent families (the Event-(1) dependency shape)
+with known k; Monte-Carlo the conjunction probability and compare with the
+bound and the independent reference p^n.  The bound must hold for every
+(n, k) cell; the slack column shows the 1/k exponent loss the paper pays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit
+from repro.readk.empirical import estimate_conjunction_probability
+from repro.readk.family import shared_parent_family
+
+GRID = [
+    # (indicators n, children per indicator, sharing k)
+    (6, 2, 1),
+    (6, 2, 2),
+    (6, 2, 3),
+    (10, 3, 1),
+    (10, 3, 2),
+    (10, 3, 5),
+    (16, 2, 4),
+]
+TRIALS = 30_000
+
+
+def test_e4_conjunction_bound(benchmark):
+    rows = []
+    for n, children, k in GRID:
+        family = shared_parent_family(n, children, k)
+        estimate = estimate_conjunction_probability(family, trials=TRIALS, seed=n * 31 + k)
+        assert estimate.k == k
+        assert estimate.bound_holds, f"bound violated at n={n}, k={k}"
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "children": children,
+                "empirical Pr[all]": f"{estimate.empirical:.2e}",
+                "bound p^(n/k)": f"{estimate.bound:.2e}",
+                "independent p^n": f"{estimate.independent_reference:.2e}",
+                "holds": estimate.bound_holds,
+            }
+        )
+    emit("e4_conjunction_bound", rows, "E4: Theorem 1.1 conjunction bound (must hold everywhere)")
+
+    family = shared_parent_family(10, 3, 2)
+    benchmark.pedantic(
+        lambda: estimate_conjunction_probability(family, trials=2000, seed=1),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""E5 — Validating the read-k tail bounds (paper Theorem 1.2, Forms 1+2).
+
+Claims instrumented:
+* Form (1): Pr[Y ≤ (p̄-ε)n] ≤ exp(-2ε²n/k);
+* Form (2): Pr[Y ≤ (1-δ)E[Y]] ≤ exp(-δ²E[Y]/2k);
+* both are exactly a 1/k factor weaker than Chernoff in the exponent; and
+* (Gavinsky et al.'s remark) the read-k route beats the Azuma/Lipschitz
+  route when the base family is much larger than n/k.
+
+Table: per (n, k, δ): empirical tail, both bounds, Chernoff (k=1)
+reference, Azuma reference.  Bounds must hold in every cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit
+from repro.readk.bounds import azuma_lower_tail
+from repro.readk.empirical import estimate_lower_tail
+from repro.readk.family import shared_parent_family
+
+GRID = [
+    # (n indicators, children, sharing k, delta)
+    (40, 2, 1, 0.5),
+    (40, 2, 2, 0.5),
+    (40, 2, 4, 0.5),
+    (40, 2, 4, 0.25),
+    (80, 3, 2, 0.5),
+    (80, 3, 8, 0.5),
+]
+TRIALS = 30_000
+
+
+def test_e5_tail_bounds(benchmark):
+    rows = []
+    for n, children, k, delta in GRID:
+        family = shared_parent_family(n, children, k)
+        estimate = estimate_lower_tail(family, delta=delta, trials=TRIALS, seed=n + k)
+        assert estimate.bounds_hold, f"tail bound violated at n={n}, k={k}, d={delta}"
+        base_count = len(family.base_names)
+        azuma = azuma_lower_tail(delta * estimate.expectation, base_count, k)
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "delta": delta,
+                "E[Y]": round(estimate.expectation, 1),
+                "empirical": f"{estimate.empirical:.2e}",
+                "form1": f"{estimate.bound_form1:.2e}",
+                "form2": f"{estimate.bound_form2:.2e}",
+                "chernoff(k=1)": f"{estimate.chernoff_reference:.2e}",
+                "azuma": f"{azuma:.2e}",
+            }
+        )
+        # The 1/k structure: form2 exponent is exactly chernoff/k.
+        assert estimate.bound_form2 >= estimate.chernoff_reference
+    emit("e5_tail_bounds", rows, "E5: Theorem 1.2 tail bounds (must hold everywhere)")
+
+    family = shared_parent_family(40, 2, 2)
+    benchmark.pedantic(
+        lambda: estimate_lower_tail(family, delta=0.5, trials=2000, seed=1),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,132 @@
+"""E8 — Events (1)-(3) against Theorems 3.1-3.3.
+
+Claims instrumented, each on a single iteration of the priority process
+over union-of-forests workloads with an explicit analysis orientation:
+
+* Event (1): some node of M beats all its children — probability at least
+  1-(1-1/Δ(M))^(|M|/2α²) (Theorem 3.1);
+* Event (2): more than |M|/2α nodes of M beat all their competitive
+  parents — probability at least 1-1/Δ⁴ (Theorem 3.2).  The theorem's
+  hypothesis is quantitative: |M| > 64α²·ln²Δ·Δ/2^(k+1); we pick the
+  scale's Δ/2^(k+1) so the hypothesis *holds* and assert the bound, and
+  also report an undersized M to show the hypothesis is not vacuous
+  (the bound genuinely fails below the size threshold);
+* Event (3): at least |M|/(8α²(32α⁶+1)) of M eliminated via children
+  joining — probability at least 1-1/Δ³ (Theorem 3.3).
+
+The theorems give *lower* bounds; every hypothesis-satisfying empirical
+frequency must sit at or above its bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _common import emit
+from repro.core.events import simulate_event1, simulate_event2, simulate_event3
+from repro.graphs.generators import bounded_arboricity_graph
+from repro.graphs.orientation import peeling_orientation
+from repro.graphs.properties import max_degree
+
+
+def test_e8_events(benchmark):
+    rows = []
+    for alpha in (2, 3):
+        graph = bounded_arboricity_graph(3000, alpha, seed=alpha)
+        orientation = peeling_orientation(graph)
+        delta = max_degree(graph)
+        log_sq = math.log(delta) ** 2
+
+        # --- Event (1), Theorem 3.1: rho above Delta so all of M competes.
+        m1 = [v for v in graph.nodes() if orientation.children(v)][:80]
+        e1 = simulate_event1(
+            graph, orientation, m1, alpha, rho=delta + 1, trials=800, seed=1
+        )
+        rows.append(
+            {
+                "alpha": alpha,
+                "event": "event1",
+                "|M|": len(m1),
+                "hypothesis met": True,
+                "empirical": round(e1.empirical, 4),
+                "bound (lower)": round(e1.bound, 4),
+                "holds": e1.bound_holds,
+            }
+        )
+        assert e1.bound_holds, f"event1 bound violated at alpha={alpha}"
+
+        # --- Event (2), Theorem 3.2: choose the scale granularity
+        # D = Delta/2^(k+1) so that |M| > 64 a^2 ln^2(Delta) D, and rho =
+        # 8 ln(Delta) D per the algorithm.  Competitive nodes need degree
+        # <= rho, so D must also keep rho >= Delta (every node competes).
+        m2 = sorted(graph.nodes())[:2400]
+        d_hypothesis = len(m2) / (64 * alpha**2 * log_sq) * 0.9
+        rho2 = 8.0 * math.log(delta) * d_hypothesis
+        hypothesis_met = (
+            len(m2) > 64 * alpha**2 * log_sq * d_hypothesis and rho2 >= delta
+        )
+        e2 = simulate_event2(
+            graph, orientation, m2, alpha, rho=rho2, trials=600, seed=2
+        )
+        rows.append(
+            {
+                "alpha": alpha,
+                "event": "event2",
+                "|M|": len(m2),
+                "hypothesis met": hypothesis_met,
+                "empirical": round(e2.empirical, 4),
+                "bound (lower)": round(e2.bound, 4),
+                "holds": e2.bound_holds,
+            }
+        )
+        if hypothesis_met:
+            assert e2.bound_holds, f"event2 bound violated at alpha={alpha}"
+
+        # Undersized control: with |M| far below the hypothesis threshold
+        # the concentration has no room and the bound may fail — report it.
+        m2_small = sorted(graph.nodes())[:60]
+        e2_small = simulate_event2(
+            graph, orientation, m2_small, alpha, rho=delta + 1, trials=600, seed=2
+        )
+        rows.append(
+            {
+                "alpha": alpha,
+                "event": "event2 (undersized M)",
+                "|M|": len(m2_small),
+                "hypothesis met": False,
+                "empirical": round(e2_small.empirical, 4),
+                "bound (lower)": round(e2_small.bound, 4),
+                "holds": e2_small.bound_holds,
+            }
+        )
+
+        # --- Event (3), Theorem 3.3 with the paper's (minuscule) quota.
+        m3 = [v for v in graph.nodes() if len(orientation.children(v)) >= 2][:60]
+        e3 = simulate_event3(
+            graph, orientation, m3, alpha, rho=delta + 1, trials=800, seed=3
+        )
+        rows.append(
+            {
+                "alpha": alpha,
+                "event": "event3",
+                "|M|": len(m3),
+                "hypothesis met": True,
+                "empirical": round(e3.empirical, 4),
+                "bound (lower)": round(e3.bound, 4),
+                "holds": e3.bound_holds,
+            }
+        )
+        assert e3.bound_holds, f"event3 bound violated at alpha={alpha}"
+
+    emit("e8_events", rows, "E8: Events (1)-(3) empirical vs Theorems 3.1-3.3")
+
+    graph = bounded_arboricity_graph(400, 2, seed=2)
+    orientation = peeling_orientation(graph)
+    m = [v for v in graph.nodes() if orientation.children(v)][:30]
+    benchmark.pedantic(
+        lambda: simulate_event1(graph, orientation, m, 2, 10**9, trials=200, seed=9),
+        rounds=3,
+        iterations=1,
+    )

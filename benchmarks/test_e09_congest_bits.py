@@ -1,0 +1,60 @@
+"""E9 — CONGEST compliance: message sizes stay O(log n) end to end.
+
+Claim instrumented (§2 and §3.3 both stress the CONGEST model; Theorem 2.1
+is a CONGEST bound): every message of the pipeline fits in B = O(log n)
+bits.  Our messages carry a tag, a 64-bit priority or a degree, and the
+framing — so max bits should be essentially *constant* in n while the
+budget grows like log n.
+
+Table: per n, the measured maximum message size over a full
+BoundedArbIndependentSet CONGEST execution vs the budget, plus totals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+from repro.core.bounded_arb import BoundedArbNodeProgram
+from repro.core.parameters import compute_parameters
+from repro.graphs.generators import bounded_arboricity_graph
+from repro.graphs.properties import max_degree
+
+SIZES = [64, 128, 256, 512, 1024]
+ALPHA = 2
+
+
+def _run(n: int, seed: int = 0):
+    graph = bounded_arboricity_graph(n, ALPHA, seed=seed)
+    params = compute_parameters(ALPHA, max_degree(graph), "practical")
+    network = Network(graph)
+    program = BoundedArbNodeProgram(params)
+    simulator = SynchronousSimulator(network, seed=seed, enforce_congest=True)
+    return simulator.run(program, max_rounds=program.total_rounds + 3)
+
+
+def test_e9_congest_bits(benchmark):
+    rows = []
+    max_bits_seen = []
+    for n in SIZES:
+        run = _run(n)
+        assert run.metrics.congest_compliant
+        max_bits_seen.append(run.metrics.max_message_bits)
+        rows.append(
+            {
+                "n": n,
+                "budget (32*log2 n)": run.metrics.congest_budget_bits,
+                "max msg bits": run.metrics.max_message_bits,
+                "total messages": run.metrics.total_messages,
+                "total bits": run.metrics.total_bits,
+                "rounds": run.metrics.rounds,
+            }
+        )
+    emit("e9_congest_bits", rows, "E9: CONGEST bit accounting across n (enforced)")
+
+    # Message sizes are dominated by the fixed-width priority: near-flat in n.
+    assert max(max_bits_seen) - min(max_bits_seen) <= 32
+
+    benchmark.pedantic(lambda: _run(256), rounds=3, iterations=1)

@@ -1,0 +1,64 @@
+"""E12 — Comparison against Ghaffari (SODA 2016).
+
+Claim instrumented (§1.2): Ghaffari's O(log α + sqrt(log n)) "of course
+dominates the round complexity of our algorithm for all values of α and
+n" — asymptotically.  The honest empirical picture at laptop n: Ghaffari's
+desire-level ramp costs a constant-factor more iterations than the
+priority-competition algorithms on sparse graphs, while its *shattering
+point* (active set below n/log²n) arrives at a comparable time.  The
+table reports total iterations, iterations-to-shatter, and the theoretical
+curves, so the asymptotic ordering and the finite-n constants are both on
+record.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _common import emit
+from repro.analysis.rounds import ghaffari_bound, paper_bound
+from repro.analysis.stats import summarize
+from repro.core.arb_mis import arb_mis
+from repro.graphs.generators import GraphSpec
+from repro.mis.ghaffari import ghaffari_mis
+
+SIZES = [512, 1024, 2048, 4096]
+SEEDS = [0, 1, 2]
+WORKLOADS = [(GraphSpec("tree"), 1), (GraphSpec("arb", (3,)), 3)]
+
+
+def test_e12_vs_ghaffari(benchmark):
+    rows = []
+    for spec, alpha in WORKLOADS:
+        for n in SIZES:
+            arb_iters, ghf_iters, ghf_shatter = [], [], []
+            for seed in SEEDS:
+                graph = spec.build(n, seed=seed)
+                arb_iters.append(arb_mis(graph, alpha=alpha, seed=seed).iterations)
+                result = ghaffari_mis(graph, seed=seed)
+                ghf_iters.append(result.iterations)
+                shatter = result.extra["iterations_to_shatter"]
+                ghf_shatter.append(shatter if shatter is not None else result.iterations)
+            rows.append(
+                {
+                    "family": spec.label(),
+                    "n": n,
+                    "arb-mis iters": str(summarize(arb_iters)),
+                    "ghaffari iters": str(summarize(ghf_iters)),
+                    "ghaffari shatter@": str(summarize(ghf_shatter)),
+                    "theory arb O(.)": round(paper_bound(n, alpha, alpha_exponent=2), 1),
+                    "theory ghf O(.)": round(ghaffari_bound(n, alpha), 1),
+                }
+            )
+    emit("e12_vs_ghaffari", rows, "E12: paper's algorithm vs Ghaffari (measured + theory)")
+
+    # The asymptotic claim the paper makes is about the bounds themselves:
+    # Ghaffari's curve is below the paper's for all alpha, n we test.
+    for spec, alpha in WORKLOADS:
+        for n in SIZES:
+            assert ghaffari_bound(n, alpha) < paper_bound(n, alpha, alpha_exponent=2)
+
+    graph = WORKLOADS[1][0].build(1024, seed=0)
+    benchmark.pedantic(lambda: ghaffari_mis(graph, seed=0), rounds=3, iterations=1)

@@ -1,0 +1,56 @@
+"""E14 (infrastructure) — engine duality: identity and cost.
+
+DESIGN.md §4's contract: for equal seeds the CONGEST engine and the fast
+engine produce bit-identical outputs.  This benchmark (a) re-asserts the
+identity across a workload grid — the license for using fast-engine
+numbers in the big sweeps — and (b) measures what the honest simulation
+costs: wall-time ratio CONGEST/fast and the message traffic the fast
+engine never materializes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _common import emit
+from repro.graphs.generators import bounded_arboricity_graph
+from repro.mis.metivier import metivier_mis, metivier_mis_congest
+
+SIZES = [128, 256, 512, 1024]
+SEEDS = [0, 1]
+
+
+def test_e14_engine_duality(benchmark):
+    rows = []
+    for n in SIZES:
+        for seed in SEEDS:
+            graph = bounded_arboricity_graph(n, 2, seed=seed)
+
+            start = time.perf_counter()
+            fast = metivier_mis(graph, seed=seed)
+            fast_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            slow = metivier_mis_congest(graph, seed=seed)
+            slow_seconds = time.perf_counter() - start
+
+            assert fast.mis == slow.mis  # the §4 contract
+            rows.append(
+                {
+                    "n": n,
+                    "seed": seed,
+                    "identical": fast.mis == slow.mis,
+                    "iterations": fast.iterations,
+                    "congest msgs": slow.metrics.total_messages,
+                    "congest bits": slow.metrics.total_bits,
+                    "fast ms": round(1000 * fast_seconds, 2),
+                    "congest ms": round(1000 * slow_seconds, 2),
+                    "slowdown x": round(slow_seconds / max(fast_seconds, 1e-9), 1),
+                }
+            )
+    emit("e14_engine_duality", rows, "E14 (infrastructure): CONGEST vs fast engine")
+
+    graph = bounded_arboricity_graph(512, 2, seed=0)
+    benchmark.pedantic(lambda: metivier_mis_congest(graph, seed=0), rounds=3, iterations=1)

@@ -1,0 +1,66 @@
+"""E15 (ablation) — finishing strategy: Métivier vs Linial (§3.3).
+
+The paper's §3.3 finishes Vlo/Vhi with the *deterministic* bounded-degree
+MIS of Barenboim et al. (Theorem 7.4); our default pipeline uses the
+randomized Métivier engine there.  This ablation runs both on the same
+partial results and compares: output validity (both must pass), stage
+iteration counts, and determinism (the Linial stages must be seed-
+independent given the same partial input).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit
+from repro.core.bounded_arb import bounded_arb_independent_set
+from repro.core.finishing import finish
+from repro.graphs.generators import bounded_arboricity_graph, starry_arboricity_graph
+from repro.mis.validation import assert_valid_mis
+
+WORKLOADS = [
+    ("arb(3)", lambda seed: bounded_arboricity_graph(1024, 3, seed=seed), 3),
+    ("starry(2)", lambda seed: starry_arboricity_graph(1024, 2, hubs=4, seed=seed), 2),
+]
+SEEDS = [0, 1]
+
+
+def test_e15_finishing_strategy(benchmark):
+    rows = []
+    for label, builder, alpha in WORKLOADS:
+        for seed in SEEDS:
+            graph = builder(seed)
+            # A paper-profile partial pushes *all* work into finishing,
+            # which is exactly where the two strategies differ.
+            partial = bounded_arb_independent_set(
+                graph, alpha=alpha, seed=seed, profile="paper"
+            )
+            for strategy in ("metivier", "linial"):
+                report = finish(graph, partial, alpha=alpha, seed=seed, strategy=strategy)
+                assert_valid_mis(graph, report.mis)
+                rows.append(
+                    {
+                        "family": label,
+                        "seed": seed,
+                        "strategy": strategy,
+                        "|Vlo|": report.vlo_size,
+                        "|Vhi|": report.vhi_size,
+                        "vlo iters": report.vlo_iterations,
+                        "vhi iters": report.vhi_iterations,
+                        "|MIS|": len(report.mis),
+                        "finishing rounds": report.total_finishing_rounds,
+                    }
+                )
+            # Linial determinism: seed-independent given the partial.
+            a = finish(graph, partial, alpha=alpha, seed=seed, strategy="linial")
+            b = finish(graph, partial, alpha=alpha, seed=seed + 1000, strategy="linial")
+            assert a.mis == b.mis
+    emit("e15_finishing_strategy", rows, "E15 (ablation): Metivier vs Linial finishing")
+
+    graph = WORKLOADS[0][1](0)
+    partial = bounded_arb_independent_set(graph, alpha=3, seed=0, profile="paper")
+    benchmark.pedantic(
+        lambda: finish(graph, partial, alpha=3, seed=0, strategy="linial"),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The read-k inequality toolkit, standalone.
+
+The paper's §1.1 introduces the Gavinsky–Lovett–Saks–Srinivasan bounds as
+a general tool "for the analysis of randomized distributed algorithms".
+This example uses the toolkit exactly as an analyst would:
+
+1. declare a read-k family mirroring a concrete dependency structure
+   (parents sharing children — the paper's Event (1) shape),
+2. confirm the structure (k is *computed* from the declared reads, not
+   asserted),
+3. compare Monte-Carlo ground truth against Theorem 1.1 (conjunction)
+   and Theorem 1.2 (tails, both forms), with Chernoff and Azuma as
+   reference points.
+
+Run:  python examples/readk_tail_bounds.py
+"""
+
+from repro.analysis.tables import render_rows
+from repro.readk.bounds import azuma_lower_tail
+from repro.readk.empirical import (
+    estimate_conjunction_probability,
+    estimate_lower_tail,
+)
+from repro.readk.family import shared_parent_family
+
+
+def main() -> None:
+    trials = 40_000
+
+    print("Conjunction bound (Theorem 1.1): Pr[Y_1=...=Y_n=1] <= p^(n/k)")
+    rows = []
+    for n, children, k in ((8, 2, 1), (8, 2, 2), (8, 2, 4), (16, 3, 4)):
+        family = shared_parent_family(n, children, k)
+        est = estimate_conjunction_probability(family, trials=trials, seed=n * 7 + k)
+        rows.append(
+            {
+                "n": n,
+                "k (computed)": est.k,
+                "empirical": f"{est.empirical:.2e}",
+                "read-k bound": f"{est.bound:.2e}",
+                "if independent": f"{est.independent_reference:.2e}",
+                "slack (bound/emp)": "inf" if est.slack == float("inf") else f"{est.slack:.1f}x",
+            }
+        )
+    print(render_rows(rows))
+
+    print("\nLower tail (Theorem 1.2): Pr[Y <= (1-d)E[Y]]")
+    rows = []
+    for k in (1, 2, 4, 8):
+        family = shared_parent_family(60, 2, k)
+        est = estimate_lower_tail(family, delta=0.5, trials=trials, seed=k)
+        azuma = azuma_lower_tail(0.5 * est.expectation, len(family.base_names), k)
+        rows.append(
+            {
+                "k": k,
+                "E[Y]": round(est.expectation, 1),
+                "empirical": f"{est.empirical:.2e}",
+                "form (1)": f"{est.bound_form1:.2e}",
+                "form (2)": f"{est.bound_form2:.2e}",
+                "chernoff (k=1 ref)": f"{est.chernoff_reference:.2e}",
+                "azuma (lipschitz ref)": f"{azuma:.2e}",
+            }
+        )
+    print(render_rows(rows))
+    print(
+        "\nReading: the read-k bounds lose exactly a 1/k factor in the "
+        "exponent vs Chernoff,\nand beat the Azuma route because Azuma pays "
+        "for all base variables, read-k only for n/k."
+    )
+
+
+if __name__ == "__main__":
+    main()

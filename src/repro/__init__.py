@@ -1,0 +1,76 @@
+"""repro — Read-k MIS: distributed MIS on bounded-arboricity graphs.
+
+A production-quality reproduction of *"Using Read-k Inequalities to Analyze
+a Distributed MIS Algorithm"* (Pemmaraju & Riaz, PODC 2016), comprising:
+
+* the paper's algorithm — :func:`repro.arb_mis` (Algorithm 2, built on
+  BoundedArbIndependentSet, Algorithm 1);
+* every baseline it discusses — Luby A/B, Métivier et al., Ghaffari,
+  Barenboim et al.'s TreeIndependentSet;
+* the substrates — a synchronous CONGEST simulator with bit accounting,
+  graph generators and arboricity machinery, Cole–Vishkin and
+  Barenboim–Elkin deterministic finishing, and the read-k inequality
+  toolkit of Gavinsky et al.;
+* an experiment harness regenerating every table in EXPERIMENTS.md.
+
+Quickstart::
+
+    import networkx as nx
+    from repro import arb_mis, bounded_arboricity_graph
+
+    graph = bounded_arboricity_graph(n=1000, alpha=3, seed=7)
+    result = arb_mis(graph, alpha=3, seed=7)
+    print(result.summary())        # a validated MIS + round accounting
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory.
+"""
+
+from repro._version import __version__
+from repro.core.arb_mis import ArbMISReport, arb_mis
+from repro.core.bounded_arb import BoundedArbResult, bounded_arb_independent_set
+from repro.core.parameters import Parameters, compute_parameters
+from repro.core.shattering import analyze_bad_components
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    random_maximal_planar_graph,
+    random_tree,
+    starry_arboricity_graph,
+)
+from repro.mis.engine import MISResult
+from repro.mis.ghaffari import ghaffari_mis
+from repro.mis.luby import luby_a_mis, luby_b_mis
+from repro.mis.metivier import metivier_mis
+from repro.mis.registry import available_algorithms, get_algorithm
+from repro.mis.tree import tree_mis
+from repro.mis.validation import (
+    assert_valid_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+)
+
+__all__ = [
+    "__version__",
+    "arb_mis",
+    "ArbMISReport",
+    "bounded_arb_independent_set",
+    "BoundedArbResult",
+    "Parameters",
+    "compute_parameters",
+    "analyze_bad_components",
+    "MISResult",
+    "tree_mis",
+    "metivier_mis",
+    "luby_a_mis",
+    "luby_b_mis",
+    "ghaffari_mis",
+    "available_algorithms",
+    "get_algorithm",
+    "assert_valid_mis",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "random_tree",
+    "bounded_arboricity_graph",
+    "starry_arboricity_graph",
+    "random_maximal_planar_graph",
+]

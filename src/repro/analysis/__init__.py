@@ -1,0 +1,37 @@
+"""Experiment harness: theoretical curves, statistics, tables, sweeps.
+
+Shared by every benchmark in ``benchmarks/`` so that all tables in
+EXPERIMENTS.md come out of the same machinery.
+"""
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.export import sweep_to_rows, write_rows_csv, write_rows_json
+from repro.analysis.rounds import (
+    barenboim_arb_bound,
+    ghaffari_bound,
+    luby_bound,
+    paper_bound,
+    fit_growth_exponent,
+)
+from repro.analysis.stats import Summary, mean_confidence_interval, summarize
+from repro.analysis.sweep import SweepResult, run_sweep
+from repro.analysis.tables import format_table, render_rows
+
+__all__ = [
+    "ascii_plot",
+    "sweep_to_rows",
+    "write_rows_csv",
+    "write_rows_json",
+    "paper_bound",
+    "luby_bound",
+    "ghaffari_bound",
+    "barenboim_arb_bound",
+    "fit_growth_exponent",
+    "Summary",
+    "summarize",
+    "mean_confidence_interval",
+    "format_table",
+    "render_rows",
+    "run_sweep",
+    "SweepResult",
+]

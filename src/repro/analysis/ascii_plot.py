@@ -1,0 +1,99 @@
+"""Terminal line/scatter plots for benchmark series.
+
+The benchmarks print tables; for the scaling experiments a picture says
+more.  This is a dependency-free ASCII plotter: multiple named series on
+a shared canvas, log-x support for n-sweeps, and automatic legend.  Used
+by ``examples/scaling_curves.py`` and available for any downstream
+notebook-less environment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:.4g}"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        ``{name: [(x, y), ...], ...}``; each series gets its own marker.
+    log_x:
+        Place points by log₂(x) — the right scale for n-sweeps.
+    """
+    points: List[Tuple[float, float, int]] = []
+    names = list(series)
+    for index, name in enumerate(names):
+        for x, y in series[name]:
+            if log_x and x <= 0:
+                raise ValueError("log_x requires positive x values")
+            points.append((math.log2(x) if log_x else float(x), float(y), index))
+    if not points:
+        return title or "(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        cell = grid[row][col]
+        marker = _MARKERS[index % len(_MARKERS)]
+        grid[row][col] = marker if cell in (" ", marker) else "?"
+
+    y_top = _nice_number(y_max)
+    y_bottom = _nice_number(y_min)
+    label_width = max(len(y_top), len(y_bottom))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = _nice_number(2**x_min if log_x else x_min)
+    x_right = _nice_number(2**x_max if log_x else x_max)
+    x_axis_note = f"{x_label}{' (log scale)' if log_x else ''}"
+    footer = " " * label_width + f"  {x_left}".ljust(width - len(x_right)) + x_right
+    lines.append(footer)
+    if x_axis_note or y_label:
+        lines.append(" " * label_width + f"  x: {x_axis_note}  y: {y_label}".rstrip())
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Export sweep results to CSV / JSON for external plotting.
+
+The benchmarks print ASCII tables; downstream users typically want the raw
+points.  These helpers serialize a
+:class:`~repro.analysis.sweep.SweepResult` (or any list of row dicts)
+losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.analysis.sweep import SweepResult
+
+__all__ = ["sweep_to_rows", "write_rows_csv", "write_rows_json", "read_rows_json"]
+
+PathLike = Union[str, Path]
+
+
+def sweep_to_rows(result: SweepResult) -> List[Dict[str, Any]]:
+    """Flatten a sweep into plain row dicts (one per grid point)."""
+    rows = []
+    for point in result.points:
+        rows.append(
+            {
+                "family": point.spec.label(),
+                "n": point.n,
+                "algorithm": point.algorithm,
+                "seed": point.seed,
+                "iterations": point.iterations,
+                "congest_rounds": point.congest_rounds,
+                "mis_size": point.mis_size,
+            }
+        )
+    return rows
+
+
+def write_rows_csv(rows: Sequence[Mapping[str, Any]], path: PathLike) -> None:
+    """Write row dicts as CSV (union of keys, insertion order)."""
+    path = Path(path)
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+
+
+def write_rows_json(rows: Sequence[Mapping[str, Any]], path: PathLike) -> None:
+    """Write row dicts as a JSON array."""
+    Path(path).write_text(json.dumps([dict(r) for r in rows], indent=2) + "\n")
+
+
+def read_rows_json(path: PathLike) -> List[Dict[str, Any]]:
+    """Read back a JSON row file."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,87 @@
+"""Theoretical round-complexity curves and growth-shape fitting.
+
+The reproduction target for E1/E2/E3 is the *shape* of the round counts:
+Luby/Métivier grow like ``log n``, the paper's algorithm like
+``poly(α) · sqrt(log n · log log n)``, Ghaffari like
+``log α + sqrt(log n)``.  These functions provide the reference curves
+(up to a fitted constant) and a small least-squares exponent fitter used
+to compare measured growth against them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "luby_bound",
+    "paper_bound",
+    "ghaffari_bound",
+    "barenboim_arb_bound",
+    "fit_growth_exponent",
+    "fit_constant",
+]
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(2.0, x))
+
+
+def luby_bound(n: int) -> float:
+    """Luby / Métivier: Θ(log n) rounds w.h.p."""
+    return _log2(n)
+
+
+def paper_bound(n: int, alpha: int, alpha_exponent: float = 9.0) -> float:
+    """Theorem 2.1: O(α^9 · sqrt(log n · log log n)) rounds w.h.p.
+
+    ``alpha_exponent`` defaults to the paper's 9 ("it is not difficult to
+    reduce this degree"); E3 fits the measured exponent.
+    """
+    log_n = _log2(n)
+    return alpha**alpha_exponent * math.sqrt(log_n * max(1.0, math.log2(log_n)))
+
+
+def ghaffari_bound(n: int, alpha: int) -> float:
+    """Ghaffari's corollary: O(log α + sqrt(log n)) rounds w.h.p."""
+    return math.log2(max(2, alpha)) + math.sqrt(_log2(n))
+
+
+def barenboim_arb_bound(n: int, alpha: int) -> float:
+    """Barenboim et al.'s own arboricity algorithm: O(log²α + log^(2/3) n)."""
+    return math.log2(max(2, alpha)) ** 2 + _log2(n) ** (2.0 / 3.0)
+
+
+def fit_growth_exponent(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares fit ``y ≈ c · x^e`` in log–log space; returns (e, c).
+
+    Used by E2/E3 to estimate, e.g., the exponent of ``log n`` in the
+    measured round counts (pass ``xs = log n``) or of α (pass ``xs = α``).
+    Requires positive data; zero measurements are clamped to the smallest
+    positive value to keep degenerate cases (constant-rounds algorithms on
+    tiny inputs) from crashing the fit.
+    """
+    xs_arr = np.asarray(xs, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if len(xs_arr) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    floor = max(1e-9, ys_arr[ys_arr > 0].min() if (ys_arr > 0).any() else 1e-9)
+    ys_arr = np.clip(ys_arr, floor, None)
+    log_x = np.log(xs_arr)
+    log_y = np.log(ys_arr)
+    exponent, intercept = np.polyfit(log_x, log_y, 1)
+    return float(exponent), float(math.exp(intercept))
+
+
+def fit_constant(model: Callable[[float], float], xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares constant c for ``y ≈ c · model(x)``."""
+    model_vals = np.asarray([model(x) for x in xs], dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    denom = float((model_vals**2).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((model_vals * ys_arr).sum() / denom)

@@ -1,0 +1,77 @@
+"""Summary statistics with confidence intervals for benchmark tables."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "mean_confidence_interval"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean ± half-width plus extremes of a sample."""
+
+    mean: float
+    std: float
+    ci_half_width: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.ci_half_width:.2f}"
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.mean - self.ci_half_width, self.mean + self.ci_half_width)
+
+
+# Two-sided t critical values at 95% for small samples; the normal 1.96
+# beyond 30 degrees of freedom.  Avoids a scipy dependency in the hot path.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        return float("inf")
+    if df in _T_95:
+        return _T_95[df]
+    if df < 30:
+        lower = max(k for k in _T_95 if k <= df)
+        return _T_95[lower]
+    return 1.96
+
+
+def mean_confidence_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, 95% CI half-width) of a sample (half-width 0 for n ≤ 1)."""
+    arr = np.asarray(values, dtype=float)
+    n = len(arr)
+    if n == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(arr.mean())
+    if n == 1:
+        return mean, 0.0
+    std = float(arr.std(ddof=1))
+    return mean, _t_critical(n - 1) * std / math.sqrt(n)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Full :class:`Summary` of a sample."""
+    arr = np.asarray(values, dtype=float)
+    mean, half = mean_confidence_interval(arr)
+    return Summary(
+        mean=mean,
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        ci_half_width=half,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=len(arr),
+    )

@@ -1,0 +1,103 @@
+"""Parameter-sweep harness shared by the benchmarks.
+
+A sweep runs a set of MIS algorithms over a grid of (graph spec, n, seed)
+points, validates every output, and aggregates per-point statistics.  All
+twelve E-benchmarks that compare algorithms go through :func:`run_sweep`,
+so validation can never be skipped for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from repro.analysis.stats import Summary, summarize
+from repro.graphs.generators import GraphSpec
+from repro.mis.engine import MISResult
+from repro.mis.validation import assert_valid_mis
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid."""
+
+    spec: GraphSpec
+    n: int
+    algorithm: str
+    seed: int
+    iterations: int
+    congest_rounds: Optional[int]
+    mis_size: int
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep plus aggregation helpers."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def filter(self, **conditions) -> List[SweepPoint]:
+        out = []
+        for p in self.points:
+            if all(getattr(p, key) == value for key, value in conditions.items()):
+                out.append(p)
+        return out
+
+    def iterations_summary(self, spec: GraphSpec, n: int, algorithm: str) -> Summary:
+        values = [
+            p.iterations
+            for p in self.points
+            if p.spec == spec and p.n == n and p.algorithm == algorithm
+        ]
+        return summarize(values)
+
+    def rounds_summary(self, spec: GraphSpec, n: int, algorithm: str) -> Summary:
+        values = [
+            p.congest_rounds if p.congest_rounds is not None else 3 * p.iterations
+            for p in self.points
+            if p.spec == spec and p.n == n and p.algorithm == algorithm
+        ]
+        return summarize(values)
+
+
+def run_sweep(
+    specs: Sequence[GraphSpec],
+    sizes: Sequence[int],
+    algorithms: Mapping[str, Callable[..., MISResult]],
+    seeds: Sequence[int],
+    algorithm_kwargs: Optional[Mapping[str, Dict]] = None,
+    validate: bool = True,
+) -> SweepResult:
+    """Run every algorithm on every (spec, n, seed) grid point.
+
+    ``algorithm_kwargs`` maps algorithm name → extra keyword arguments
+    (e.g. ``{"arb-mis": {"alpha": 3}}``).  Each output is validated as an
+    MIS of its graph before its numbers enter the result.
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    result = SweepResult()
+    for spec in specs:
+        for n in sizes:
+            for seed in seeds:
+                graph = spec.build(n, seed=seed)
+                for name, fn in algorithms.items():
+                    kwargs = dict(algorithm_kwargs.get(name, {}))
+                    mis_result = fn(graph, seed=seed, **kwargs)
+                    if validate:
+                        assert_valid_mis(graph, mis_result.mis)
+                    result.points.append(
+                        SweepPoint(
+                            spec=spec,
+                            n=n,
+                            algorithm=name,
+                            seed=seed,
+                            iterations=mis_result.iterations,
+                            congest_rounds=mis_result.congest_rounds,
+                            mis_size=len(mis_result.mis),
+                        )
+                    )
+    return result

@@ -1,0 +1,55 @@
+"""ASCII table rendering for benchmark output.
+
+Every benchmark prints its table through these helpers so EXPERIMENTS.md
+tables can be regenerated verbatim with
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["format_table", "render_rows"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(items: Sequence[str]) -> str:
+        return " | ".join(item.ljust(widths[i]) for i, item in enumerate(items))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_rows(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dicts (union of keys, insertion order preserved)."""
+    if not rows:
+        return title or "(no rows)"
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, body, title)

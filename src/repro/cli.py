@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run``      run one MIS algorithm on a generated workload and print the
+             validated result plus (for arb-mis) the stage report;
+``sweep``    compare several algorithms over an n-grid, printing the
+             iterations table the benchmarks also produce;
+``certify``  compute the arboricity certificate of a workload
+             (pseudoarboricity, Nash–Williams bound, forest partition);
+``list``     list registered algorithms and graph families.
+
+Examples
+--------
+::
+
+    python -m repro run --family arb --alpha 3 --n 2000 --algorithm arb-mis
+    python -m repro sweep --family tree --sizes 256,512,1024 --algorithms metivier,luby-b
+    python -m repro certify --family planar --n 500
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import render_rows
+
+__all__ = ["main", "build_parser"]
+
+_FAMILIES = {
+    "tree": lambda n, seed, args: _gen().random_tree(n, seed),
+    "arb": lambda n, seed, args: _gen().bounded_arboricity_graph(n, args.alpha, seed),
+    "starry": lambda n, seed, args: _gen().starry_arboricity_graph(n, args.alpha, args.hubs, seed),
+    "planar": lambda n, seed, args: _gen().random_maximal_planar_graph(max(3, n), seed),
+    "grid": lambda n, seed, args: _gen().grid_graph(
+        max(1, int(round(n**0.5))), max(1, int(round(n**0.5)))
+    ),
+    "gnp": lambda n, seed, args: _gen().gnp_graph(n, args.p, seed),
+    "ktree": lambda n, seed, args: _gen().k_tree(max(args.alpha + 1, n), args.alpha, seed),
+}
+
+
+def _gen():
+    from repro.graphs import generators
+
+    return generators
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Read-k MIS: distributed MIS on bounded-arboricity graphs "
+        "(Pemmaraju & Riaz, PODC 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--family", choices=sorted(_FAMILIES), default="arb")
+        p.add_argument("--n", type=int, default=1000)
+        p.add_argument("--alpha", type=int, default=3, help="arboricity parameter")
+        p.add_argument("--hubs", type=int, default=4, help="hubs for the starry family")
+        p.add_argument("--p", type=float, default=0.05, help="edge probability for gnp")
+        p.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run one algorithm on one workload")
+    add_workload_args(run)
+    run.add_argument("--algorithm", default="arb-mis")
+    run.add_argument(
+        "--profile", choices=("practical", "paper"), default="practical"
+    )
+    run.add_argument(
+        "--finishing", choices=("metivier", "linial"), default="metivier"
+    )
+    run.add_argument("--report", action="store_true", help="print the stage report")
+
+    sweep = sub.add_parser("sweep", help="compare algorithms over an n-grid")
+    add_workload_args(sweep)
+    sweep.add_argument("--sizes", default="256,512,1024")
+    sweep.add_argument("--algorithms", default="metivier,luby-b,arb-mis")
+    sweep.add_argument("--seeds", default="0,1,2")
+
+    certify = sub.add_parser("certify", help="arboricity certificate of a workload")
+    add_workload_args(certify)
+
+    export = sub.add_parser(
+        "export", help="run a sweep and write the raw points to CSV/JSON"
+    )
+    add_workload_args(export)
+    export.add_argument("--sizes", default="256,512,1024")
+    export.add_argument("--algorithms", default="metivier,luby-b")
+    export.add_argument("--seeds", default="0,1,2")
+    export.add_argument("--output", required=True, help=".csv or .json path")
+
+    workload = sub.add_parser(
+        "workload", help="generate a workload and save it as a JSON artifact"
+    )
+    add_workload_args(workload)
+    workload.add_argument("--output", required=True, help=".json path")
+
+    sub.add_parser("list", help="list algorithms and graph families")
+    return parser
+
+
+def _build_graph(args):
+    return _FAMILIES[args.family](args.n, args.seed, args)
+
+
+def _run_algorithm(name: str, graph, args):
+    from repro.mis.registry import get_algorithm
+
+    fn = get_algorithm(name)
+    kwargs = {}
+    if name == "arb-mis":
+        kwargs = {
+            "alpha": args.alpha,
+            "profile": getattr(args, "profile", "practical"),
+            "finishing_strategy": getattr(args, "finishing", "metivier"),
+        }
+    return fn(graph, seed=args.seed, **kwargs)
+
+
+def _cmd_run(args) -> int:
+    from repro.mis.validation import assert_valid_mis
+
+    graph = _build_graph(args)
+    print(
+        f"workload: {args.family} n={graph.number_of_nodes()} "
+        f"m={graph.number_of_edges()} seed={args.seed}"
+    )
+    result = _run_algorithm(args.algorithm, graph, args)
+    assert_valid_mis(graph, result.mis)
+    print(result.summary() + "  [validated]")
+    if args.report and "report" in result.extra:
+        print(result.extra["report"].stage_summary())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.stats import summarize
+    from repro.mis.validation import assert_valid_mis
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    rows = []
+    for n in sizes:
+        row = {"family": args.family, "n": n}
+        for name in names:
+            iterations = []
+            for seed in seeds:
+                sub_args = argparse.Namespace(**vars(args))
+                sub_args.n, sub_args.seed = n, seed
+                graph = _build_graph(sub_args)
+                result = _run_algorithm(name, graph, sub_args)
+                assert_valid_mis(graph, result.mis)
+                iterations.append(result.iterations)
+            row[name] = str(summarize(iterations))
+        rows.append(row)
+    print(render_rows(rows, title=f"iterations over seeds {seeds}"))
+    return 0
+
+
+def _cmd_certify(args) -> int:
+    from repro.graphs.arboricity import (
+        arboricity_bounds,
+        degeneracy,
+        nash_williams_lower_bound,
+        pseudoarboricity,
+    )
+    from repro.graphs.forests import (
+        forest_count_of_partition,
+        forest_partition_greedy,
+    )
+
+    graph = _build_graph(args)
+    low, high = arboricity_bounds(graph)
+    parts = forest_partition_greedy(graph)
+    print(
+        render_rows(
+            [
+                {
+                    "family": args.family,
+                    "n": graph.number_of_nodes(),
+                    "m": graph.number_of_edges(),
+                    "degeneracy": degeneracy(graph),
+                    "pseudoarboricity": pseudoarboricity(graph),
+                    "nash-williams >=": nash_williams_lower_bound(graph),
+                    "arboricity in": f"[{low}, {high}]",
+                    "forest partition": forest_count_of_partition(parts),
+                }
+            ],
+            title="arboricity certificate",
+        )
+    )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.analysis.export import write_rows_csv, write_rows_json
+    from repro.mis.validation import assert_valid_mis
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    rows = []
+    for n in sizes:
+        for seed in seeds:
+            sub_args = argparse.Namespace(**vars(args))
+            sub_args.n, sub_args.seed = n, seed
+            graph = _build_graph(sub_args)
+            for name in names:
+                result = _run_algorithm(name, graph, sub_args)
+                assert_valid_mis(graph, result.mis)
+                rows.append(
+                    {
+                        "family": args.family,
+                        "n": n,
+                        "seed": seed,
+                        "algorithm": name,
+                        "iterations": result.iterations,
+                        "congest_rounds": result.congest_rounds,
+                        "mis_size": len(result.mis),
+                    }
+                )
+    if args.output.endswith(".json"):
+        write_rows_json(rows, args.output)
+    else:
+        write_rows_csv(rows, args.output)
+    print(f"wrote {len(rows)} points to {args.output}")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.graphs.io import write_workload
+
+    graph = _build_graph(args)
+    write_workload(
+        graph,
+        args.output,
+        metadata={
+            "family": args.family,
+            "n": args.n,
+            "alpha": args.alpha,
+            "seed": args.seed,
+        },
+    )
+    print(
+        f"wrote {args.family} workload (n={graph.number_of_nodes()}, "
+        f"m={graph.number_of_edges()}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.mis.registry import available_algorithms
+
+    print("algorithms: " + ", ".join(available_algorithms()))
+    print("families:   " + ", ".join(sorted(_FAMILIES)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "certify": _cmd_certify,
+        "export": _cmd_export,
+        "workload": _cmd_workload,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

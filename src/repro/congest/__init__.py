@@ -1,0 +1,53 @@
+"""Synchronous CONGEST-model simulator.
+
+The CONGEST model (Peleg, 2000) is the setting of every theorem in the
+paper: computation proceeds in synchronous rounds, and in each round every
+node may send one message of at most ``B = O(log n)`` bits along each
+incident edge.  This subpackage provides:
+
+* :class:`~repro.congest.algorithm.NodeAlgorithm` — the protocol a node
+  program implements (``on_start`` / ``on_round`` / outbox / halting);
+* :class:`~repro.congest.simulator.SynchronousSimulator` — the round loop,
+  inbox delivery, halting detection and metrics collection;
+* :class:`~repro.congest.message.Message` — payloads with bit-accounting so
+  the O(log n) message-size claims are *measured*, not assumed;
+* :mod:`~repro.congest.metrics` — per-round and aggregate statistics;
+* :mod:`~repro.congest.tracing` — structured event traces for debugging and
+  the examples;
+* :mod:`~repro.congest.faults` — crash-stop fault injection used by the
+  robustness tests;
+* :mod:`~repro.congest.aggregation` — leader election, BFS forests and
+  convergecast (the classic primitives §3.3's per-component processing
+  bootstraps from);
+* :mod:`~repro.congest.asynchronous` — an event-driven asynchronous
+  simulator plus Awerbuch's α-synchronizer, under which every synchronous
+  node program in this library runs unchanged (tested to produce
+  identical outputs).
+"""
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.asynchronous import AlphaSynchronizer, AsynchronousNetwork
+from repro.congest.message import Message, bits_of_payload, congest_budget_bits
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.simulator import RunResult, SynchronousSimulator
+from repro.congest.tracing import TraceEvent, TraceRecorder
+from repro.congest.faults import CrashSchedule
+
+__all__ = [
+    "NodeAlgorithm",
+    "NodeContext",
+    "AlphaSynchronizer",
+    "AsynchronousNetwork",
+    "Message",
+    "bits_of_payload",
+    "congest_budget_bits",
+    "Network",
+    "SynchronousSimulator",
+    "RunResult",
+    "RoundMetrics",
+    "RunMetrics",
+    "TraceEvent",
+    "TraceRecorder",
+    "CrashSchedule",
+]

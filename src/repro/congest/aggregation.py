@@ -1,0 +1,157 @@
+"""Classic CONGEST primitives: BFS trees, leader election, aggregation.
+
+§3.3 processes each shattered component "in parallel, with each component
+being processed by a deterministic algorithm" — which in a real CONGEST
+deployment is bootstrapped by exactly these primitives: elect a leader per
+component, build its BFS tree, and run broadcast/convergecast over it.
+This module provides them as honest node programs:
+
+* :class:`LeaderElectionBFS` — flood the minimum id; every node learns the
+  component leader, its BFS parent and its distance, in O(diameter)
+  rounds with O(log n)-bit messages;
+* :func:`bfs_forest` — run it and return the per-component trees;
+* :class:`ConvergecastCount` — leaves-to-root aggregation (here: subtree
+  size, the canonical convergecast) over a given BFS forest; the leader
+  ends up knowing its component's size, which is what the Lemma 3.7/3.8
+  pipeline needs to decide a component is "small".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+
+__all__ = ["LeaderElectionBFS", "BFSForest", "bfs_forest", "ConvergecastCount", "component_sizes_via_convergecast"]
+
+
+class LeaderElectionBFS(NodeAlgorithm):
+    """Flood-the-minimum leader election with BFS parents.
+
+    Every node repeatedly broadcasts the smallest ``(leader, distance)``
+    it knows; when the view is stable for one round it halts with
+    ``(leader, parent, distance)``.  The leader of each component is its
+    minimum node id; parents follow the first sender of the winning
+    leader, which makes the parent pointers a BFS tree rooted at the
+    leader.  O(diameter) rounds, O(log n) bits per message.
+    """
+
+    name = "leader-election-bfs"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.state["leader"] = ctx.node
+        ctx.state["distance"] = 0
+        ctx.state["parent"] = None
+        ctx.state["stable_rounds"] = 0
+        ctx.broadcast(("lead", ctx.node, 0))
+
+    def on_round(self, ctx: NodeContext, inbox) -> None:
+        improved = False
+        for message in inbox:
+            _, leader, distance = message.payload
+            candidate = (leader, distance + 1)
+            if candidate < (ctx.state["leader"], ctx.state["distance"]):
+                ctx.state["leader"] = leader
+                ctx.state["distance"] = distance + 1
+                ctx.state["parent"] = message.sender
+                improved = True
+        if improved:
+            ctx.state["stable_rounds"] = 0
+            ctx.broadcast(("lead", ctx.state["leader"], ctx.state["distance"]))
+        else:
+            ctx.state["stable_rounds"] += 1
+            # n rounds of silence guarantee global stability in any
+            # component (information travels one hop per round); n is a
+            # safe local bound every node knows.
+            if ctx.state["stable_rounds"] >= ctx.n:
+                ctx.halt((ctx.state["leader"], ctx.state["parent"], ctx.state["distance"]))
+
+
+@dataclass
+class BFSForest:
+    """Per-component BFS trees from a leader election run."""
+
+    leader_of: Dict[int, int]
+    parent_of: Dict[int, Optional[int]]
+    distance_of: Dict[int, int]
+    rounds: int
+
+    def components(self) -> Dict[int, Set[int]]:
+        groups: Dict[int, Set[int]] = {}
+        for node, leader in self.leader_of.items():
+            groups.setdefault(leader, set()).add(node)
+        return groups
+
+    def children_of(self, node: int) -> List[int]:
+        return sorted(v for v, p in self.parent_of.items() if p == node)
+
+
+def bfs_forest(graph: nx.Graph, seed: int = 0) -> BFSForest:
+    """Elect leaders and build BFS trees for every component of ``graph``."""
+    network = Network(graph)
+    run = SynchronousSimulator(network, seed=seed).run(
+        LeaderElectionBFS(), max_rounds=10 * max(1, network.node_count) + 10
+    )
+    leader_of, parent_of, distance_of = {}, {}, {}
+    for v, out in run.outputs.items():
+        leader_of[v], parent_of[v], distance_of[v] = out
+    return BFSForest(leader_of, parent_of, distance_of, run.metrics.rounds)
+
+
+class ConvergecastCount(NodeAlgorithm):
+    """Subtree-size convergecast over precomputed BFS parent pointers.
+
+    Construction-time state (the BFS forest) is injected; each node waits
+    for all its tree children's counts, sums them, reports to its parent,
+    and halts.  Leaders halt with their component's size.  Rounds = tree
+    height + 1.
+    """
+
+    name = "convergecast-count"
+
+    def __init__(self, forest: BFSForest):
+        self.forest = forest
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.state["pending"] = set(self.forest.children_of(ctx.node))
+        ctx.state["count"] = 1
+
+    def on_round(self, ctx: NodeContext, inbox) -> None:
+        for message in inbox:
+            kind, value = message.payload
+            if kind == "count":
+                ctx.state["count"] += value
+                ctx.state["pending"].discard(message.sender)
+        if ctx.state["pending"]:
+            return
+        parent = self.forest.parent_of[ctx.node]
+        if parent is None:
+            ctx.halt(("component-size", ctx.state["count"]))
+        else:
+            ctx.send(parent, ("count", ctx.state["count"]))
+            ctx.halt(("reported", ctx.state["count"]))
+
+
+def component_sizes_via_convergecast(graph: nx.Graph, seed: int = 0) -> Tuple[Dict[int, int], int]:
+    """Component sizes as the leaders learn them, plus total rounds spent.
+
+    Returns ``(sizes by leader id, election rounds + convergecast rounds)``.
+    Cross-checked against ``networkx.connected_components`` in the tests —
+    the distributed pipeline must agree with the offline truth.
+    """
+    forest = bfs_forest(graph, seed=seed)
+    network = Network(graph)
+    run = SynchronousSimulator(network, seed=seed).run(
+        ConvergecastCount(forest), max_rounds=4 * max(1, network.node_count) + 10
+    )
+    sizes = {
+        v: out[1]
+        for v, out in run.outputs.items()
+        if out is not None and out[0] == "component-size"
+    }
+    return sizes, forest.rounds + run.metrics.rounds

@@ -1,0 +1,124 @@
+"""The node-program protocol for CONGEST algorithms.
+
+A distributed algorithm is written from the point of view of a single node:
+it initializes local state, and in every synchronous round it reads its
+inbox, updates state, and fills its outbox.  The simulator
+(:mod:`repro.congest.simulator`) owns the round loop and message delivery.
+
+The contract mirrors the standard synchronous model:
+
+1. ``on_start(ctx)`` runs once before round 0; the node may already queue
+   messages for round 0 delivery.
+2. For each round ``t`` = 0, 1, 2, ...: the simulator delivers all messages
+   sent in round ``t-1`` and calls ``on_round(ctx, inbox)``.
+3. A node halts by calling ``ctx.halt(output)``.  A halted node sends
+   nothing and receives nothing.  The run ends when every node has halted
+   (or a round cap is hit).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.congest.message import Message
+from repro.errors import SimulationError
+
+__all__ = ["NodeAlgorithm", "NodeContext"]
+
+
+class NodeContext:
+    """Everything a node program can see and do during one execution.
+
+    The simulator creates one context per node and keeps it for the whole
+    run; node programs store their local state directly on ``ctx.state`` (a
+    plain dict), which keeps programs picklable and easy to inspect in
+    traces and tests.
+    """
+
+    __slots__ = (
+        "node",
+        "neighbors",
+        "n",
+        "seed",
+        "round_index",
+        "state",
+        "_outbox",
+        "_halted",
+        "_output",
+    )
+
+    def __init__(self, node: int, neighbors: Tuple[int, ...], n: int, seed: int):
+        self.node = node
+        self.neighbors = neighbors
+        self.n = n
+        self.seed = seed
+        self.round_index = -1
+        self.state: Dict[str, Any] = {}
+        self._outbox: List[Message] = []
+        self._halted = False
+        self._output: Any = None
+
+    # -- communication -----------------------------------------------------
+
+    def send(self, neighbor: int, payload: Any) -> None:
+        """Queue ``payload`` for delivery to ``neighbor`` next round."""
+        if self._halted:
+            raise SimulationError(f"halted node {self.node} attempted to send")
+        if neighbor not in self.neighbors:
+            raise SimulationError(
+                f"node {self.node} attempted to send to non-neighbor {neighbor}"
+            )
+        self._outbox.append(Message(self.node, neighbor, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue ``payload`` to every neighbor (one message per edge)."""
+        for u in self.neighbors:
+            self.send(u, payload)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def halt(self, output: Any = None) -> None:
+        """Terminate this node with ``output`` as its final local output."""
+        self._halted = True
+        self._output = output
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def output(self) -> Any:
+        return self._output
+
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    # -- simulator-side hooks (not for node programs) -----------------------
+
+    def _drain_outbox(self) -> List[Message]:
+        out, self._outbox = self._outbox, []
+        return out
+
+
+class NodeAlgorithm(ABC):
+    """A CONGEST node program.
+
+    One *instance* of a ``NodeAlgorithm`` is shared across all nodes — it
+    must therefore be stateless, keeping all per-node state in
+    ``ctx.state``.  This mirrors how a real deployment ships one binary to
+    every node.
+    """
+
+    #: human-readable name used in metrics and benchmark tables
+    name: str = "node-algorithm"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Called once per node before round 0.  Default: no-op."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        """Called every round with the messages delivered this round."""
+
+    def on_halt(self, ctx: NodeContext) -> None:
+        """Called once when the node halts.  Default: no-op."""

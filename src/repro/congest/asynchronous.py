@@ -1,0 +1,253 @@
+"""Asynchronous execution with an α-synchronizer.
+
+The paper's model is synchronous CONGEST, but real networks are not — the
+classical bridge is Awerbuch's **α-synchronizer**: every node acknowledges
+each received message, and a node advances to pulse ``t+1`` once it is
+*safe* for pulse ``t`` (all its pulse-``t`` messages acknowledged) and has
+heard ``SAFE(t)`` from every neighbor.  Running a synchronous node program
+under the synchronizer on an asynchronous network reproduces exactly the
+synchronous execution, at a constant-factor message overhead.
+
+This module provides both halves:
+
+* :class:`AsynchronousNetwork` — an event-driven simulator: FIFO channels
+  with arbitrary (seed-controlled) per-message delays, no rounds;
+* :class:`AlphaSynchronizer` — wraps any
+  :class:`~repro.congest.algorithm.NodeAlgorithm` and drives its
+  ``on_round`` from pulses instead of global rounds.
+
+Semantics mapping: a message a program sends during pulse ``t`` is
+stamped ``t`` and delivered into the recipient's pulse ``t+1`` inbox —
+the synchronous "sent in round t, received in round t+1" contract.
+``on_start`` runs as pulse -1 (its sends arrive in pulse 0), matching
+:class:`~repro.congest.simulator.SynchronousSimulator`.
+
+The equivalence test (``tests/congest/test_asynchronous.py``) runs the
+library's algorithms under adversarial random delays and asserts outputs
+**identical** to the synchronous simulator's — the executable form of the
+synchronizer's correctness theorem.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.errors import SimulationError
+
+__all__ = ["AsynchronousNetwork", "AlphaSynchronizer", "AsyncRunResult"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    receiver: int = field(compare=False)
+    sender: int = field(compare=False)
+    payload: Any = field(compare=False)
+
+
+@dataclass
+class AsyncRunResult:
+    """Outcome of an asynchronous execution."""
+
+    outputs: Dict[int, Any]
+    pulses: int
+    events_processed: int
+    halted: bool
+
+
+class AsynchronousNetwork:
+    """Event-driven message passing with per-message delays.
+
+    ``delay_fn(sender, receiver, rng)`` returns the link latency for one
+    message; the default draws Uniform(0.5, 1.5).  Channels are FIFO: a
+    message never overtakes an earlier one on the same directed link
+    (delivery times are clamped to be strictly increasing per link).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        seed: int = 0,
+        delay_fn: Optional[Callable[[int, int, np.random.Generator], float]] = None,
+    ):
+        self.network = network
+        self._rng = np.random.Generator(np.random.Philox(key=seed ^ 0xA5A5))
+        self._delay_fn = delay_fn or (lambda s, r, rng: 0.5 + float(rng.random()))
+        self._queue: List[_Event] = []
+        self._sequence = 0
+        self._clock = 0.0
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        self.events_processed = 0
+
+    def send(self, sender: int, receiver: int, payload: Any) -> None:
+        delay = self._delay_fn(sender, receiver, self._rng)
+        if delay <= 0:
+            raise SimulationError("link delays must be positive")
+        deliver_at = self._clock + delay
+        link = (sender, receiver)
+        deliver_at = max(deliver_at, self._last_delivery.get(link, 0.0) + 1e-9)
+        self._last_delivery[link] = deliver_at
+        heapq.heappush(
+            self._queue, _Event(deliver_at, self._sequence, receiver, sender, payload)
+        )
+        self._sequence += 1
+
+    def pop(self) -> Optional[_Event]:
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._clock = event.time
+        self.events_processed += 1
+        return event
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class AlphaSynchronizer:
+    """Run a synchronous :class:`NodeAlgorithm` on an asynchronous network.
+
+    Per node: execute pulse ``p`` with the buffered stamp-``(p-1)``
+    messages; ship this pulse's sends (stamped ``p``); announce
+    ``SAFE(p)`` once every send is acknowledged; advance to ``p+1`` when
+    every live neighbor announced ``SAFE(p)`` (halted neighbors announce
+    a final ``DONE`` that counts as safe forever — FIFO links guarantee
+    their last payload messages arrive first).
+    """
+
+    def __init__(self, network: Network, seed: int = 0, delay_fn=None):
+        self.network = network
+        self.async_net = AsynchronousNetwork(network, seed=seed, delay_fn=delay_fn)
+        self.seed = seed
+
+    def run(self, algorithm: NodeAlgorithm, max_pulses: int = 100_000) -> AsyncRunResult:
+        net = self.network
+        contexts: Dict[int, NodeContext] = {
+            v: NodeContext(v, net.neighbors(v), net.node_count, self.seed)
+            for v in net.nodes
+        }
+        pulse: Dict[int, int] = {v: -1 for v in net.nodes}  # on_start = pulse -1
+        unacked: Dict[int, int] = {v: 0 for v in net.nodes}
+        safe_announced: Dict[int, bool] = {v: False for v in net.nodes}
+        buffers: Dict[int, Dict[int, List[Message]]] = {v: {} for v in net.nodes}
+        neighbor_safe: Dict[int, Dict[int, int]] = {
+            v: {u: -2 for u in net.neighbors(v)} for v in net.nodes
+        }
+        done_neighbors: Dict[int, Set[int]] = {v: set() for v in net.nodes}
+        max_pulse_seen = 0
+
+        def ship_outbox(v: int) -> None:
+            for message in contexts[v]._drain_outbox():
+                unacked[v] += 1
+                self.async_net.send(
+                    v, message.receiver, ("msg", pulse[v], message.payload)
+                )
+
+        def announce_done(v: int) -> None:
+            for u in net.neighbors(v):
+                self.async_net.send(v, u, ("done",))
+
+        def try_announce_safe(v: int) -> None:
+            if not contexts[v].halted and not safe_announced[v] and unacked[v] == 0:
+                safe_announced[v] = True
+                for u in net.neighbors(v):
+                    self.async_net.send(v, u, ("safe", pulse[v]))
+
+        def try_advance(v: int) -> None:
+            """Advance v through as many pulses as are currently enabled.
+
+            Iterative (not recursive) so isolated nodes running a long
+            fixed schedule cannot blow the stack.
+            """
+            nonlocal max_pulse_seen
+            ctx = contexts[v]
+            while not ctx.halted and safe_announced[v]:
+                t = pulse[v]
+                ready = all(
+                    u in done_neighbors[v] or neighbor_safe[v][u] >= t
+                    for u in net.neighbors(v)
+                )
+                if not ready or t + 1 >= max_pulses:
+                    return
+                pulse[v] = t + 1
+                safe_announced[v] = False
+                inbox = buffers[v].pop(pulse[v], [])
+                ctx.round_index = pulse[v]
+                algorithm.on_round(ctx, inbox)
+                max_pulse_seen = max(max_pulse_seen, pulse[v])
+                ship_outbox(v)
+                if ctx.halted:
+                    algorithm.on_halt(ctx)
+                    announce_done(v)
+                    return
+                try_announce_safe(v)
+
+        # Bootstrap: on_start is pulse -1.
+        for v in net.nodes:
+            algorithm.on_start(contexts[v])
+        for v in net.nodes:
+            ship_outbox(v)
+            if contexts[v].halted:
+                announce_done(v)
+            else:
+                try_announce_safe(v)
+        for v in net.nodes:
+            try_advance(v)
+
+        # Event loop.
+        while True:
+            event = self.async_net.pop()
+            if event is None:
+                break
+            v = event.receiver
+            kind = event.payload[0]
+            if kind == "msg":
+                _, stamp, payload = event.payload
+                self.async_net.send(v, event.sender, ("ack",))
+                if contexts[v].halted:
+                    continue
+                delivery_pulse = stamp + 1
+                if delivery_pulse <= pulse[v]:
+                    raise SimulationError(
+                        f"synchronizer violation: stamp-{stamp} message reached "
+                        f"node {v} already at pulse {pulse[v]}"
+                    )
+                buffers[v].setdefault(delivery_pulse, []).append(
+                    Message(event.sender, v, payload)
+                )
+            elif kind == "ack":
+                unacked[v] -= 1
+                if unacked[v] < 0:
+                    raise SimulationError(f"negative ack balance at node {v}")
+                try_announce_safe(v)
+                try_advance(v)
+            elif kind == "safe":
+                _, stamp = event.payload
+                if contexts[v].halted:
+                    continue
+                neighbor_safe[v][event.sender] = max(
+                    neighbor_safe[v][event.sender], stamp
+                )
+                try_advance(v)
+            else:  # done
+                if contexts[v].halted:
+                    continue
+                done_neighbors[v].add(event.sender)
+                try_advance(v)
+
+        outputs = {v: ctx.output for v, ctx in contexts.items() if ctx.halted}
+        return AsyncRunResult(
+            outputs=outputs,
+            pulses=max_pulse_seen + 1,
+            events_processed=self.async_net.events_processed,
+            halted=all(ctx.halted for ctx in contexts.values()),
+        )

@@ -1,0 +1,77 @@
+"""Round- and run-level metrics for CONGEST executions.
+
+These are the quantities every experiment reports: rounds to termination,
+messages and bits on the wire, and the largest single message (which is what
+the CONGEST O(log n) compliance benchmark, E9 in DESIGN.md, checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["RoundMetrics", "RunMetrics"]
+
+
+@dataclass
+class RoundMetrics:
+    """Statistics for a single synchronous round."""
+
+    round_index: int
+    messages_sent: int = 0
+    bits_sent: int = 0
+    max_message_bits: int = 0
+    active_nodes: int = 0
+    halted_this_round: int = 0
+
+    def record_message(self, bits: int) -> None:
+        self.messages_sent += 1
+        self.bits_sent += bits
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate statistics for a full execution."""
+
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    per_round: List[RoundMetrics] = field(default_factory=list)
+    congest_budget_bits: Optional[int] = None
+
+    def absorb(self, rm: RoundMetrics) -> None:
+        """Fold one round's metrics into the aggregate."""
+        self.rounds += 1
+        self.total_messages += rm.messages_sent
+        self.total_bits += rm.bits_sent
+        if rm.max_message_bits > self.max_message_bits:
+            self.max_message_bits = rm.max_message_bits
+        self.per_round.append(rm)
+
+    @property
+    def congest_compliant(self) -> Optional[bool]:
+        """Whether every message fit the budget (None if no budget was set)."""
+        if self.congest_budget_bits is None:
+            return None
+        return self.max_message_bits <= self.congest_budget_bits
+
+    def messages_per_round(self) -> List[int]:
+        return [rm.messages_sent for rm in self.per_round]
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by the examples."""
+        parts = [
+            f"rounds={self.rounds}",
+            f"messages={self.total_messages}",
+            f"bits={self.total_bits}",
+            f"max_msg_bits={self.max_message_bits}",
+        ]
+        if self.congest_budget_bits is not None:
+            parts.append(
+                f"budget={self.congest_budget_bits} "
+                f"({'OK' if self.congest_compliant else 'EXCEEDED'})"
+            )
+        return " ".join(parts)

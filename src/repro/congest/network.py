@@ -1,0 +1,110 @@
+"""The communication network underlying a CONGEST execution.
+
+A :class:`Network` wraps a :class:`networkx.Graph` and exposes the only
+things a synchronous simulator needs: node ids, adjacency, and degree.  It
+normalizes node labels to integers (the simulator and the fast engines index
+by int throughout) and precomputes adjacency as sorted tuples, which makes
+per-round iteration deterministic regardless of how the input graph was
+built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An immutable view of the communication graph.
+
+    Parameters
+    ----------
+    graph:
+        Any undirected :class:`networkx.Graph`.  Self-loops are rejected
+        (a node does not message itself in CONGEST); node labels must be
+        hashable and are mapped to ``0..n-1`` in sorted order if they are
+        not already integers.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        if graph.number_of_selfloops() if hasattr(graph, "number_of_selfloops") else nx.number_of_selfloops(graph):
+            raise GraphError("CONGEST networks must not contain self-loops")
+        if graph.is_directed():
+            raise GraphError("CONGEST networks are undirected")
+
+        labels = list(graph.nodes())
+        if all(isinstance(v, int) for v in labels):
+            self._relabel: Dict = {}
+            work = graph
+        else:
+            ordered = sorted(labels, key=repr)
+            self._relabel = {old: new for new, old in enumerate(ordered)}
+            work = nx.relabel_nodes(graph, self._relabel, copy=True)
+
+        self._nodes: Tuple[int, ...] = tuple(sorted(work.nodes()))
+        self._adjacency: Dict[int, Tuple[int, ...]] = {
+            v: tuple(sorted(work.neighbors(v))) for v in self._nodes
+        }
+        self._edge_count = work.number_of_edges()
+        self._graph = work
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying (possibly relabeled) networkx graph."""
+        return self._graph
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """All node ids in ascending order."""
+        return self._nodes
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Neighbors of ``v`` in ascending order."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adjacency[v])
+
+    def max_degree(self) -> int:
+        """Δ of the network (0 for an empty or edgeless graph)."""
+        if not self._nodes:
+            return 0
+        return max(len(adj) for adj in self._adjacency.values())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._adjacency
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def relabeled(self, original) -> int:
+        """Map an original node label to its integer id (identity if the
+        input graph already used integers)."""
+        if not self._relabel:
+            return original
+        return self._relabel[original]
+
+    def subnetwork(self, nodes: Iterable[int]) -> "Network":
+        """The induced sub-network on ``nodes`` (fresh object, same labels)."""
+        return Network(self._graph.subgraph(nodes).copy())

@@ -1,0 +1,187 @@
+"""The synchronous round loop.
+
+:class:`SynchronousSimulator` executes a :class:`NodeAlgorithm` on a
+:class:`Network` under the standard synchronous CONGEST semantics:
+
+* round ``t`` delivers exactly the messages sent in round ``t-1``;
+* all nodes take their round-``t`` step simultaneously (simulated by
+  draining every outbox only after every node has stepped);
+* the run ends when all nodes have halted, or after ``max_rounds``.
+
+Message sizes are measured on every send.  With ``enforce_congest=True`` an
+oversized message raises immediately; otherwise the worst offender is just
+recorded in :class:`RunMetrics` so that the E9 benchmark can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.faults import CrashSchedule
+from repro.congest.message import Message, congest_budget_bits
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.tracing import TraceRecorder
+from repro.errors import SimulationError
+
+__all__ = ["SynchronousSimulator", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything a caller gets back from one execution."""
+
+    outputs: Dict[int, Any]
+    metrics: RunMetrics
+    halted: bool
+    contexts: Dict[int, NodeContext] = field(repr=False, default_factory=dict)
+    crashed: frozenset = frozenset()
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+
+class SynchronousSimulator:
+    """Runs one :class:`NodeAlgorithm` over a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        The communication graph.
+    seed:
+        Root seed; node programs derive their randomness from
+        ``(seed, node, round)`` via :mod:`repro.rng`, so runs are exactly
+        reproducible.
+    enforce_congest:
+        If true, any message over the ``B = O(log n)`` budget aborts the run
+        with :class:`~repro.errors.MessageSizeExceededError`.
+    budget_constant:
+        The constant in ``B = budget_constant * ceil(log2 n)``.
+    trace:
+        Optional :class:`TraceRecorder`; when provided, round boundaries,
+        sends and halts are recorded.
+    crash_schedule:
+        Optional crash-stop fault injection.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        seed: int = 0,
+        enforce_congest: bool = False,
+        budget_constant: int = 32,
+        trace: Optional[TraceRecorder] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+    ):
+        self.network = network
+        self.seed = seed
+        self.enforce_congest = enforce_congest
+        self.budget = congest_budget_bits(max(2, network.node_count), budget_constant)
+        self.trace = trace
+        self.crash_schedule = crash_schedule or CrashSchedule.none()
+
+    def run(self, algorithm: NodeAlgorithm, max_rounds: int = 100_000) -> RunResult:
+        """Execute ``algorithm`` to quiescence and return the result."""
+        net = self.network
+        contexts: Dict[int, NodeContext] = {
+            v: NodeContext(v, net.neighbors(v), net.node_count, self.seed)
+            for v in net.nodes
+        }
+        crashed: set = set()
+
+        for ctx in contexts.values():
+            algorithm.on_start(ctx)
+
+        metrics = RunMetrics(congest_budget_bits=self.budget)
+        # Messages sent during on_start are delivered in round 0.
+        pending: Dict[int, List[Message]] = {v: [] for v in net.nodes}
+        self._collect_outboxes(contexts, pending, None, crashed)
+
+        all_halted = self._all_halted(contexts, crashed)
+        round_index = 0
+        while not all_halted and round_index < max_rounds:
+            newly_crashed = self.crash_schedule.crashing_at(round_index)
+            for v in newly_crashed:
+                if v in contexts and v not in crashed:
+                    crashed.add(v)
+                    if self.trace is not None:
+                        self.trace.record(round_index, "crash", node=v)
+
+            rm = RoundMetrics(round_index=round_index)
+            inboxes = pending
+            pending = {v: [] for v in net.nodes}
+
+            for v in net.nodes:
+                ctx = contexts[v]
+                if ctx.halted or v in crashed:
+                    continue
+                ctx.round_index = round_index
+                rm.active_nodes += 1
+                inbox = [m for m in inboxes[v] if m.sender not in crashed]
+                algorithm.on_round(ctx, inbox)
+                if ctx.halted:
+                    rm.halted_this_round += 1
+                    algorithm.on_halt(ctx)
+                    if self.trace is not None:
+                        self.trace.record(round_index, "halt", node=v, output=ctx.output)
+
+            self._collect_outboxes(contexts, pending, rm, crashed)
+            metrics.absorb(rm)
+            if self.trace is not None:
+                self.trace.record(round_index, "round-end", messages=rm.messages_sent)
+
+            all_halted = self._all_halted(contexts, crashed)
+            round_index += 1
+
+        outputs = {
+            v: ctx.output for v, ctx in contexts.items() if ctx.halted and v not in crashed
+        }
+        return RunResult(
+            outputs=outputs,
+            metrics=metrics,
+            halted=all_halted,
+            contexts=contexts,
+            crashed=frozenset(crashed),
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _collect_outboxes(
+        self,
+        contexts: Dict[int, NodeContext],
+        pending: Dict[int, List[Message]],
+        rm: Optional[RoundMetrics],
+        crashed: set,
+    ) -> None:
+        for v, ctx in contexts.items():
+            if v in crashed:
+                ctx._drain_outbox()  # drop silently: crash-stop semantics
+                continue
+            for message in ctx._drain_outbox():
+                if self.enforce_congest:
+                    message.check_budget(self.budget)
+                if rm is not None:
+                    rm.record_message(message.bits)
+                else:
+                    # on_start sends count toward totals via a synthetic round
+                    pass
+                if message.receiver not in pending:
+                    raise SimulationError(
+                        f"message addressed to unknown node {message.receiver}"
+                    )
+                pending[message.receiver].append(message)
+                if self.trace is not None:
+                    self.trace.record(
+                        ctx.round_index,
+                        "send",
+                        node=message.sender,
+                        to=message.receiver,
+                        bits=message.bits,
+                    )
+
+    @staticmethod
+    def _all_halted(contexts: Dict[int, NodeContext], crashed: set) -> bool:
+        return all(ctx.halted or v in crashed for v, ctx in contexts.items())

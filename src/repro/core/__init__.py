@@ -1,0 +1,34 @@
+"""The paper's contribution: MIS for bounded-arboricity graphs.
+
+* :mod:`~repro.core.parameters` — the (Θ, Λ, ρ_k) parameter formulas, in a
+  paper-exact profile and a laptop-scale "practical" profile (DESIGN.md §3);
+* :mod:`~repro.core.bounded_arb` — Algorithm 1, BoundedArbIndependentSet
+  (fast and CONGEST engines);
+* :mod:`~repro.core.invariant` — the per-scale Invariant of §3;
+* :mod:`~repro.core.events` — instrumentation of Events (1)–(3) and their
+  Theorem 3.1–3.3 bounds;
+* :mod:`~repro.core.shattering` — bad-set component analysis (Lemma 3.7);
+* :mod:`~repro.core.finishing` — the Vlo/Vhi split and component
+  processing of §3.3;
+* :mod:`~repro.core.degree_reduction` — the Theorem-7.2-style preprocessing;
+* :mod:`~repro.core.arb_mis` — Algorithm 2, the full ArbMIS pipeline.
+"""
+
+from repro.core.arb_mis import ArbMISReport, arb_mis
+from repro.core.bounded_arb import BoundedArbResult, bounded_arb_independent_set
+from repro.core.invariant import high_degree_neighbor_counts, invariant_holds
+from repro.core.parameters import Parameters, compute_parameters
+from repro.core.shattering import ShatteringReport, analyze_bad_components
+
+__all__ = [
+    "Parameters",
+    "compute_parameters",
+    "bounded_arb_independent_set",
+    "BoundedArbResult",
+    "arb_mis",
+    "ArbMISReport",
+    "invariant_holds",
+    "high_degree_neighbor_counts",
+    "analyze_bad_components",
+    "ShatteringReport",
+]

@@ -1,0 +1,374 @@
+"""Algorithm 1: BoundedArbIndependentSet.
+
+The paper's engine.  Θ scales; in scale k, Λ iterations of the Métivier
+priority competition in which nodes with active degree above ρ_k are
+*non-competitive* (priority pinned to 0, the mechanism behind the read-ρ_k
+analysis of Event (2)); after the Λ iterations, nodes with more than
+Δ/2^(k+2) high-degree neighbors (degree > Δ/2^k + α) are marked *bad*,
+moved to B, and taken out of the game.  Returns ``(I, B)`` plus the
+residual active set VIB, which §3.3's finishing machinery completes.
+
+The algorithm needs no orientation and no knowledge of a forest
+decomposition — only α and Δ enter through the parameters, exactly as in
+the paper.
+
+Engines
+-------
+* :func:`bounded_arb_independent_set` — fast engine, with optional
+  per-scale statistics and an ``early_exit`` optimization (skip remaining
+  iterations of a scale once every active node already satisfies the
+  Invariant; off by default in tests that compare against the CONGEST
+  engine, since skipping shifts the randomness schedule);
+* :class:`BoundedArbNodeProgram` — CONGEST engine.  Each scale costs
+  3Λ + 2 rounds: 3 per iteration (keys / decide / notify) plus a degree
+  exchange and a bad-announcement round at the scale boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+from repro.core.invariant import (
+    active_degrees,
+    high_degree_neighbor_counts,
+    invariant_violators,
+)
+from repro.core.parameters import Parameters, compute_parameters
+from repro.errors import ConfigurationError
+from repro.graphs.properties import max_degree as graph_max_degree
+from repro.mis.engine import active_adjacency, competition_winners, eliminate_winners
+from repro.rng import priority_draw
+
+__all__ = [
+    "ScaleStats",
+    "BoundedArbResult",
+    "bounded_arb_independent_set",
+    "BoundedArbNodeProgram",
+    "bounded_arb_congest",
+]
+
+
+@dataclass
+class ScaleStats:
+    """What happened during one scale (experiments E6/E7 read these)."""
+
+    scale: int
+    iterations_used: int
+    active_before: int
+    active_after: int
+    joined: int
+    eliminated: int
+    bad_added: int
+    max_high_degree_neighbors: int
+    bad_threshold: float
+    invariant_satisfied: bool
+
+
+@dataclass
+class BoundedArbResult:
+    """Output of Algorithm 1: the sets (I, B) and the residual VIB."""
+
+    independent_set: Set[int]
+    bad_set: Set[int]
+    residual: Set[int]
+    parameters: Parameters
+    iterations: int
+    seed: int
+    scale_stats: List[ScaleStats] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"bounded-arb: |I|={len(self.independent_set)} |B|={len(self.bad_set)} "
+            f"|VIB|={len(self.residual)} scales={self.parameters.theta} "
+            f"iterations={self.iterations}"
+        )
+
+
+def _competition_keys(
+    active: Set[int],
+    degrees: Dict[int, int],
+    rho_k: float,
+    seed: int,
+    iteration: int,
+) -> Tuple[Dict[int, Tuple], Set[int]]:
+    """Keys for one iteration: competitive nodes draw, others play zero.
+
+    Mirrors the paper's priority rule: ``r(v) = 0`` deterministically when
+    ``deg_IB(v) > ρ_k``, uniform otherwise.  Zero-priority nodes can never
+    exceed a competitive neighbor and are additionally ineligible to win
+    (a zero priority is never *greater* than anything).
+    """
+    keys: Dict[int, Tuple] = {}
+    competitive: Set[int] = set()
+    for v in active:
+        if degrees[v] > rho_k:
+            keys[v] = (0, 0, v)
+        else:
+            competitive.add(v)
+            keys[v] = (1, priority_draw(seed, v, iteration), v)
+    return keys, competitive
+
+
+def bounded_arb_independent_set(
+    graph: nx.Graph,
+    alpha: int,
+    seed: int = 0,
+    profile: str = "practical",
+    p_constant: int = 1,
+    early_exit: bool = False,
+    parameters: Optional[Parameters] = None,
+) -> BoundedArbResult:
+    """Fast engine for Algorithm 1.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (arboricity ≤ ``alpha`` for the guarantees to
+        apply; the algorithm runs — without them — on any graph).
+    alpha:
+        The arboricity bound fed into the parameter formulas.
+    profile / p_constant / parameters:
+        Parameter selection; an explicit ``parameters`` overrides the
+        profile computation (used by the ablation benchmark E10).
+    early_exit:
+        Skip the rest of a scale's iterations once the Invariant holds at
+        every active node.  Changes the randomness schedule, so leave off
+        when comparing against the CONGEST engine.
+    """
+    if alpha < 1:
+        raise ConfigurationError(f"alpha must be >= 1, got {alpha}")
+    params = parameters or compute_parameters(
+        alpha, graph_max_degree(graph), profile=profile, p_constant=p_constant
+    )
+
+    adjacency = active_adjacency(graph)
+    active: Set[int] = set(graph.nodes())
+    independent: Set[int] = set()
+    bad: Set[int] = set()
+    stats: List[ScaleStats] = []
+    iteration_counter = 0
+
+    for k in params.scales():
+        rho_k = params.rho(k)
+        active_before = len(active)
+        joined_this_scale = 0
+        eliminated_this_scale = 0
+        iterations_used = 0
+
+        for _ in range(params.lambda_iterations):
+            if not active:
+                break
+            if early_exit and not invariant_violators(active, adjacency, params, k):
+                break
+            degrees = active_degrees(active, adjacency)
+            keys, competitive = _competition_keys(
+                active, degrees, rho_k, seed, iteration_counter
+            )
+            winners = competition_winners(active, adjacency, keys, eligible=competitive)
+            independent |= winners
+            removed = eliminate_winners(active, adjacency, winners)
+            joined_this_scale += len(winners)
+            eliminated_this_scale += len(removed) - len(winners)
+            iteration_counter += 1
+            iterations_used += 1
+
+        # Step 2(b): mark and remove bad nodes.
+        counts = high_degree_neighbor_counts(
+            active, adjacency, params.high_degree_threshold(k)
+        )
+        bad_threshold = params.bad_threshold(k)
+        newly_bad = {v for v, c in counts.items() if c > bad_threshold}
+        bad |= newly_bad
+        active -= newly_bad
+        for v in newly_bad:
+            for u in adjacency[v]:
+                adjacency[u].discard(v)
+            adjacency[v] = set()
+
+        remaining_counts = high_degree_neighbor_counts(
+            active, adjacency, params.high_degree_threshold(k)
+        )
+        stats.append(
+            ScaleStats(
+                scale=k,
+                iterations_used=iterations_used,
+                active_before=active_before,
+                active_after=len(active),
+                joined=joined_this_scale,
+                eliminated=eliminated_this_scale,
+                bad_added=len(newly_bad),
+                max_high_degree_neighbors=max(remaining_counts.values(), default=0),
+                bad_threshold=bad_threshold,
+                invariant_satisfied=all(
+                    c <= bad_threshold for c in remaining_counts.values()
+                ),
+            )
+        )
+
+    return BoundedArbResult(
+        independent_set=independent,
+        bad_set=bad,
+        residual=active,
+        parameters=params,
+        iterations=iteration_counter,
+        seed=seed,
+        scale_stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CONGEST engine
+# ---------------------------------------------------------------------------
+
+_PHASE_KEYS = 0
+_PHASE_DECIDE = 1
+_PHASE_NOTIFY = 2
+_PHASE_DEGREES = 3  # scale boundary: exchange active degrees
+_PHASE_BAD = 4  # scale boundary: bad nodes announce and leave
+
+
+class BoundedArbNodeProgram(NodeAlgorithm):
+    """CONGEST engine for Algorithm 1.
+
+    Every node derives the same :class:`Parameters` locally from the
+    globally-known (α, Δ) — the standard CONGEST assumption the paper also
+    makes — so the whole network agrees on the round → (scale, phase)
+    mapping without coordination.  Nodes halt with outputs
+    ``("mis", ...)``, ``("dominated", ...)``, ``("bad", scale)`` or, when
+    the scale loop ends, ``("residual",)``.
+    """
+
+    name = "bounded-arb"
+
+    def __init__(self, parameters: Parameters):
+        self.params = parameters
+        self.rounds_per_scale = 3 * parameters.lambda_iterations + 2
+        self.total_rounds = parameters.theta * self.rounds_per_scale
+
+    def _locate(self, round_index: int) -> Tuple[int, int, int]:
+        """Map a round to (scale k, phase, global iteration index)."""
+        scale_index = round_index // self.rounds_per_scale  # 0-based
+        within = round_index % self.rounds_per_scale
+        if within < 3 * self.params.lambda_iterations:
+            phase = within % 3
+            iteration_in_scale = within // 3
+        else:
+            phase = _PHASE_DEGREES if within == 3 * self.params.lambda_iterations else _PHASE_BAD
+            iteration_in_scale = self.params.lambda_iterations
+        global_iteration = scale_index * self.params.lambda_iterations + iteration_in_scale
+        return scale_index + 1, phase, global_iteration
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.state["active_neighbors"] = set(ctx.neighbors)
+        ctx.state["my_key"] = None
+        if self.total_rounds == 0:
+            ctx.halt(("residual",))
+
+    def on_round(self, ctx: NodeContext, inbox) -> None:
+        k, phase, iteration = self._locate(ctx.round_index)
+        active: Set[int] = ctx.state["active_neighbors"]
+
+        if phase == _PHASE_KEYS:
+            for message in inbox:
+                if message.payload[0] in ("leave", "bad-leave"):
+                    active.discard(message.sender)
+            degree = len(active)
+            if degree > self.params.rho(k):
+                ctx.state["my_key"] = (0, 0, ctx.node)
+                ctx.state["competitive"] = False
+            else:
+                ctx.state["my_key"] = (1, priority_draw(ctx.seed, ctx.node, iteration), ctx.node)
+                ctx.state["competitive"] = True
+            for u in active:
+                ctx.send(u, ("key",) + ctx.state["my_key"])
+
+        elif phase == _PHASE_DECIDE:
+            neighbor_keys = {
+                m.sender: tuple(m.payload[1:])
+                for m in inbox
+                if m.payload[0] == "key" and m.sender in active
+            }
+            my_key = ctx.state["my_key"]
+            if ctx.state["competitive"] and all(
+                key < my_key for key in neighbor_keys.values()
+            ):
+                for u in active:
+                    ctx.send(u, ("join",))
+                ctx.halt(("mis", k, iteration))
+
+        elif phase == _PHASE_NOTIFY:
+            if any(m.payload[0] == "join" for m in inbox):
+                for u in active:
+                    ctx.send(u, ("leave",))
+                ctx.halt(("dominated", k, iteration))
+
+        elif phase == _PHASE_DEGREES:
+            for message in inbox:
+                if message.payload[0] in ("leave", "bad-leave"):
+                    active.discard(message.sender)
+            for u in active:
+                ctx.send(u, ("deg", len(active)))
+
+        else:  # _PHASE_BAD
+            neighbor_degrees = {
+                m.sender: m.payload[1]
+                for m in inbox
+                if m.payload[0] == "deg" and m.sender in active
+            }
+            threshold = self.params.high_degree_threshold(k)
+            high_count = sum(1 for d in neighbor_degrees.values() if d > threshold)
+            if high_count > self.params.bad_threshold(k):
+                for u in active:
+                    ctx.send(u, ("bad-leave",))
+                ctx.halt(("bad", k))
+                return
+            if ctx.round_index + 1 >= self.total_rounds:
+                ctx.halt(("residual",))
+
+
+def bounded_arb_congest(
+    graph: nx.Graph,
+    alpha: int,
+    seed: int = 0,
+    profile: str = "practical",
+    p_constant: int = 1,
+    enforce_congest: bool = False,
+) -> BoundedArbResult:
+    """Run the CONGEST engine and package its output as
+    :class:`BoundedArbResult` (same shape as the fast engine's)."""
+    params = compute_parameters(
+        alpha, graph_max_degree(graph), profile=profile, p_constant=p_constant
+    )
+    network = Network(graph)
+    program = BoundedArbNodeProgram(params)
+    simulator = SynchronousSimulator(network, seed=seed, enforce_congest=enforce_congest)
+    run = simulator.run(program, max_rounds=program.total_rounds + 3)
+
+    independent, bad, residual = set(), set(), set()
+    for v, out in run.outputs.items():
+        if out is None:
+            continue
+        if out[0] == "mis":
+            independent.add(v)
+        elif out[0] == "bad":
+            bad.add(v)
+        elif out[0] == "residual":
+            residual.add(v)
+
+    result = BoundedArbResult(
+        independent_set=independent,
+        bad_set=bad,
+        residual=residual,
+        parameters=params,
+        iterations=params.total_iterations(),
+        seed=seed,
+        extra={"congest_rounds": run.metrics.rounds, "metrics": run.metrics},
+    )
+    return result

@@ -1,0 +1,127 @@
+"""Degree-reduction preprocessing (Barenboim et al., Theorem 7.2 style).
+
+To express the round complexity purely in n, the paper first reduces the
+maximum degree to ``α · 2^sqrt(log n · log log n)`` using the
+independent-set procedure of Barenboim et al. (Theorem 7.2), which takes
+``O(sqrt(log n · log log n))`` rounds in CONGEST.  That procedure lives in
+a different paper; per DESIGN.md §3 (substitution 4) we implement a
+faithful functional equivalent with the same interface and guarantee:
+
+run Métivier-style competition iterations **restricted to currently
+high-degree nodes** (degree above the target threshold); each iteration
+removes joined nodes and their neighbors from the graph, monotonically
+reducing degrees, until no active node exceeds the threshold.  Nodes
+removed are exactly an independent set plus its neighborhood, so the
+caller can absorb the independent set into its MIS and recurse on the
+rest — the same contract as Theorem 7.2.
+
+On every workload in this repository the threshold exceeds Δ already
+(`sqrt(log n · log log n)` ≈ 5.3 at n = 10⁵, so the threshold is ≈ 40α),
+making this a verified no-op — but the machinery is real and tested on
+dense graphs where it does fire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+import networkx as nx
+
+from repro.mis.engine import active_adjacency, competition_winners, eliminate_winners
+from repro.rng import priority_draw
+
+__all__ = ["DegreeReductionResult", "degree_reduction_threshold", "reduce_max_degree"]
+
+_REDUCTION_TAG = 31  # rng tag so draws don't collide with the main phase
+
+
+def degree_reduction_threshold(n: int, alpha: int) -> float:
+    """The target maximum degree ``α · 2^sqrt(log n · log log n)``.
+
+    Logarithms are base 2, matching the paper's round bounds.
+    """
+    if n < 4:
+        return float(alpha * 2)
+    log_n = math.log2(n)
+    exponent = math.sqrt(log_n * max(1.0, math.log2(log_n)))
+    return alpha * 2.0**exponent
+
+
+@dataclass
+class DegreeReductionResult:
+    """Outcome of the preprocessing step."""
+
+    independent_set: Set[int]
+    removed: Set[int]  # independent set plus its dominated neighbors
+    surviving: Set[int]
+    iterations: int
+    threshold: float
+    max_degree_before: int
+    max_degree_after: int
+
+    @property
+    def was_noop(self) -> bool:
+        return self.iterations == 0
+
+
+def reduce_max_degree(
+    graph: nx.Graph,
+    alpha: int,
+    seed: int = 0,
+    threshold: float = None,
+    max_iterations: int = 10_000,
+) -> DegreeReductionResult:
+    """Reduce the max degree of the active graph below ``threshold``.
+
+    Iterations run the priority competition among *high-degree nodes only*
+    (their lower-degree neighbors keep quiet, so a joining high-degree node
+    removes itself and, crucially, its high-degree neighbors' incident
+    edges).  Joined nodes form an independent set in the original graph
+    and their neighbors are dominated; both are removed.  The loop ends
+    when no active node exceeds the threshold.
+    """
+    if threshold is None:
+        threshold = degree_reduction_threshold(graph.number_of_nodes(), alpha)
+
+    adjacency = active_adjacency(graph)
+    active: Set[int] = set(graph.nodes())
+    independent: Set[int] = set()
+    removed: Set[int] = set()
+    degrees_before = [len(adjacency[v]) for v in active]
+    max_before = max(degrees_before, default=0)
+
+    iteration = 0
+    while iteration < max_iterations:
+        degrees: Dict[int, int] = {
+            v: sum(1 for u in adjacency[v] if u in active) for v in active
+        }
+        high = {v for v in active if degrees[v] > threshold}
+        if not high:
+            break
+        keys = {
+            v: (
+                (1, priority_draw(seed, v, iteration, tag=_REDUCTION_TAG), v)
+                if v in high
+                else (0, 0, v)
+            )
+            for v in active
+        }
+        winners = competition_winners(active, adjacency, keys, eligible=high)
+        independent |= winners
+        removed |= eliminate_winners(active, adjacency, winners)
+        iteration += 1
+
+    max_after = max(
+        (sum(1 for u in adjacency[v] if u in active) for v in active), default=0
+    )
+    return DegreeReductionResult(
+        independent_set=independent,
+        removed=removed,
+        surviving=active,
+        iterations=iteration,
+        threshold=threshold,
+        max_degree_before=max_before,
+        max_degree_after=max_after,
+    )

@@ -1,0 +1,177 @@
+"""Parameter formulas for BoundedArbIndependentSet (Algorithm 1).
+
+The algorithm is governed by three quantities, all functions of the
+arboricity α and the maximum degree Δ:
+
+* **Θ** — the number of scales:
+  ``Θ = ⌊log₂(Δ / (1176·16·α¹⁰·ln²Δ))⌋``;
+* **Λ** — iterations of the Métivier process per scale:
+  ``Λ = ⌈p·8α²(32α⁶+1)·ln(260·α⁴·ln²Δ)⌉`` (``p`` is the paper's "large
+  enough constant");
+* **ρ_k** — the competition cutoff at scale k:
+  ``ρ_k = 8·lnΔ·Δ/2^(k+1)``; a node whose active degree exceeds ρ_k sets
+  its priority to 0 (it is *non-competitive*), the mechanism that makes
+  Event (2) a read-ρ_k family.
+
+Two profiles are provided (DESIGN.md §3, substitution 3):
+
+* ``"paper"`` — the formulas verbatim.  For every graph that fits in
+  memory, Θ ≤ 0 (e.g. α = 2 already needs Δ > 1176·16·2¹⁰·ln²Δ ≈ 10⁸),
+  so the scale loop is empty and the algorithm degenerates to its
+  finishing phase.  This profile exists so tests can pin the formulas and
+  so the degeneracy is *demonstrated* rather than asserted.
+* ``"practical"`` — identical functional forms with the astronomical
+  constants replaced by small ones, so several scales actually execute on
+  n ≤ 10⁵ workloads and the shattering/invariant machinery is exercised.
+
+Derived thresholds used throughout §3:
+
+* scale-k *high-degree* threshold ``Δ/2^k + α`` (who counts as a high
+  degree neighbor);
+* scale-k *bad* threshold ``Δ/2^(k+2)`` (how many high-degree neighbors
+  make a node bad);
+* the final ``Vlo``/``Vhi`` split threshold ``Δ/2^Θ + α`` (§3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Parameters", "compute_parameters", "PROFILES"]
+
+PROFILES: Tuple[str, ...] = ("paper", "practical")
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """Resolved parameters for one run of Algorithm 1.
+
+    Immutable so a result object can carry the exact parameters it ran
+    with.  ``rho``, ``high_degree_threshold`` and ``bad_threshold`` take
+    the 1-based scale index k, matching the paper's indexing.
+    """
+
+    alpha: int
+    max_degree: int
+    theta: int
+    lambda_iterations: int
+    p_constant: int
+    profile: str
+    rho_factor: float  # ρ_k = rho_factor · Δ / 2^(k+1)
+
+    def rho(self, k: int) -> float:
+        """Competition cutoff ρ_k = rho_factor · Δ / 2^(k+1)."""
+        self._check_scale(k)
+        return self.rho_factor * self.max_degree / 2.0 ** (k + 1)
+
+    def high_degree_threshold(self, k: int) -> float:
+        """A scale-k high-degree node has active degree > Δ/2^k + α."""
+        self._check_scale(k)
+        return self.max_degree / 2.0**k + self.alpha
+
+    def bad_threshold(self, k: int) -> float:
+        """v is bad after scale k if > Δ/2^(k+2) high-degree neighbors remain."""
+        self._check_scale(k)
+        return self.max_degree / 2.0 ** (k + 2)
+
+    def final_degree_threshold(self) -> float:
+        """The Vlo/Vhi split threshold Δ/2^Θ + α used by §3.3."""
+        return self.max_degree / 2.0**self.theta + self.alpha
+
+    def scales(self) -> range:
+        """The 1-based scale indices 1..Θ."""
+        return range(1, self.theta + 1)
+
+    def total_iterations(self) -> int:
+        """Θ·Λ — the worst-case iteration count of the scale loop."""
+        return self.theta * self.lambda_iterations
+
+    def _check_scale(self, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"scale index is 1-based, got {k}")
+
+
+def _paper_theta(alpha: int, delta: int) -> int:
+    log_term = max(math.log(max(2, delta)), 1e-9)
+    denominator = 1176.0 * 16.0 * alpha**10 * log_term**2
+    ratio = delta / denominator
+    if ratio <= 1.0:
+        return 0
+    return int(math.floor(math.log2(ratio)))
+
+
+def _paper_lambda(alpha: int, delta: int, p_constant: int) -> int:
+    log_term = max(math.log(max(2, delta)), 1e-9)
+    inner = max(2.0, 260.0 * alpha**4 * log_term**2)
+    return int(math.ceil(p_constant * 8.0 * alpha**2 * (32.0 * alpha**6 + 1.0) * math.log(inner)))
+
+
+def _practical_theta(alpha: int, delta: int) -> int:
+    """Same shape ⌊log₂(Δ/·)⌋, denominator shrunk to ~ln²Δ/4.
+
+    Keeps the "stop when per-scale degree thresholds reach poly(α, log Δ)"
+    structure while letting multiple scales run at laptop Δ.
+    """
+    log_term = max(math.log(max(2, delta)), 1e-9)
+    denominator = max(1.0, log_term**2 / 4.0)
+    ratio = delta / denominator
+    if ratio <= 1.0:
+        return 0
+    return int(math.floor(math.log2(ratio)))
+
+
+def _practical_lambda(alpha: int, delta: int, p_constant: int) -> int:
+    """Same shape ⌈p·α^a·ln(α^b·ln²Δ)⌉ with (a, b) = (2, 2) and small
+    leading constants; the α² keeps the poly(α) dependence measurable
+    (experiment E3) without the α⁸ blow-up."""
+    log_term = max(math.log(max(2, delta)), 1e-9)
+    inner = max(2.0, 4.0 * alpha**2 * log_term**2)
+    return max(1, int(math.ceil(p_constant * 2.0 * alpha**2 * math.log(inner))))
+
+
+def compute_parameters(
+    alpha: int,
+    max_degree: int,
+    profile: str = "practical",
+    p_constant: int = 1,
+) -> Parameters:
+    """Resolve (Θ, Λ, ρ factor) for the given α, Δ and profile.
+
+    Raises :class:`ConfigurationError` on invalid inputs or an unknown
+    profile name.
+    """
+    if alpha < 1:
+        raise ConfigurationError(f"arboricity must be >= 1, got {alpha}")
+    if max_degree < 0:
+        raise ConfigurationError(f"max degree must be >= 0, got {max_degree}")
+    if p_constant < 1:
+        raise ConfigurationError(f"p constant must be >= 1, got {p_constant}")
+
+    delta = max(1, max_degree)
+    log_term = max(math.log(max(2, delta)), 1e-9)
+
+    if profile == "paper":
+        return Parameters(
+            alpha=alpha,
+            max_degree=delta,
+            theta=_paper_theta(alpha, delta),
+            lambda_iterations=_paper_lambda(alpha, delta, p_constant),
+            p_constant=p_constant,
+            profile=profile,
+            rho_factor=8.0 * log_term,
+        )
+    if profile == "practical":
+        return Parameters(
+            alpha=alpha,
+            max_degree=delta,
+            theta=_practical_theta(alpha, delta),
+            lambda_iterations=_practical_lambda(alpha, delta, p_constant),
+            p_constant=p_constant,
+            profile=profile,
+            rho_factor=max(4.0, 2.0 * log_term),
+        )
+    raise ConfigurationError(f"unknown profile {profile!r}; choose from {PROFILES}")

@@ -1,0 +1,62 @@
+"""Deterministic finishing-up substrate (§3.3 of the paper).
+
+After shattering, the bad set B decomposes into small components, each of
+which is finished deterministically:
+
+* :mod:`~repro.deterministic.forest_decomposition` — the Barenboim–Elkin
+  H-partition: an acyclic low-out-degree orientation in O(log n) peeling
+  phases, split into ≤ ⌈(2+ε)α⌉ rooted forests;
+* :mod:`~repro.deterministic.cole_vishkin` — deterministic coin tossing on
+  rooted forests: O(log* n) color-reduction rounds to 6 colors, shift-down
+  to 3, then a 3-round MIS sweep;
+* :mod:`~repro.deterministic.small_components` — the per-component driver
+  (components processed in parallel; the cost is the max over components,
+  per Lemma 3.8);
+* :mod:`~repro.deterministic.linial` — Linial's polynomial color
+  reduction, (Δ+1)-coloring and deterministic bounded-degree MIS (the
+  Theorem-7.4 role of §3.3), centrally computed with honest round counts;
+* :mod:`~repro.deterministic.linial_congest` — the same procedure as an
+  actual CONGEST node program, tested to coincide with the central one.
+
+All routines count the synchronous rounds they would take in CONGEST, so
+the finishing cost in experiment E11 is measured, not modeled.
+"""
+
+from repro.deterministic.cole_vishkin import (
+    color_reduction_rounds_bound,
+    forest_mis_deterministic,
+    forest_three_coloring,
+    log_star,
+)
+from repro.deterministic.forest_decomposition import (
+    HPartition,
+    barenboim_elkin_forests,
+    h_partition,
+)
+from repro.deterministic.linial import (
+    bounded_degree_mis,
+    delta_plus_one_coloring,
+    linial_coloring,
+)
+from repro.deterministic.linial_congest import LinialMISProgram, linial_mis_congest
+from repro.deterministic.small_components import (
+    ComponentFinishReport,
+    finish_components,
+)
+
+__all__ = [
+    "linial_coloring",
+    "delta_plus_one_coloring",
+    "bounded_degree_mis",
+    "LinialMISProgram",
+    "linial_mis_congest",
+    "log_star",
+    "forest_three_coloring",
+    "forest_mis_deterministic",
+    "color_reduction_rounds_bound",
+    "h_partition",
+    "HPartition",
+    "barenboim_elkin_forests",
+    "finish_components",
+    "ComponentFinishReport",
+]

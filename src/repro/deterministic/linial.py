@@ -1,0 +1,220 @@
+"""Linial's coloring algorithm and deterministic bounded-degree MIS.
+
+§3.3 finishes the Vlo/Vhi sides with a *bounded-degree* MIS algorithm
+(Barenboim et al. Theorem 7.4).  This module provides the classical
+deterministic route with the same flavor of guarantee:
+
+1. **Linial's color reduction** (via polynomials over F_q): given a proper
+   m-coloring and maximum degree Δ, one communication round reduces to a
+   proper q²-coloring, where q is the smallest prime with
+   ``q^(d+1) ≥ m`` and ``q > Δ·d``.  Each color is a degree-≤d polynomial
+   (its base-q digits are the coefficients); a node picks an evaluation
+   point where its polynomial differs from all neighbors' — at most Δ·d
+   points are ruled out, so one of the q points survives.  Iterating from
+   the id-coloring reaches O(Δ²·log²Δ)-ish colors in O(log* n) rounds.
+2. **One-class-per-round reduction** to Δ+1 colors: the top color class
+   is independent (proper coloring), so all its members simultaneously
+   recolor to the smallest color unused in their neighborhood (< Δ+1
+   always exists).
+3. **MIS by color schedule**: sweep classes 0..Δ; a class is independent,
+   so members join in one conflict-free round each.
+
+All round counts are returned, making this a measured
+O(log* n + Δ² + Δ)-round deterministic MIS for bounded-degree graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import AlgorithmError
+
+__all__ = [
+    "next_prime",
+    "linial_step_parameters",
+    "linial_coloring",
+    "reduce_to_delta_plus_one",
+    "delta_plus_one_coloring",
+    "bounded_degree_mis",
+    "ProperColoring",
+]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime ≥ n."""
+    candidate = max(2, n)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def linial_step_parameters(m: int, delta: int) -> Tuple[int, int]:
+    """The (q, d) of one Linial step: smallest prime q admitting degree-d
+    polynomials that (a) encode m colors (q^(d+1) ≥ m) and (b) leave a free
+    evaluation point (q > Δ·d)."""
+    if m < 2:
+        return (2, 0)
+    q = 2
+    while True:
+        q = next_prime(q)
+        d = 0
+        count = q
+        while count < m:
+            count *= q
+            d += 1
+        if q > delta * d:
+            return (q, d)
+        q += 1
+
+
+@dataclass
+class ProperColoring:
+    """A proper coloring plus the rounds spent computing it."""
+
+    colors: Dict[int, int]
+    palette: int
+    rounds: int
+
+    def validate(self, graph: nx.Graph) -> None:
+        for u, v in graph.edges():
+            if self.colors[u] == self.colors[v]:
+                raise AlgorithmError(f"improper coloring: {u} ~ {v} share {self.colors[u]}")
+
+
+def _poly_eval(color: int, q: int, d: int, x: int) -> int:
+    """Evaluate the polynomial whose base-q digits are ``color``'s, at x."""
+    value = 0
+    power = 1
+    remaining = color
+    for _ in range(d + 1):
+        coefficient = remaining % q
+        remaining //= q
+        value = (value + coefficient * power) % q
+        power = (power * x) % q
+    return value
+
+
+def linial_coloring(graph: nx.Graph, max_rounds: int = 200) -> ProperColoring:
+    """Iterate Linial steps from the id-coloring until colors stabilize.
+
+    Each step costs one round (neighbors' current colors must be heard).
+    The loop stops when a step would not shrink the palette; for any
+    n and Δ this takes O(log* n) steps.
+    """
+    nodes = sorted(graph.nodes())
+    if not nodes:
+        return ProperColoring({}, 0, 0)
+    degrees = dict(graph.degree())
+    delta = max(degrees.values(), default=0)
+
+    colors = {v: i for i, v in enumerate(nodes)}  # ids are a proper coloring
+    palette = len(nodes)
+    rounds = 0
+
+    for _ in range(max_rounds):
+        q, d = linial_step_parameters(palette, max(1, delta))
+        new_palette = q * q
+        if new_palette >= palette:
+            break
+        new_colors: Dict[int, int] = {}
+        for v in nodes:
+            own = colors[v]
+            neighbor_colors = {colors[u] for u in graph.neighbors(v)}
+            x_choice = None
+            for x in range(q):
+                own_value = _poly_eval(own, q, d, x)
+                if all(
+                    _poly_eval(c, q, d, x) != own_value for c in neighbor_colors
+                ):
+                    x_choice = (x, own_value)
+                    break
+            if x_choice is None:
+                raise AlgorithmError(
+                    "Linial step found no free evaluation point (bug: q <= delta*d?)"
+                )
+            new_colors[v] = x_choice[0] * q + x_choice[1]
+        colors = new_colors
+        palette = new_palette
+        rounds += 1
+
+    result = ProperColoring(colors, palette, rounds)
+    result.validate(graph)
+    return result
+
+
+def reduce_to_delta_plus_one(graph: nx.Graph, coloring: ProperColoring) -> ProperColoring:
+    """Standard reduction: retire the top color class, one round each.
+
+    Members of the top class are mutually non-adjacent, so they recolor
+    simultaneously to the smallest color absent from their neighborhood
+    (≤ Δ neighbors ⇒ a color in [0, Δ] is free).
+    """
+    degrees = dict(graph.degree())
+    delta = max(degrees.values(), default=0)
+    colors = dict(coloring.colors)
+    rounds = coloring.rounds
+    if not colors:
+        return ProperColoring({}, 0, rounds)
+
+    present = sorted(set(colors.values()), reverse=True)
+    for high in present:
+        if high <= delta:
+            break
+        members = [v for v, c in colors.items() if c == high]
+        for v in members:
+            used = {colors[u] for u in graph.neighbors(v)}
+            colors[v] = min(c for c in range(delta + 1) if c not in used)
+        rounds += 1
+
+    result = ProperColoring(colors, max(colors.values()) + 1, rounds)
+    result.validate(graph)
+    return result
+
+
+def delta_plus_one_coloring(graph: nx.Graph) -> ProperColoring:
+    """Linial + top-class retirement: a proper (Δ+1)-coloring, measured."""
+    return reduce_to_delta_plus_one(graph, linial_coloring(graph))
+
+
+def bounded_degree_mis(graph: nx.Graph, blocked: Optional[Set[int]] = None) -> Tuple[Set[int], int]:
+    """Deterministic MIS via color schedule (the §3.3 finishing role).
+
+    ``blocked`` nodes participate in the coloring (they are real nodes of
+    the communication graph) but never join — they are already dominated
+    by earlier pipeline stages.  Returns (members, total rounds =
+    coloring rounds + one round per color class).
+    """
+    blocked = blocked or set()
+    if graph.number_of_nodes() == 0:
+        return set(), 0
+    coloring = delta_plus_one_coloring(graph)
+    joined: Set[int] = set()
+    rounds = coloring.rounds
+    for color in range(coloring.palette):
+        members = [v for v, c in coloring.colors.items() if c == color]
+        for v in members:
+            if v in blocked:
+                continue
+            if not any(u in joined for u in graph.neighbors(v)):
+                joined.add(v)
+        rounds += 1
+    return joined, rounds

@@ -1,0 +1,139 @@
+"""Per-component deterministic finishing (Lemma 3.8 driver).
+
+After shattering, the bad set B induces small connected components that are
+processed *in parallel*: each component independently runs the
+Barenboim–Elkin forest decomposition and then Cole–Vishkin MIS sweeps over
+its forests in turn.  The CONGEST cost of the whole step is therefore the
+**maximum** over components, which is what :class:`ComponentFinishReport`
+records (alongside the sum, for reference).
+
+Nodes adjacent to the already-computed independent set outside the
+component can never join; the caller passes them via ``blocked``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.deterministic.cole_vishkin import forest_mis_deterministic
+from repro.deterministic.forest_decomposition import barenboim_elkin_forests
+from repro.mis.validation import is_independent_set
+
+__all__ = ["ComponentFinishReport", "finish_components", "finish_one_component"]
+
+
+@dataclass
+class ComponentFinishReport:
+    """Cost accounting for the parallel component-finishing step."""
+
+    independent_set: Set[int]
+    component_count: int
+    largest_component: int
+    max_rounds: int  # the parallel cost (components run concurrently)
+    total_rounds: int  # sum over components (for reference)
+    per_component_rounds: List[int] = field(default_factory=list)
+
+
+def finish_one_component(
+    component_graph: nx.Graph,
+    alpha: int,
+    blocked: Set[int],
+    epsilon: float = 2.0,
+) -> Tuple[Set[int], int]:
+    """Deterministic MIS of one component, respecting ``blocked`` nodes.
+
+    Returns (members joined, CONGEST rounds spent).  Implements Lemma 3.8:
+    forest decomposition (O(log t) rounds), then per-forest Cole–Vishkin
+    coloring + color-class sweeps (O(α log* t) rounds).  Isolated nodes
+    (no incident edges in the component) are decided in one extra round.
+    """
+    if component_graph.number_of_nodes() == 0:
+        return set(), 0
+
+    joined: Set[int] = set()
+    rounds = 0
+    if component_graph.number_of_edges() > 0:
+        decomposition = barenboim_elkin_forests(component_graph, alpha, epsilon)
+        rounds += decomposition.rounds
+        blocked_now = set(blocked)
+        for forest in decomposition.forests:
+            if not forest:
+                continue
+            new_members, forest_rounds = forest_mis_deterministic(
+                component_graph, forest, joined, blocked_now
+            )
+            joined |= new_members
+            for member in new_members:
+                blocked_now.update(component_graph.neighbors(member))
+            rounds += forest_rounds
+
+    # Nodes untouched by every forest sweep (isolated in the component, or
+    # never able to join because their classes were blocked at sweep time
+    # but later became free) finish with synchronous highest-id-wins
+    # rounds, same conflict resolution as the forest sweeps.
+    candidates = {
+        v
+        for v in component_graph.nodes()
+        if v not in joined
+        and v not in blocked
+        and not any(u in joined for u in component_graph.neighbors(v))
+    }
+    while candidates:
+        rounds += 1
+        winners = {
+            v
+            for v in candidates
+            if not any(u in candidates and u > v for u in component_graph.neighbors(v))
+        }
+        joined |= winners
+        candidates = {
+            v
+            for v in candidates - winners
+            if not any(u in joined for u in component_graph.neighbors(v))
+        }
+    rounds += 1  # the round that certifies quiescence
+
+    return joined, rounds
+
+
+def finish_components(
+    graph: nx.Graph,
+    nodes: Iterable[int],
+    alpha: int,
+    blocked: Set[int],
+    epsilon: float = 2.0,
+) -> ComponentFinishReport:
+    """Finish all components of ``graph[nodes]`` in (simulated) parallel.
+
+    ``blocked`` are nodes dominated by the independent set computed so far
+    (anywhere in the graph); they participate in their component's topology
+    but never join.
+    """
+    node_set = set(nodes)
+    induced = graph.subgraph(node_set)
+    components = [set(c) for c in nx.connected_components(induced)]
+
+    joined_all: Set[int] = set()
+    per_rounds: List[int] = []
+    for component in components:
+        component_graph = induced.subgraph(component).copy()
+        members, rounds = finish_one_component(
+            component_graph, alpha, blocked & component, epsilon
+        )
+        joined_all |= members
+        per_rounds.append(rounds)
+
+    if not is_independent_set(induced, joined_all):
+        raise AssertionError("component finishing produced a dependent set (bug)")
+
+    return ComponentFinishReport(
+        independent_set=joined_all,
+        component_count=len(components),
+        largest_component=max((len(c) for c in components), default=0),
+        max_rounds=max(per_rounds, default=0),
+        total_rounds=sum(per_rounds),
+        per_component_rounds=per_rounds,
+    )

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch everything library-specific with one ``except`` clause while
+still letting programming errors (``TypeError``, ``KeyError``, ...) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or simulator was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The CONGEST simulation entered an invalid state."""
+
+
+class MessageSizeExceededError(SimulationError):
+    """A node attempted to send a message larger than the CONGEST budget.
+
+    Raised only when the simulator runs with ``enforce_congest=True``; by
+    default oversized messages are merely recorded in the metrics so that
+    benchmarks can report the worst offender.
+    """
+
+    def __init__(self, sender: int, receiver: int, bits: int, limit: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.bits = bits
+        self.limit = limit
+        super().__init__(
+            f"message from {sender} to {receiver} is {bits} bits, "
+            f"exceeding the CONGEST budget of {limit} bits"
+        )
+
+
+class AlgorithmError(ReproError):
+    """A distributed algorithm violated its own protocol invariants."""
+
+
+class NotAnIndependentSetError(AlgorithmError):
+    """A computed set contains two adjacent nodes."""
+
+
+class NotMaximalError(AlgorithmError):
+    """A computed independent set is not maximal."""
+
+
+class GraphError(ReproError):
+    """A graph does not satisfy the preconditions of an operation."""
+
+
+class OrientationError(GraphError):
+    """An edge orientation is inconsistent with the underlying graph."""
+
+
+class DecompositionError(GraphError):
+    """A forest decomposition is invalid (a part contains a cycle, or an
+    edge is missing / duplicated across parts)."""

@@ -1,0 +1,82 @@
+"""Graph substrate: generators, arboricity machinery, orientations.
+
+The paper's algorithm runs on *unoriented* graphs of arboricity α; the
+orientation exists only in the analysis.  This subpackage provides both
+sides:
+
+* :mod:`~repro.graphs.generators` — workload graphs (random trees, unions of
+  random forests with prescribed arboricity, random maximal planar graphs,
+  k-trees, grids, ...);
+* :mod:`~repro.graphs.arboricity` — exact pseudoarboricity via max-flow,
+  degeneracy, Nash–Williams density and two-sided arboricity bounds;
+* :mod:`~repro.graphs.orientation` — low-out-degree edge orientations (the
+  analysis object: every node has ≤ α parents);
+* :mod:`~repro.graphs.forests` — forest partitions and validators;
+* :mod:`~repro.graphs.properties` — shared graph statistics.
+"""
+
+from repro.graphs.arboricity import (
+    arboricity_bounds,
+    degeneracy,
+    maximum_density_subgraph_density,
+    nash_williams_lower_bound,
+    pseudoarboricity,
+)
+from repro.graphs.forests import forest_partition_greedy, is_forest_partition
+from repro.graphs.generators import (
+    GraphSpec,
+    barbell_of_trees,
+    bounded_arboricity_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    hypercube_graph,
+    k_tree,
+    path_graph,
+    random_binary_tree,
+    random_maximal_planar_graph,
+    random_regular,
+    starry_arboricity_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.orientation import (
+    Orientation,
+    bfs_forest_orientation,
+    min_outdegree_orientation,
+    peeling_orientation,
+)
+from repro.graphs.properties import graph_summary, max_degree
+
+__all__ = [
+    "GraphSpec",
+    "random_tree",
+    "random_binary_tree",
+    "path_graph",
+    "star_graph",
+    "cycle_graph",
+    "complete_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "gnp_graph",
+    "random_regular",
+    "k_tree",
+    "bounded_arboricity_graph",
+    "starry_arboricity_graph",
+    "random_maximal_planar_graph",
+    "barbell_of_trees",
+    "pseudoarboricity",
+    "degeneracy",
+    "arboricity_bounds",
+    "nash_williams_lower_bound",
+    "maximum_density_subgraph_density",
+    "Orientation",
+    "min_outdegree_orientation",
+    "peeling_orientation",
+    "bfs_forest_orientation",
+    "forest_partition_greedy",
+    "is_forest_partition",
+    "graph_summary",
+    "max_degree",
+]

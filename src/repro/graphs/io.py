@@ -1,0 +1,87 @@
+"""Graph serialization: edge lists and JSON workload files.
+
+Experiments should be replayable from an artifact, not just a seed — a
+workload file freezes the exact graph an experiment ran on, together with
+its provenance (family, parameters, seed) so tables can cite it.  Two
+formats:
+
+* **edge list** (``.edges``): one ``u v`` pair per line, ``#``-comments;
+  an optional header comment records isolated nodes so round-trips are
+  exact even for graphs with degree-0 vertices;
+* **workload JSON** (``.json``): nodes, edges, and a free-form metadata
+  dict (family/seed/parameters).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import networkx as nx
+
+from repro.errors import GraphError
+
+__all__ = ["write_edge_list", "read_edge_list", "write_workload", "read_workload"]
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: nx.Graph, path: PathLike) -> None:
+    """Write ``graph`` as an edge list; isolated nodes go in the header."""
+    path = Path(path)
+    isolated = sorted(v for v in graph.nodes() if graph.degree(v) == 0)
+    lines = []
+    if isolated:
+        lines.append("# isolated: " + " ".join(str(v) for v in isolated))
+    for u, v in sorted(tuple(sorted(e)) for e in graph.edges()):
+        lines.append(f"{u} {v}")
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def read_edge_list(path: PathLike) -> nx.Graph:
+    """Read a graph written by :func:`write_edge_list`."""
+    path = Path(path)
+    graph = nx.Graph()
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# isolated:"):
+                for token in line[len("# isolated:") :].split():
+                    graph.add_node(int(token))
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"malformed edge-list line: {raw!r}")
+        graph.add_edge(int(parts[0]), int(parts[1]))
+    return graph
+
+
+def write_workload(
+    graph: nx.Graph, path: PathLike, metadata: Optional[Dict[str, Any]] = None
+) -> None:
+    """Write a JSON workload file: nodes, edges, metadata."""
+    path = Path(path)
+    payload = {
+        "metadata": metadata or {},
+        "nodes": sorted(int(v) for v in graph.nodes()),
+        "edges": sorted([int(u), int(v)] for u, v in (sorted(e) for e in graph.edges())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def read_workload(path: PathLike):
+    """Read a JSON workload file; returns ``(graph, metadata)``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid workload JSON in {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "nodes" not in payload or "edges" not in payload:
+        raise GraphError(f"workload file {path} missing 'nodes'/'edges'")
+    graph = nx.Graph()
+    graph.add_nodes_from(int(v) for v in payload["nodes"])
+    graph.add_edges_from((int(u), int(v)) for u, v in payload["edges"])
+    return graph, payload.get("metadata", {})

@@ -1,0 +1,201 @@
+"""Low-out-degree edge orientations.
+
+The paper's analysis fixes an orientation of an arboricity-α graph in which
+every node has at most α out-neighbors ("parents"); children are
+in-neighbors.  The algorithm itself never sees the orientation — it exists
+so the analysis (and our Event (1)/(2)/(3) instrumentation) can speak of
+parents, children and grandchildren.  This module constructs such
+orientations:
+
+* :func:`min_outdegree_orientation` — **exact** minimum max-out-degree via
+  the same flow machinery as :func:`repro.graphs.arboricity.pseudoarboricity`,
+  returning the realized orientation;
+* :func:`peeling_orientation` — linear-time degeneracy peeling, max
+  out-degree ≤ degeneracy ≤ 2α - 1 (good enough and fast for big graphs);
+* :func:`bfs_forest_orientation` — orients each tree of a forest toward a
+  root (out-degree ≤ 1), the α = 1 special case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import OrientationError
+from repro.graphs.arboricity import degeneracy_ordering
+
+__all__ = [
+    "Orientation",
+    "min_outdegree_orientation",
+    "peeling_orientation",
+    "bfs_forest_orientation",
+]
+
+
+class Orientation:
+    """An orientation of an undirected graph: every edge gets a direction.
+
+    ``parents(v)`` are the heads of v's out-edges (at most α of them when
+    the orientation realizes arboricity α); ``children(v)`` the tails of its
+    in-edges.  Construction validates that the directed edges are exactly
+    the undirected edges, once each.
+    """
+
+    def __init__(self, graph: nx.Graph, directed_edges: Iterable[Tuple[int, int]]):
+        self._graph = graph
+        parents: Dict[int, Set[int]] = {v: set() for v in graph.nodes()}
+        children: Dict[int, Set[int]] = {v: set() for v in graph.nodes()}
+        seen = set()
+        for u, v in directed_edges:
+            if not graph.has_edge(u, v):
+                raise OrientationError(f"directed edge ({u},{v}) is not in the graph")
+            key = frozenset((u, v))
+            if key in seen:
+                raise OrientationError(f"edge {{{u},{v}}} oriented twice")
+            seen.add(key)
+            parents[u].add(v)
+            children[v].add(u)
+        if len(seen) != graph.number_of_edges():
+            raise OrientationError(
+                f"orientation covers {len(seen)} of {graph.number_of_edges()} edges"
+            )
+        self._parents = {v: frozenset(ps) for v, ps in parents.items()}
+        self._children = {v: frozenset(cs) for v, cs in children.items()}
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def parents(self, v: int) -> FrozenSet[int]:
+        """Out-neighbors of ``v`` (the analysis calls these Parent(v))."""
+        return self._parents[v]
+
+    def children(self, v: int) -> FrozenSet[int]:
+        """In-neighbors of ``v`` (the analysis calls these Child(v))."""
+        return self._children[v]
+
+    def grandchildren(self, v: int) -> FrozenSet[int]:
+        """Children of children of ``v`` (excluding v itself)."""
+        result: Set[int] = set()
+        for c in self._children[v]:
+            result |= self._children[c]
+        result.discard(v)
+        return frozenset(result)
+
+    def coparents(self, v: int) -> FrozenSet[int]:
+        """Other parents of v's children (the analysis's co-parents)."""
+        result: Set[int] = set()
+        for c in self._children[v]:
+            result |= self._parents[c]
+        result.discard(v)
+        return frozenset(result)
+
+    def out_degree(self, v: int) -> int:
+        return len(self._parents[v])
+
+    def max_out_degree(self) -> int:
+        if not self._parents:
+            return 0
+        return max(len(ps) for ps in self._parents.values())
+
+    def directed_edges(self) -> List[Tuple[int, int]]:
+        """All (child, parent) pairs, sorted for determinism."""
+        return sorted((u, p) for u, ps in self._parents.items() for p in ps)
+
+    def read_k_of_child_events(self) -> int:
+        """The read parameter when each node's event reads its children's
+        draws: each draw at w is read by w's parents, so k = max out-degree.
+
+        This is exactly the "read-α family" observation in Theorem 3.1.
+        """
+        return max(1, self.max_out_degree())
+
+
+def peeling_orientation(graph: nx.Graph) -> Orientation:
+    """Degeneracy-peeling orientation: out-degree ≤ degeneracy ≤ 2α - 1.
+
+    Peel nodes in degeneracy order; when v is peeled, its remaining
+    neighbors become v's parents (v points at them).  Linear time and the
+    workhorse for large experiment graphs.
+    """
+    ordering, _ = degeneracy_ordering(graph)
+    position = {v: i for i, v in enumerate(ordering)}
+    directed = [
+        (u, v) if position[u] < position[v] else (v, u) for u, v in graph.edges()
+    ]
+    return Orientation(graph, directed)
+
+
+def min_outdegree_orientation(graph: nx.Graph) -> Orientation:
+    """Exact minimum max-out-degree orientation via max-flow.
+
+    Runs the pseudoarboricity feasibility flow at the optimum budget and
+    reads the orientation off the saturated edge-node → endpoint arcs.
+    Exponentially slower than peeling; use on graphs up to a few thousand
+    edges (tests and the arboricity-certification experiments).
+    """
+    from repro.graphs.arboricity import pseudoarboricity
+
+    m = graph.number_of_edges()
+    if m == 0:
+        return Orientation(graph, [])
+    budget = pseudoarboricity(graph)
+
+    flow_net = nx.DiGraph()
+    source, sink = ("s",), ("t",)
+    edge_list = list(graph.edges())
+    for index, (u, v) in enumerate(edge_list):
+        edge_node = ("e", index)
+        flow_net.add_edge(source, edge_node, capacity=1)
+        flow_net.add_edge(edge_node, ("v", u), capacity=1)
+        flow_net.add_edge(edge_node, ("v", v), capacity=1)
+    for v in graph.nodes():
+        flow_net.add_edge(("v", v), sink, capacity=budget)
+    value, flow = nx.maximum_flow(flow_net, source, sink)
+    if value < m:
+        raise OrientationError(
+            "flow failed to realize the pseudoarboricity budget (internal error)"
+        )
+
+    directed = []
+    for index, (u, v) in enumerate(edge_list):
+        edge_node = ("e", index)
+        # The endpoint receiving the unit of flow pays for the edge: it is
+        # the tail (child) and the edge points *from* it to the other end.
+        if flow[edge_node].get(("v", u), 0) >= 1:
+            directed.append((u, v))
+        elif flow[edge_node].get(("v", v), 0) >= 1:
+            directed.append((v, u))
+        else:
+            raise OrientationError(f"edge {index} carries no flow (internal error)")
+    return Orientation(graph, directed)
+
+
+def bfs_forest_orientation(graph: nx.Graph) -> Orientation:
+    """Orient a forest: every node points at its BFS parent (out-degree ≤ 1).
+
+    Raises :class:`OrientationError` if the graph contains a cycle.
+    """
+    if graph.number_of_edges() >= graph.number_of_nodes() and graph.number_of_nodes() > 0:
+        raise OrientationError("graph has too many edges to be a forest")
+    directed: List[Tuple[int, int]] = []
+    visited: Set[int] = set()
+    for root in sorted(graph.nodes()):
+        if root in visited:
+            continue
+        visited.add(root)
+        frontier = [root]
+        while frontier:
+            next_frontier = []
+            for v in frontier:
+                for u in sorted(graph.neighbors(v)):
+                    if u in visited:
+                        continue
+                    visited.add(u)
+                    directed.append((u, v))  # child u points at parent v
+                    next_frontier.append(u)
+            frontier = next_frontier
+    if len(directed) != graph.number_of_edges():
+        raise OrientationError("graph is not a forest (cycle detected)")
+    return Orientation(graph, directed)

@@ -1,0 +1,64 @@
+"""Shared graph statistics used by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import networkx as nx
+
+__all__ = ["max_degree", "average_degree", "graph_summary", "GraphSummary"]
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Δ of the graph; 0 for an empty graph."""
+    degrees = [d for _, d in graph.degree()]
+    return max(degrees) if degrees else 0
+
+
+def average_degree(graph: nx.Graph) -> float:
+    """Mean degree 2m/n (0 for an empty graph)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.number_of_edges() / n
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """A compact description of a workload graph for benchmark tables."""
+
+    n: int
+    m: int
+    max_degree: int
+    average_degree: float
+    degeneracy: int
+    components: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "n": self.n,
+            "m": self.m,
+            "max_deg": self.max_degree,
+            "avg_deg": round(self.average_degree, 2),
+            "degeneracy": self.degeneracy,
+            "components": self.components,
+        }
+
+    def log_n(self) -> float:
+        return math.log(max(2, self.n))
+
+
+def graph_summary(graph: nx.Graph) -> GraphSummary:
+    """Compute the :class:`GraphSummary` of ``graph``."""
+    from repro.graphs.arboricity import degeneracy
+
+    return GraphSummary(
+        n=graph.number_of_nodes(),
+        m=graph.number_of_edges(),
+        max_degree=max_degree(graph),
+        average_degree=average_degree(graph),
+        degeneracy=degeneracy(graph),
+        components=nx.number_connected_components(graph) if graph.number_of_nodes() else 0,
+    )

@@ -1,0 +1,39 @@
+"""Maximal matching: the sibling symmetry-breaking problem.
+
+The paper's reference [8] is Israeli and Itai's randomized parallel
+maximal-matching algorithm — historically the same O(log n) breakthrough
+as Luby's MIS, and the other canonical target of shattering techniques.
+This subpackage rounds out the symmetry-breaking substrate:
+
+* :mod:`~repro.matching.validation` — matching/maximality checkers;
+* :mod:`~repro.matching.greedy` — sequential greedy baseline;
+* :mod:`~repro.matching.israeli_itai` — the randomized distributed
+  algorithm (fast + CONGEST engines, shared randomness like every
+  algorithm in this library);
+* :mod:`~repro.matching.via_mis` — maximal matching as MIS of the line
+  graph, the classical reduction (used as a cross-check in tests).
+"""
+
+from repro.matching.greedy import greedy_matching
+from repro.matching.israeli_itai import (
+    IsraeliItaiMatching,
+    israeli_itai_matching,
+    israeli_itai_matching_congest,
+)
+from repro.matching.validation import (
+    assert_valid_maximal_matching,
+    is_matching,
+    is_maximal_matching,
+)
+from repro.matching.via_mis import matching_via_line_graph_mis
+
+__all__ = [
+    "greedy_matching",
+    "israeli_itai_matching",
+    "israeli_itai_matching_congest",
+    "IsraeliItaiMatching",
+    "matching_via_line_graph_mis",
+    "is_matching",
+    "is_maximal_matching",
+    "assert_valid_maximal_matching",
+]

@@ -1,0 +1,33 @@
+"""Sequential greedy maximal matching — the centralized reference."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["greedy_matching"]
+
+
+def greedy_matching(graph: nx.Graph, seed: int = None) -> Set[Tuple[int, int]]:
+    """Greedy maximal matching over an edge order.
+
+    ``seed=None`` uses sorted edge order (deterministic); an integer seed
+    shuffles the edges first.  Any order yields a maximal matching, which
+    is what makes this the validation reference.
+    """
+    edges: List[Tuple[int, int]] = [tuple(sorted(e)) for e in graph.edges()]
+    edges.sort()
+    if seed is not None:
+        rng = np.random.Generator(np.random.Philox(key=seed))
+        rng.shuffle(edges)
+    matched: Set[int] = set()
+    matching: Set[Tuple[int, int]] = set()
+    for u, v in edges:
+        if u in matched or v in matched:
+            continue
+        matching.add((u, v))
+        matched.add(u)
+        matched.add(v)
+    return matching

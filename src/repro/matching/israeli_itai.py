@@ -1,0 +1,222 @@
+"""Israeli–Itai randomized maximal matching (Inf. Process. Lett. 1986).
+
+The textbook proposal/acceptance variant, with the coin-orientation trick
+that turns the candidate paths/cycles into a matching:
+
+Per iteration, every active node
+1. flips a coin (H/T) and *proposes* to a uniformly random active
+   neighbor, attaching the coin;
+2. a node that flipped T and received proposals from H-proposers accepts
+   exactly one (highest priority) — the accepted edge joins the matching;
+3. matched nodes leave; nodes with no active neighbors leave unmatched.
+
+Acceptance gives in-degree ≤ 1 and the H→T rule kills adjacent accepted
+edges (a node cannot be simultaneously an H-tail and a T-head), so the
+kept set is a matching in every round; a constant fraction of edges
+disappears per round in expectation, giving O(log n) iterations w.h.p.
+
+Engines: :func:`israeli_itai_matching` (fast) and
+:class:`IsraeliItaiMatching` (CONGEST) draw identical randomness
+(DESIGN.md §4) — proposal targets index each node's *sorted* active
+neighbor list, so both engines agree as long as they agree on the active
+sets, which the identity test asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+from repro.rng import bernoulli_draw, priority_draw, uniform_draw
+
+__all__ = [
+    "MatchingResult",
+    "israeli_itai_matching",
+    "IsraeliItaiMatching",
+    "israeli_itai_matching_congest",
+]
+
+_COIN_TAG = 61
+_TARGET_TAG = 67
+
+
+class MatchingResult:
+    """Output of a distributed matching run."""
+
+    def __init__(
+        self,
+        matching: Set[Tuple[int, int]],
+        iterations: int,
+        algorithm: str,
+        seed: int,
+        congest_rounds: Optional[int] = None,
+    ):
+        self.matching = matching
+        self.iterations = iterations
+        self.algorithm = algorithm
+        self.seed = seed
+        self.congest_rounds = congest_rounds
+
+    @property
+    def size(self) -> int:
+        return len(self.matching)
+
+    def summary(self) -> str:
+        parts = [f"{self.algorithm}: |M|={self.size}", f"iterations={self.iterations}"]
+        if self.congest_rounds is not None:
+            parts.append(f"congest_rounds={self.congest_rounds}")
+        return " ".join(parts)
+
+
+def _proposal_target(seed: int, node: int, iteration: int, neighbors: List[int]) -> int:
+    """The uniformly chosen neighbor, indexing the sorted active list."""
+    draw = uniform_draw(seed, node, iteration, tag=_TARGET_TAG)
+    return neighbors[int(draw * len(neighbors)) % len(neighbors)]
+
+
+def israeli_itai_matching(
+    graph: nx.Graph, seed: int = 0, max_iterations: int = 10_000
+) -> MatchingResult:
+    """Fast engine: run the proposal process to a maximal matching."""
+    active: Set[int] = {v for v in graph.nodes() if graph.degree(v) > 0}
+    adjacency: Dict[int, Set[int]] = {v: set(graph.neighbors(v)) for v in graph.nodes()}
+    matching: Set[Tuple[int, int]] = set()
+
+    iteration = 0
+    while active and iteration < max_iterations:
+        coins = {v: bernoulli_draw(0.5, seed, v, iteration, tag=_COIN_TAG) for v in active}
+        proposals: Dict[int, List[int]] = {v: [] for v in active}
+        for v in active:
+            neighbors = sorted(u for u in adjacency[v] if u in active)
+            if not neighbors:
+                continue
+            target = _proposal_target(seed, v, iteration, neighbors)
+            proposals[target].append(v)
+
+        matched_nodes: Set[int] = set()
+        for u in sorted(active):
+            if coins[u]:  # u flipped H: only tails accept
+                continue
+            if u in matched_nodes:
+                continue
+            heads = [
+                v
+                for v in proposals[u]
+                if coins[v] and v not in matched_nodes
+            ]
+            if not heads:
+                continue
+            # Accept the H-proposer with the highest (priority, id) key —
+            # a deterministic rule both engines share.
+            winner = max(heads, key=lambda v: (priority_draw(seed, v, iteration), v))
+            matching.add(tuple(sorted((winner, u))))
+            matched_nodes.add(winner)
+            matched_nodes.add(u)
+
+        active -= matched_nodes
+        active = {v for v in active if any(u in active for u in adjacency[v])}
+        iteration += 1
+
+    return MatchingResult(matching, iteration, "israeli-itai", seed)
+
+
+class IsraeliItaiMatching(NodeAlgorithm):
+    """CONGEST engine: 3 rounds per iteration (propose / accept / notify).
+
+    A subtlety the fast engine's sequential loop hides: two H-proposers
+    cannot collide (each proposes once), and an H-node's own proposal being
+    accepted is decided solely by its target, so acceptance decisions are
+    node-local and conflict-free — except that an H-node could *also* be
+    chosen... it cannot: only T-nodes accept, and a T-node never proposes
+    successfully to another T-node under the H→T rule.  One real conflict
+    remains: an H-node's proposal might be accepted while it is... nothing
+    else can happen to an H-node, so no conflict.  A T-node accepts at most
+    one proposal.  Hence matched pairs are disjoint by construction.
+    """
+
+    name = "israeli-itai"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.state["active_neighbors"] = set(ctx.neighbors)
+        if not ctx.neighbors:
+            ctx.halt(("unmatched",))
+
+    def on_round(self, ctx: NodeContext, inbox) -> None:
+        phase = ctx.round_index % 3
+        iteration = ctx.round_index // 3
+        active: Set[int] = ctx.state["active_neighbors"]
+
+        if phase == 0:  # propose
+            for message in inbox:
+                if message.payload[0] == "leave":
+                    active.discard(message.sender)
+            if not active:
+                ctx.halt(("unmatched",))
+                return
+            coin = bernoulli_draw(0.5, ctx.seed, ctx.node, iteration, tag=_COIN_TAG)
+            ctx.state["coin"] = coin
+            neighbors = sorted(active)
+            target = _proposal_target(ctx.seed, ctx.node, iteration, neighbors)
+            priority = priority_draw(ctx.seed, ctx.node, iteration)
+            ctx.send(target, ("propose", 1 if coin else 0, priority))
+
+        elif phase == 1:  # accept
+            if ctx.state["coin"]:
+                return  # heads only propose; acceptance arrives in phase 2
+            heads = [
+                (message.payload[2], message.sender)
+                for message in inbox
+                if message.payload[0] == "propose"
+                and message.payload[1] == 1
+                and message.sender in active
+            ]
+            if not heads:
+                return
+            _, winner = max(heads)
+            ctx.send(winner, ("accept",))
+            for u in active:
+                if u != winner:
+                    ctx.send(u, ("leave",))
+            ctx.halt(("matched", winner))
+
+        else:  # notify
+            # Leave-announcements from phase-1 acceptors land here; fold
+            # them in so they are not lost before the next propose phase.
+            for message in inbox:
+                if message.payload[0] == "leave":
+                    active.discard(message.sender)
+            if any(message.payload[0] == "accept" for message in inbox):
+                accepter = next(
+                    message.sender
+                    for message in inbox
+                    if message.payload[0] == "accept"
+                )
+                for u in active:
+                    if u != accepter:
+                        ctx.send(u, ("leave",))
+                ctx.halt(("matched", accepter))
+
+
+def israeli_itai_matching_congest(
+    graph: nx.Graph, seed: int = 0, max_rounds: int = 30_000
+) -> MatchingResult:
+    """Run the CONGEST engine and package the result."""
+    network = Network(graph)
+    run = SynchronousSimulator(network, seed=seed).run(
+        IsraeliItaiMatching(), max_rounds=max_rounds
+    )
+    matching: Set[Tuple[int, int]] = set()
+    for v, out in run.outputs.items():
+        if out is not None and out[0] == "matched":
+            matching.add(tuple(sorted((v, out[1]))))
+    return MatchingResult(
+        matching,
+        (run.metrics.rounds + 2) // 3,
+        "israeli-itai-congest",
+        seed,
+        congest_rounds=run.metrics.rounds,
+    )

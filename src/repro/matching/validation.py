@@ -1,0 +1,58 @@
+"""Matching validation: every matching result funnels through here."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import AlgorithmError
+
+__all__ = ["is_matching", "is_maximal_matching", "assert_valid_maximal_matching", "normalize_matching"]
+
+Edge = Tuple[int, int]
+
+
+def normalize_matching(edges: Iterable[Edge]) -> Set[Edge]:
+    """Canonicalize edges as sorted tuples (u < v)."""
+    return {tuple(sorted(e)) for e in edges}
+
+
+def is_matching(graph: nx.Graph, edges: Iterable[Edge]) -> bool:
+    """True iff ``edges`` ⊆ E(graph) and no two edges share an endpoint."""
+    matched: Set[int] = set()
+    for u, v in normalize_matching(edges):
+        if not graph.has_edge(u, v):
+            return False
+        if u in matched or v in matched:
+            return False
+        matched.add(u)
+        matched.add(v)
+    return True
+
+
+def is_maximal_matching(graph: nx.Graph, edges: Iterable[Edge]) -> bool:
+    """True iff ``edges`` is a matching and no graph edge can be added."""
+    normalized = normalize_matching(edges)
+    if not is_matching(graph, normalized):
+        return False
+    matched: Set[int] = {v for e in normalized for v in e}
+    return all(u in matched or v in matched for u, v in graph.edges())
+
+
+def assert_valid_maximal_matching(graph: nx.Graph, edges: Iterable[Edge]) -> None:
+    """Raise :class:`AlgorithmError` with a precise reason if invalid."""
+    normalized = normalize_matching(edges)
+    matched: Set[int] = set()
+    for u, v in normalized:
+        if not graph.has_edge(u, v):
+            raise AlgorithmError(f"matched edge ({u},{v}) is not in the graph")
+        if u in matched:
+            raise AlgorithmError(f"node {u} is matched twice")
+        if v in matched:
+            raise AlgorithmError(f"node {v} is matched twice")
+        matched.add(u)
+        matched.add(v)
+    for u, v in graph.edges():
+        if u not in matched and v not in matched:
+            raise AlgorithmError(f"edge ({u},{v}) could be added: matching not maximal")

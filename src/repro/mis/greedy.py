@@ -1,0 +1,56 @@
+"""Sequential greedy MIS baselines.
+
+These are the centralized references: not distributed algorithms, but (a)
+the ground truth for validation tests (any greedy order yields an MIS) and
+(b) the size baseline benchmarks quote MIS sizes against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["greedy_mis", "lexicographic_mis", "random_order_mis", "min_degree_mis"]
+
+
+def greedy_mis(graph: nx.Graph, order: Iterable[int]) -> Set[int]:
+    """Greedy MIS over an explicit node order (the canonical construction)."""
+    selected: Set[int] = set()
+    blocked: Set[int] = set()
+    for v in order:
+        if v in blocked or v in selected:
+            continue
+        selected.add(v)
+        blocked.update(graph.neighbors(v))
+    return selected
+
+
+def lexicographic_mis(graph: nx.Graph) -> Set[int]:
+    """Greedy MIS in ascending node-id order — deterministic ground truth."""
+    return greedy_mis(graph, sorted(graph.nodes()))
+
+
+def random_order_mis(graph: nx.Graph, seed: int = 0) -> Set[int]:
+    """Greedy MIS over a uniformly random permutation."""
+    rng = np.random.Generator(np.random.Philox(key=seed))
+    order: List[int] = sorted(graph.nodes())
+    rng.shuffle(order)
+    return greedy_mis(graph, order)
+
+
+def min_degree_mis(graph: nx.Graph) -> Set[int]:
+    """Greedy MIS repeatedly taking a minimum-degree remaining node.
+
+    Tends to produce *large* independent sets; used as the size yardstick
+    in the examples.
+    """
+    work = graph.copy()
+    selected: Set[int] = set()
+    while work.number_of_nodes() > 0:
+        v = min(work.nodes(), key=lambda u: (work.degree(u), u))
+        selected.add(v)
+        to_remove = [v] + list(work.neighbors(v))
+        work.remove_nodes_from(to_remove)
+    return selected

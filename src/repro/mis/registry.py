@@ -1,0 +1,79 @@
+"""Name → algorithm registry used by benchmarks and examples.
+
+Keeping the lookup here (instead of ad-hoc dicts inside each benchmark)
+guarantees every table in EXPERIMENTS.md refers to the same implementations
+under the same names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.mis.engine import MISResult
+
+__all__ = ["available_algorithms", "get_algorithm", "register_algorithm"]
+
+AlgorithmFn = Callable[..., MISResult]
+
+_REGISTRY: Dict[str, AlgorithmFn] = {}
+
+
+def register_algorithm(name: str, fn: AlgorithmFn) -> None:
+    """Register ``fn`` under ``name`` (used by plugins/tests)."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"algorithm {name!r} already registered")
+    _REGISTRY[name] = fn
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a previously registered algorithm (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def _bootstrap() -> None:
+    from repro.core.arb_mis import arb_mis
+    from repro.mis.ghaffari import ghaffari_mis
+    from repro.mis.lenzen_wattenhofer import lenzen_wattenhofer_tree_mis
+    from repro.mis.luby import luby_a_mis, luby_b_mis
+    from repro.mis.metivier import metivier_mis
+    from repro.mis.tree import tree_mis
+
+    defaults: Dict[str, AlgorithmFn] = {
+        "luby-a": luby_a_mis,
+        "luby-b": luby_b_mis,
+        "metivier": metivier_mis,
+        "ghaffari": ghaffari_mis,
+        "tree-independent-set": tree_mis,
+        "lenzen-wattenhofer": lenzen_wattenhofer_tree_mis,
+        "arb-mis": arb_mis,
+    }
+    for name, fn in defaults.items():
+        if name not in _REGISTRY:
+            _REGISTRY[name] = fn
+
+
+def available_algorithms() -> List[str]:
+    """Sorted names of every registered MIS algorithm."""
+    _bootstrap()
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str) -> AlgorithmFn:
+    """Look up an algorithm by registry name.
+
+    >>> fn = get_algorithm("metivier")
+    >>> import networkx as nx
+    >>> result = fn(nx.path_graph(5), seed=1)
+    >>> sorted(result.mis) in ([0, 2, 4], [0, 3], [1, 3], [1, 4])
+    True
+    """
+    _bootstrap()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None

@@ -1,0 +1,46 @@
+"""TreeIndependentSet — Barenboim et al.'s tree MIS (the α = 1 case).
+
+The paper's Algorithm 1 is "essentially identical to the
+TreeIndependentSet algorithm of Barenboim et al. (Section 8), except for
+parameter values (which now depend on the arboricity α)" — so the faithful
+implementation of TreeIndependentSet *is* the paper's engine instantiated
+at α = 1.  This module exposes exactly that, as the entry point users
+coming from the Lenzen–Wattenhofer / Barenboim et al. line of work expect.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.mis.engine import MISResult
+
+__all__ = ["tree_mis"]
+
+
+def tree_mis(
+    graph: nx.Graph,
+    seed: int = 0,
+    profile: str = "practical",
+    validate_forest: bool = True,
+) -> MISResult:
+    """Compute an MIS of a forest with the shattering pipeline at α = 1.
+
+    Parameters
+    ----------
+    graph:
+        An unoriented forest (checked unless ``validate_forest=False``;
+        the algorithm does not need or use an orientation).
+    seed:
+        Root randomness seed.
+    profile:
+        Parameter profile, ``"practical"`` (default) or ``"paper"``
+        (see :mod:`repro.core.parameters`).
+    """
+    if validate_forest and graph.number_of_nodes() > 0 and not nx.is_forest(graph):
+        raise GraphError("tree_mis requires a forest; use arb_mis for general graphs")
+    from repro.core.arb_mis import arb_mis
+
+    result = arb_mis(graph, alpha=1, seed=seed, profile=profile)
+    result.algorithm = "tree-independent-set"
+    return result

@@ -1,0 +1,79 @@
+"""Independence and maximality validation.
+
+Every test and benchmark run funnels its output through these checkers, so
+an algorithm bug cannot masquerade as a performance result.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Optional
+
+import networkx as nx
+
+from repro.errors import NotAnIndependentSetError, NotMaximalError
+
+__all__ = [
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "assert_valid_mis",
+    "violating_edge",
+    "unDominated_node",
+]
+
+
+def violating_edge(graph: nx.Graph, candidate: AbstractSet[int]):
+    """Return an edge with both endpoints in ``candidate``, or None."""
+    for v in candidate:
+        for u in graph.neighbors(v):
+            if u in candidate and u > v:
+                return (v, u)
+    return None
+
+
+def unDominated_node(
+    graph: nx.Graph, candidate: AbstractSet[int], restrict_to: Optional[Iterable[int]] = None
+):
+    """Return a node (in ``restrict_to``, default all nodes) that is neither
+    in ``candidate`` nor adjacent to it, or None if every node is dominated.
+    """
+    universe = restrict_to if restrict_to is not None else graph.nodes()
+    for v in universe:
+        if v in candidate:
+            continue
+        if not any(u in candidate for u in graph.neighbors(v)):
+            return v
+    return None
+
+
+def is_independent_set(graph: nx.Graph, candidate: AbstractSet[int]) -> bool:
+    """True iff no two nodes of ``candidate`` are adjacent in ``graph``."""
+    return violating_edge(graph, candidate) is None
+
+
+def is_maximal_independent_set(
+    graph: nx.Graph, candidate: AbstractSet[int], restrict_to: Optional[Iterable[int]] = None
+) -> bool:
+    """True iff ``candidate`` is independent and dominates every node.
+
+    With ``restrict_to``, maximality is only required over that node subset
+    (used for partial results such as the output of
+    BoundedArbIndependentSet, which is maximal only over V ∖ (B ∪ VIB)).
+    """
+    return (
+        is_independent_set(graph, candidate)
+        and unDominated_node(graph, candidate, restrict_to) is None
+    )
+
+
+def assert_valid_mis(graph: nx.Graph, candidate: AbstractSet[int]) -> None:
+    """Raise a precise error if ``candidate`` is not an MIS of ``graph``."""
+    edge = violating_edge(graph, candidate)
+    if edge is not None:
+        raise NotAnIndependentSetError(
+            f"nodes {edge[0]} and {edge[1]} are adjacent but both selected"
+        )
+    witness = unDominated_node(graph, candidate)
+    if witness is not None:
+        raise NotMaximalError(
+            f"node {witness} is neither in the set nor adjacent to it"
+        )

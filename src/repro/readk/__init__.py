@@ -1,0 +1,53 @@
+"""Read-k families of random variables and the Gavinsky et al. inequalities.
+
+This is the paper's analytical engine (§1.1).  A family ``Y_1..Y_n`` of
+indicator variables, each a boolean function of a subset ``P_j`` of
+independent base variables ``X_1..X_m``, is *read-k* if every ``X_i``
+appears in at most ``k`` of the ``P_j``.  Gavinsky, Lovett, Saks and
+Srinivasan (RSA 2015) prove:
+
+* a conjunction bound ``Pr[Y_1 = ... = Y_n = 1] ≤ p^(n/k)`` (their Thm 1.2,
+  the paper's Theorem 1.1); and
+* Chernoff-style tail bounds that lose only a ``1/k`` factor in the
+  exponent (their Thm 1.1, the paper's Theorem 1.2, Forms (1) and (2)).
+
+The subpackage has three layers:
+
+* :mod:`~repro.readk.family` — the :class:`ReadKFamily` data structure:
+  declare base variables and derived indicators, get ``k`` computed and the
+  family sampled;
+* :mod:`~repro.readk.bounds` — the closed-form bounds plus Chernoff and
+  Azuma comparators;
+* :mod:`~repro.readk.empirical` — Monte-Carlo estimation used by the E4/E5
+  validation benchmarks.
+"""
+
+from repro.readk.bounds import (
+    azuma_lower_tail,
+    chernoff_lower_tail,
+    read_k_conjunction_bound,
+    read_k_lower_tail_form1,
+    read_k_lower_tail_form2,
+)
+from repro.readk.empirical import (
+    ConjunctionEstimate,
+    TailEstimate,
+    estimate_conjunction_probability,
+    estimate_lower_tail,
+)
+from repro.readk.family import DerivedIndicator, ReadKFamily, shared_parent_family
+
+__all__ = [
+    "ReadKFamily",
+    "DerivedIndicator",
+    "shared_parent_family",
+    "read_k_conjunction_bound",
+    "read_k_lower_tail_form1",
+    "read_k_lower_tail_form2",
+    "chernoff_lower_tail",
+    "azuma_lower_tail",
+    "estimate_conjunction_probability",
+    "estimate_lower_tail",
+    "ConjunctionEstimate",
+    "TailEstimate",
+]

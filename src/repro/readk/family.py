@@ -1,0 +1,185 @@
+"""The :class:`ReadKFamily` data structure.
+
+A read-k family is declared in two steps: register base variables (the
+independent ``X_i``, each with a sampler), then register derived indicators
+(the ``Y_j``, each a boolean function of a named subset of base variables).
+The structure computes the read parameter ``k`` — the maximum number of
+indicators any single base variable feeds — and supports vectorized
+sampling, which the Monte-Carlo validators build on.
+
+The module also ships :func:`shared_parent_family`, the synthetic family
+used by the E4/E5 benchmarks: it reproduces in miniature the dependency
+pattern of the paper's Event (1) (children shared among up to α parents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReadKFamily", "DerivedIndicator", "shared_parent_family"]
+
+
+@dataclass(frozen=True)
+class DerivedIndicator:
+    """One ``Y_j``: a boolean function of the named base variables."""
+
+    name: str
+    reads: Tuple[str, ...]
+    function: Callable[[Mapping[str, float]], bool]
+
+
+class ReadKFamily:
+    """A family of indicator variables with bounded reads of a base family.
+
+    Example
+    -------
+    >>> fam = ReadKFamily()
+    >>> for i in range(4):
+    ...     fam.add_base(f"x{i}")
+    >>> fam.add_indicator("y0", ["x0", "x1"], lambda v: v["x0"] > v["x1"])
+    >>> fam.add_indicator("y1", ["x1", "x2"], lambda v: v["x1"] > v["x2"])
+    >>> fam.read_parameter()
+    1
+    """
+
+    def __init__(self):
+        self._base_samplers: Dict[str, Callable[[np.random.Generator], float]] = {}
+        self._indicators: List[DerivedIndicator] = []
+
+    # -- declaration ---------------------------------------------------------
+
+    def add_base(
+        self,
+        name: str,
+        sampler: Optional[Callable[[np.random.Generator], float]] = None,
+    ) -> None:
+        """Register base variable ``name``; defaults to Uniform[0,1)."""
+        if name in self._base_samplers:
+            raise ConfigurationError(f"base variable {name!r} already registered")
+        self._base_samplers[name] = sampler or (lambda rng: float(rng.random()))
+
+    def add_indicator(
+        self,
+        name: str,
+        reads: Sequence[str],
+        function: Callable[[Mapping[str, float]], bool],
+    ) -> None:
+        """Register indicator ``name`` reading base variables ``reads``."""
+        missing = [r for r in reads if r not in self._base_samplers]
+        if missing:
+            raise ConfigurationError(f"indicator {name!r} reads unknown bases {missing}")
+        if any(ind.name == name for ind in self._indicators):
+            raise ConfigurationError(f"indicator {name!r} already registered")
+        self._indicators.append(DerivedIndicator(name, tuple(reads), function))
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def base_names(self) -> Tuple[str, ...]:
+        return tuple(self._base_samplers)
+
+    @property
+    def indicators(self) -> Tuple[DerivedIndicator, ...]:
+        return tuple(self._indicators)
+
+    @property
+    def size(self) -> int:
+        """n — the number of indicator variables."""
+        return len(self._indicators)
+
+    def read_counts(self) -> Dict[str, int]:
+        """How many indicators read each base variable."""
+        counts = {name: 0 for name in self._base_samplers}
+        for indicator in self._indicators:
+            for base in set(indicator.reads):
+                counts[base] += 1
+        return counts
+
+    def read_parameter(self) -> int:
+        """k — the maximum read count over base variables (≥ 1 by convention)."""
+        counts = self.read_counts()
+        return max(counts.values(), default=0) or 1
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, bool]:
+        """Draw all base variables once; evaluate every indicator."""
+        values = {name: sampler(rng) for name, sampler in self._base_samplers.items()}
+        return {ind.name: bool(ind.function(values)) for ind in self._indicators}
+
+    def sample_matrix(self, trials: int, seed: int = 0) -> np.ndarray:
+        """``trials × n`` boolean matrix of indicator outcomes.
+
+        Column order matches :attr:`indicators`.
+        """
+        rng = np.random.Generator(np.random.Philox(key=seed))
+        matrix = np.empty((trials, self.size), dtype=bool)
+        for t in range(trials):
+            outcome = self.sample(rng)
+            for j, indicator in enumerate(self._indicators):
+                matrix[t, j] = outcome[indicator.name]
+        return matrix
+
+    def marginals(self, trials: int, seed: int = 0) -> np.ndarray:
+        """Monte-Carlo estimates of Pr[Y_j = 1] for every j."""
+        return self.sample_matrix(trials, seed).mean(axis=0)
+
+
+def shared_parent_family(
+    num_indicators: int,
+    children_per_indicator: int,
+    sharing: int,
+    threshold: float = 0.5,
+) -> ReadKFamily:
+    """The synthetic family mirroring the paper's Event (1) dependency shape.
+
+    There are ``num_indicators`` "parents"; parent j reads its own base
+    variable plus ``children_per_indicator`` child variables.  Children are
+    allocated from a pool in which each child is wired to ``sharing``
+    consecutive parents — so each child's draw is read by exactly
+    ``sharing`` indicators and the family is read-``sharing`` (the analogue
+    of a node having at most α parents).  Indicator j is
+    ``min(children) > threshold`` composed with the parent's own draw:
+    ``Y_j = 1`` iff the parent's draw is below every child draw — exactly
+    the "some child beats me" event of Theorem 3.1.
+    """
+    if sharing < 1 or sharing > num_indicators:
+        raise ConfigurationError("sharing must be between 1 and num_indicators")
+    family = ReadKFamily()
+    for j in range(num_indicators):
+        family.add_base(f"parent{j}")
+
+    child_count = 0
+    child_wiring: List[List[str]] = [[] for _ in range(num_indicators)]
+    j = 0
+    while any(len(w) < children_per_indicator for w in child_wiring):
+        child_name = f"child{child_count}"
+        family.add_base(child_name)
+        child_count += 1
+        attached = 0
+        probe = j
+        while attached < sharing:
+            target = probe % num_indicators
+            if len(child_wiring[target]) < children_per_indicator:
+                child_wiring[target].append(child_name)
+                attached += 1
+            probe += 1
+            if probe - j > 2 * num_indicators:
+                break  # every remaining slot filled; avoid spinning
+        j += 1
+
+    for idx in range(num_indicators):
+        reads = [f"parent{idx}"] + child_wiring[idx]
+        children = tuple(child_wiring[idx])
+        parent = f"parent{idx}"
+
+        def beaten_by_child(values, parent=parent, children=children):
+            return any(values[c] > values[parent] for c in children)
+
+        family.add_indicator(f"y{idx}", reads, beaten_by_child)
+    return family

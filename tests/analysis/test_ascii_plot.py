@@ -1,0 +1,50 @@
+"""Tests for the ASCII plotter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+        assert ascii_plot({}, title="T") == "T"
+
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot({"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]})
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_extremes_on_borders(self):
+        text = ascii_plot({"s": [(0, 0), (10, 100)]}, width=20, height=6)
+        lines = text.splitlines()
+        # top line holds the max marker, bottom grid line the min.
+        assert "o" in lines[0]
+        assert "o" in lines[5]
+
+    def test_axis_labels_present(self):
+        text = ascii_plot(
+            {"s": [(1, 1), (8, 3)]}, log_x=True, x_label="n", y_label="iters"
+        )
+        assert "log scale" in text
+        assert "y: iters" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 1)]}, log_x=True)
+
+    def test_collision_marker(self):
+        text = ascii_plot({"a": [(1, 1)], "b": [(1, 1)]}, width=10, height=4)
+        assert "?" in text
+
+    def test_constant_series(self):
+        # Degenerate spans must not divide by zero.
+        text = ascii_plot({"s": [(1, 5), (2, 5), (3, 5)]})
+        assert "o" in text
+
+    def test_y_range_labels(self):
+        text = ascii_plot({"s": [(0, 2.5), (1, 7.5)]}, height=5)
+        assert "7.5" in text
+        assert "2.5" in text

@@ -1,0 +1,75 @@
+"""Tests for sweep export helpers."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    read_rows_json,
+    sweep_to_rows,
+    write_rows_csv,
+    write_rows_json,
+)
+from repro.analysis.sweep import run_sweep
+from repro.graphs.generators import GraphSpec
+from repro.mis.metivier import metivier_mis
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep(
+        specs=[GraphSpec("tree")],
+        sizes=[20, 40],
+        algorithms={"metivier": metivier_mis},
+        seeds=[0, 1],
+    )
+
+
+class TestSweepToRows:
+    def test_one_row_per_point(self, small_sweep):
+        rows = sweep_to_rows(small_sweep)
+        assert len(rows) == len(small_sweep.points)
+
+    def test_row_fields(self, small_sweep):
+        row = sweep_to_rows(small_sweep)[0]
+        assert set(row) == {
+            "family",
+            "n",
+            "algorithm",
+            "seed",
+            "iterations",
+            "congest_rounds",
+            "mis_size",
+        }
+        assert row["family"] == "tree"
+
+
+class TestCsv:
+    def test_round_trip_values(self, small_sweep, tmp_path):
+        rows = sweep_to_rows(small_sweep)
+        path = tmp_path / "sweep.csv"
+        write_rows_csv(rows, path)
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert len(loaded) == len(rows)
+        assert loaded[0]["algorithm"] == "metivier"
+        assert int(loaded[0]["n"]) in (20, 40)
+
+    def test_heterogeneous_keys(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = tmp_path / "h.csv"
+        write_rows_csv(rows, path)
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded[0]["b"] == ""
+        assert loaded[1]["b"] == "3"
+
+
+class TestJson:
+    def test_round_trip(self, small_sweep, tmp_path):
+        rows = sweep_to_rows(small_sweep)
+        path = tmp_path / "sweep.json"
+        write_rows_json(rows, path)
+        assert read_rows_json(path) == rows

@@ -1,0 +1,82 @@
+"""Tests for theoretical round curves and the exponent fitter."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.rounds import (
+    barenboim_arb_bound,
+    fit_constant,
+    fit_growth_exponent,
+    ghaffari_bound,
+    luby_bound,
+    paper_bound,
+)
+
+
+class TestBoundCurves:
+    def test_luby_is_log(self):
+        assert luby_bound(2**10) == 10
+
+    def test_paper_bound_sublogarithmic_in_n(self):
+        # For fixed alpha, paper_bound / luby_bound -> 0 as n grows.
+        small_ratio = paper_bound(2**10, 1) / luby_bound(2**10)
+        big_ratio = paper_bound(2**40, 1) / luby_bound(2**40)
+        assert big_ratio < small_ratio
+
+    def test_paper_bound_poly_alpha(self):
+        assert paper_bound(2**20, 2) == pytest.approx(2**9 * paper_bound(2**20, 1))
+
+    def test_paper_bound_custom_exponent(self):
+        assert paper_bound(2**20, 2, alpha_exponent=3) == pytest.approx(
+            8 * paper_bound(2**20, 1, alpha_exponent=3)
+        )
+
+    def test_ghaffari_dominates_paper(self):
+        # The paper concedes Ghaffari is faster for all alpha, n.
+        for n_exp in (10, 20, 40):
+            for alpha in (1, 2, 4):
+                assert ghaffari_bound(2**n_exp, alpha) < paper_bound(2**n_exp, alpha)
+
+    def test_barenboim_crossover_in_n(self):
+        # The paper: its bound beats Barenboim et al.'s own arboricity
+        # algorithm for small alpha and large n (sqrt log n log log n
+        # grows slower than log^(2/3) n).
+        alpha = 1
+        assert paper_bound(2**4096, alpha) < barenboim_arb_bound(2**4096, alpha)
+
+
+class TestExponentFit:
+    def test_recovers_exact_power_law(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [3 * x**1.7 for x in xs]
+        exponent, constant = fit_growth_exponent(xs, ys)
+        assert exponent == pytest.approx(1.7, abs=1e-9)
+        assert constant == pytest.approx(3.0, rel=1e-9)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(1)
+        xs = np.linspace(2, 50, 25)
+        ys = 2 * xs**0.5 * np.exp(rng.normal(0, 0.05, size=25))
+        exponent, _ = fit_growth_exponent(xs, ys)
+        assert abs(exponent - 0.5) < 0.1
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth_exponent([2.0], [4.0])
+
+    def test_zero_values_clamped(self):
+        exponent, _ = fit_growth_exponent([1.0, 2.0, 4.0], [0.0, 2.0, 4.0])
+        assert math.isfinite(exponent)
+
+
+class TestFitConstant:
+    def test_exact(self):
+        constant = fit_constant(lambda x: x**2, [1, 2, 3], [2, 8, 18])
+        assert constant == pytest.approx(2.0)
+
+    def test_zero_model(self):
+        assert fit_constant(lambda x: 0.0, [1, 2], [1, 2]) == 0.0

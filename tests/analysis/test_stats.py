@@ -1,0 +1,55 @@
+"""Tests for summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Summary, mean_confidence_interval, summarize
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 0.0)
+
+    def test_constant_sample(self):
+        mean, half = mean_confidence_interval([3.0] * 10)
+        assert mean == 3.0
+        assert half == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_wider_with_more_spread(self):
+        _, tight = mean_confidence_interval([1.0, 1.1, 0.9, 1.0])
+        _, wide = mean_confidence_interval([1.0, 5.0, -3.0, 1.0])
+        assert wide > tight
+
+    def test_contains_true_mean_for_gaussian(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        hits = 0
+        for _ in range(40):
+            sample = rng.normal(10.0, 2.0, size=20)
+            mean, half = mean_confidence_interval(sample)
+            if mean - half <= 10.0 <= mean + half:
+                hits += 1
+        assert hits >= 33  # 95% nominal coverage, generous slack
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+
+    def test_str_format(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+    def test_interval_property(self):
+        s = summarize([1.0, 2.0, 3.0])
+        low, high = s.interval
+        assert low <= s.mean <= high

@@ -1,0 +1,74 @@
+"""Tests for the benchmark sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import run_sweep
+from repro.graphs.generators import GraphSpec
+from repro.mis.luby import luby_b_mis
+from repro.mis.metivier import metivier_mis
+
+
+class TestRunSweep:
+    def test_grid_coverage(self):
+        result = run_sweep(
+            specs=[GraphSpec("tree")],
+            sizes=[20, 40],
+            algorithms={"metivier": metivier_mis, "luby-b": luby_b_mis},
+            seeds=[0, 1],
+        )
+        # 1 spec x 2 sizes x 2 seeds x 2 algorithms.
+        assert len(result.points) == 8
+
+    def test_filter(self):
+        result = run_sweep(
+            specs=[GraphSpec("tree")],
+            sizes=[20],
+            algorithms={"metivier": metivier_mis},
+            seeds=[0, 1, 2],
+        )
+        assert len(result.filter(algorithm="metivier", n=20)) == 3
+        assert result.filter(algorithm="nope") == []
+
+    def test_summaries(self):
+        spec = GraphSpec("tree")
+        result = run_sweep(
+            specs=[spec],
+            sizes=[30],
+            algorithms={"metivier": metivier_mis},
+            seeds=[0, 1, 2, 3],
+        )
+        summary = result.iterations_summary(spec, 30, "metivier")
+        assert summary.count == 4
+        assert summary.mean > 0
+        rounds = result.rounds_summary(spec, 30, "metivier")
+        assert rounds.mean == pytest.approx(3 * summary.mean)  # 3 rounds/iter fallback
+
+    def test_kwargs_forwarding(self):
+        from repro.core.arb_mis import arb_mis
+
+        result = run_sweep(
+            specs=[GraphSpec("arb", (2,))],
+            sizes=[30],
+            algorithms={"arb-mis": arb_mis},
+            seeds=[0],
+            algorithm_kwargs={"arb-mis": {"alpha": 2}},
+        )
+        assert result.points[0].mis_size > 0
+
+    def test_validation_catches_bad_algorithm(self):
+        from repro.mis.engine import MISResult
+
+        def broken(graph, seed=0):
+            return MISResult(mis=set(), iterations=0, algorithm="broken", seed=seed)
+
+        from repro.errors import NotMaximalError
+
+        with pytest.raises(NotMaximalError):
+            run_sweep(
+                specs=[GraphSpec("tree")],
+                sizes=[10],
+                algorithms={"broken": broken},
+                seeds=[0],
+            )

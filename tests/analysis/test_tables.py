@@ -1,0 +1,45 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table, render_rows
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159], [0.0001], [12345.6]])
+        assert "3.142" in text
+        assert "0.0001" in text
+        assert "1.23e+04" in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+
+class TestRenderRows:
+    def test_union_of_keys(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_rows(rows)
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert render_rows([]) == "(no rows)"
+        assert render_rows([], title="T") == "T"
+
+    def test_missing_values_blank(self):
+        text = render_rows([{"a": 1}, {"b": 2}])
+        assert text.count("1") >= 1

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    random_maximal_planar_graph,
+    random_tree,
+    starry_arboricity_graph,
+)
+
+
+@pytest.fixture
+def path5() -> nx.Graph:
+    return nx.path_graph(5)
+
+
+@pytest.fixture
+def triangle() -> nx.Graph:
+    return nx.complete_graph(3)
+
+
+@pytest.fixture
+def small_tree() -> nx.Graph:
+    return random_tree(60, seed=3)
+
+
+@pytest.fixture
+def arb3_graph() -> nx.Graph:
+    """A 200-node arboricity-≤3 graph (union of 3 random trees)."""
+    return bounded_arboricity_graph(200, 3, seed=5)
+
+
+@pytest.fixture
+def starry_graph() -> nx.Graph:
+    """A 300-node arboricity-≤2 graph with hub nodes (high Δ)."""
+    return starry_arboricity_graph(300, 2, hubs=3, seed=5)
+
+
+@pytest.fixture
+def planar_graph() -> nx.Graph:
+    return random_maximal_planar_graph(80, seed=2)
+
+
+@pytest.fixture(params=["path", "tree", "arb2", "planar", "gnp"])
+def assorted_graph(request) -> nx.Graph:
+    """A small zoo of graph shapes for algorithm-agnostic tests."""
+    if request.param == "path":
+        return nx.path_graph(30)
+    if request.param == "tree":
+        return random_tree(50, seed=11)
+    if request.param == "arb2":
+        return bounded_arboricity_graph(60, 2, seed=11)
+    if request.param == "planar":
+        return random_maximal_planar_graph(40, seed=11)
+    return nx.gnp_random_graph(40, 0.15, seed=11)

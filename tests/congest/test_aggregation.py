@@ -1,0 +1,77 @@
+"""Tests for BFS/leader-election/convergecast primitives."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.aggregation import (
+    bfs_forest,
+    component_sizes_via_convergecast,
+)
+from repro.graphs.generators import bounded_arboricity_graph, random_tree
+
+
+class TestLeaderElectionBFS:
+    def test_leader_is_component_minimum(self):
+        g = nx.union(random_tree(15, seed=1), nx.relabel_nodes(random_tree(10, seed=2), {i: i + 50 for i in range(10)}))
+        forest = bfs_forest(g)
+        for v, leader in forest.leader_of.items():
+            component = nx.node_connected_component(g, v)
+            assert leader == min(component)
+
+    def test_distances_are_bfs_distances(self):
+        g = bounded_arboricity_graph(40, 2, seed=3)
+        forest = bfs_forest(g)
+        leader = min(g.nodes())
+        true_distances = nx.single_source_shortest_path_length(g, leader)
+        for v in g.nodes():
+            assert forest.distance_of[v] == true_distances[v]
+
+    def test_parents_form_trees(self):
+        g = bounded_arboricity_graph(40, 2, seed=4)
+        forest = bfs_forest(g)
+        # Exactly one root (parent None) per component; parent edges real.
+        roots = [v for v, p in forest.parent_of.items() if p is None]
+        assert len(roots) == nx.number_connected_components(g)
+        for v, p in forest.parent_of.items():
+            if p is not None:
+                assert g.has_edge(v, p)
+                assert forest.distance_of[v] == forest.distance_of[p] + 1
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(5)
+        forest = bfs_forest(g)
+        assert forest.leader_of == {5: 5}
+        assert forest.parent_of == {5: None}
+
+    def test_components_grouping(self):
+        g = nx.union(nx.path_graph(4), nx.relabel_nodes(nx.path_graph(3), {i: i + 10 for i in range(3)}))
+        groups = bfs_forest(g).components()
+        assert groups[0] == {0, 1, 2, 3}
+        assert groups[10] == {10, 11, 12}
+
+
+class TestConvergecast:
+    def test_sizes_match_networkx(self):
+        g = nx.union(random_tree(20, seed=5), nx.relabel_nodes(random_tree(12, seed=6), {i: i + 100 for i in range(12)}))
+        sizes, rounds = component_sizes_via_convergecast(g)
+        truth = {min(c): len(c) for c in nx.connected_components(g)}
+        assert sizes == truth
+        assert rounds > 0
+
+    def test_path(self):
+        sizes, _ = component_sizes_via_convergecast(nx.path_graph(9))
+        assert sizes == {0: 9}
+
+    def test_isolated_nodes(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        sizes, _ = component_sizes_via_convergecast(g)
+        assert sizes == {0: 1, 1: 1, 2: 1}
+
+    def test_dense_graph(self):
+        g = nx.complete_graph(12)
+        sizes, _ = component_sizes_via_convergecast(g)
+        assert sizes == {0: 12}

@@ -1,0 +1,136 @@
+"""Tests for the asynchronous simulator and the α-synchronizer.
+
+The headline property: running any of the library's synchronous node
+programs under the synchronizer, over adversarially random link delays,
+produces outputs *identical* to the synchronous simulator's — the
+executable form of the synchronizer correctness theorem.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.asynchronous import AlphaSynchronizer, AsynchronousNetwork
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+from repro.errors import SimulationError
+from repro.graphs.generators import bounded_arboricity_graph, random_tree
+from repro.mis.engine import mis_from_outputs
+from repro.mis.ghaffari import GhaffariMIS
+from repro.mis.luby import LubyBMIS
+from repro.mis.metivier import MetivierMIS
+from repro.mis.validation import assert_valid_mis
+
+
+class TestAsynchronousNetwork:
+    def test_fifo_per_link(self):
+        net = Network(nx.path_graph(2))
+        async_net = AsynchronousNetwork(net, seed=1)
+        # Adversarial: second message gets a *smaller* raw delay.
+        delays = iter([5.0, 0.1])
+        async_net._delay_fn = lambda s, r, rng: next(delays)
+        async_net.send(0, 1, "first")
+        async_net.send(0, 1, "second")
+        first = async_net.pop()
+        second = async_net.pop()
+        assert first.payload == "first"
+        assert second.payload == "second"
+        assert second.time > first.time
+
+    def test_rejects_nonpositive_delay(self):
+        net = Network(nx.path_graph(2))
+        async_net = AsynchronousNetwork(net, seed=1, delay_fn=lambda s, r, rng: 0.0)
+        with pytest.raises(SimulationError):
+            async_net.send(0, 1, "x")
+
+    def test_pop_empty(self):
+        net = Network(nx.path_graph(2))
+        assert AsynchronousNetwork(net).pop() is None
+
+    def test_event_ordering_by_time(self):
+        net = Network(nx.star_graph(3))
+        async_net = AsynchronousNetwork(net, seed=2)
+        delays = {(0, 1): 3.0, (0, 2): 1.0, (0, 3): 2.0}
+        async_net._delay_fn = lambda s, r, rng: delays[(s, r)]
+        for u in (1, 2, 3):
+            async_net.send(0, u, u)
+        order = [async_net.pop().payload for _ in range(3)]
+        assert order == [2, 3, 1]
+
+
+class TestSynchronizerEquivalence:
+    @pytest.mark.parametrize("program_cls", [MetivierMIS, LubyBMIS, GhaffariMIS])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_matches_synchronous_on_tree(self, program_cls, seed):
+        graph = random_tree(40, seed=7)
+        net = Network(graph)
+        sync = SynchronousSimulator(net, seed=seed).run(program_cls())
+        asyn = AlphaSynchronizer(net, seed=seed).run(program_cls())
+        assert asyn.halted
+        assert mis_from_outputs(asyn.outputs) == mis_from_outputs(sync.outputs)
+
+    def test_matches_on_arb_graph(self):
+        graph = bounded_arboricity_graph(80, 2, seed=4)
+        net = Network(graph)
+        sync = SynchronousSimulator(net, seed=5).run(MetivierMIS())
+        asyn = AlphaSynchronizer(net, seed=5).run(MetivierMIS())
+        assert mis_from_outputs(asyn.outputs) == mis_from_outputs(sync.outputs)
+
+    def test_different_delay_seeds_same_output(self):
+        # The synchronizer's whole point: delays must not affect outputs.
+        graph = bounded_arboricity_graph(60, 2, seed=1)
+        net = Network(graph)
+        results = set()
+        for delay_seed in range(4):
+            synchronizer = AlphaSynchronizer(net, seed=9)
+            synchronizer.async_net = AsynchronousNetwork(net, seed=delay_seed * 77)
+            run = synchronizer.run(MetivierMIS())
+            results.add(frozenset(mis_from_outputs(run.outputs)))
+        assert len(results) == 1
+
+    def test_extreme_delay_skew(self):
+        # One link is 100x slower than the rest.
+        graph = random_tree(30, seed=2)
+        net = Network(graph)
+
+        def skewed(s, r, rng):
+            return 100.0 if (s, r) == (0, 1) or (r, s) == (0, 1) else 0.5 + float(rng.random())
+
+        sync = SynchronousSimulator(net, seed=3).run(MetivierMIS())
+        asyn = AlphaSynchronizer(net, seed=3, delay_fn=skewed).run(MetivierMIS())
+        assert mis_from_outputs(asyn.outputs) == mis_from_outputs(sync.outputs)
+
+    def test_output_is_valid_mis(self):
+        graph = bounded_arboricity_graph(70, 3, seed=6)
+        net = Network(graph)
+        run = AlphaSynchronizer(net, seed=6).run(MetivierMIS())
+        assert_valid_mis(graph, mis_from_outputs(run.outputs))
+
+    def test_isolated_nodes_halt(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edge(0, 1)
+        run = AlphaSynchronizer(Network(g), seed=0).run(MetivierMIS())
+        assert run.halted
+        assert set(run.outputs) == {0, 1, 2, 3}
+
+    def test_pulse_count_matches_round_count(self):
+        graph = random_tree(25, seed=8)
+        net = Network(graph)
+        sync = SynchronousSimulator(net, seed=1).run(MetivierMIS())
+        asyn = AlphaSynchronizer(net, seed=1).run(MetivierMIS())
+        # Pulses cover exactly the rounds the synchronous run needed.
+        assert asyn.pulses == sync.metrics.rounds
+
+    def test_message_overhead_constant_factor(self):
+        # alpha-synchronizer: acks + safes per payload message => the
+        # event count is a small multiple of the synchronous message count.
+        graph = bounded_arboricity_graph(50, 2, seed=3)
+        net = Network(graph)
+        sync = SynchronousSimulator(net, seed=2).run(MetivierMIS())
+        asyn = AlphaSynchronizer(net, seed=2).run(MetivierMIS())
+        payload_messages = sync.metrics.total_messages
+        # acks double payloads; safe/done add ~2m per pulse.
+        upper = 2 * payload_messages + 3 * 2 * graph.number_of_edges() * (asyn.pulses + 2)
+        assert asyn.events_processed <= upper

@@ -1,0 +1,86 @@
+"""Tests for CONGEST message bit accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.message import Message, bits_of_payload, congest_budget_bits
+from repro.errors import MessageSizeExceededError
+
+
+class TestBitsOfPayload:
+    def test_none_and_bool(self):
+        assert bits_of_payload(None) == 1
+        assert bits_of_payload(True) == 1
+        assert bits_of_payload(False) == 1
+
+    def test_small_int(self):
+        assert bits_of_payload(0) == 2  # 1 bit + sign
+        assert bits_of_payload(1) == 2
+        assert bits_of_payload(255) == 9
+
+    def test_int_grows_with_magnitude(self):
+        assert bits_of_payload(2**40) > bits_of_payload(2**10)
+
+    def test_negative_int(self):
+        assert bits_of_payload(-5) == bits_of_payload(5)
+
+    def test_float(self):
+        assert bits_of_payload(3.14) == 64
+
+    def test_string_utf8(self):
+        assert bits_of_payload("ab") == 16
+        assert bits_of_payload("é") == 16  # two UTF-8 bytes
+
+    def test_tuple_framing(self):
+        # Two ints of 2 bits each + 2 bits framing per element.
+        assert bits_of_payload((1, 1)) == 8
+
+    def test_dict(self):
+        assert bits_of_payload({1: 1}) == 2 + 2 + 4
+
+    def test_nested(self):
+        nested = (1, (2, 3))
+        flat = (1, 2, 3)
+        assert bits_of_payload(nested) > bits_of_payload((1,))
+        assert isinstance(bits_of_payload(flat), int)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            bits_of_payload(object())
+
+
+class TestCongestBudget:
+    def test_scales_with_log_n(self):
+        assert congest_budget_bits(2**10) == 32 * 10
+        assert congest_budget_bits(2**20) == 32 * 20
+
+    def test_small_n(self):
+        assert congest_budget_bits(1) == 32
+        assert congest_budget_bits(2) == 32
+
+    def test_custom_constant(self):
+        assert congest_budget_bits(2**10, constant=8) == 80
+
+
+class TestMessage:
+    def test_bits_computed_at_construction(self):
+        m = Message(0, 1, (1, 2))
+        assert m.bits == bits_of_payload((1, 2))
+
+    def test_check_budget_passes(self):
+        Message(0, 1, 5).check_budget(limit=100)
+
+    def test_check_budget_raises_with_details(self):
+        m = Message(3, 4, "x" * 100)
+        with pytest.raises(MessageSizeExceededError) as info:
+            m.check_budget(limit=64)
+        assert info.value.sender == 3
+        assert info.value.receiver == 4
+        assert info.value.bits == 800
+        assert info.value.limit == 64
+
+    def test_frozen(self):
+        m = Message(0, 1, 5)
+        with pytest.raises(AttributeError):
+            m.payload = 6

@@ -1,0 +1,82 @@
+"""Tests for the Network wrapper."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.network import Network
+from repro.errors import GraphError
+
+
+class TestConstruction:
+    def test_rejects_self_loops(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        with pytest.raises(GraphError):
+            Network(g)
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphError):
+            Network(nx.DiGraph([(0, 1)]))
+
+    def test_relabels_non_integer_nodes(self):
+        g = nx.Graph([("a", "b"), ("b", "c")])
+        net = Network(g)
+        assert net.nodes == (0, 1, 2)
+        assert net.relabeled("a") == 0
+
+    def test_integer_nodes_kept(self):
+        g = nx.path_graph(4)
+        net = Network(g)
+        assert net.nodes == (0, 1, 2, 3)
+        assert net.relabeled(2) == 2
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = nx.Graph([(5, 1), (5, 3), (5, 2)])
+        net = Network(g)
+        assert net.neighbors(5) == (1, 2, 3)
+
+    def test_degree_and_max_degree(self, small_tree):
+        net = Network(small_tree)
+        for v in net.nodes:
+            assert net.degree(v) == small_tree.degree(v)
+        assert net.max_degree() == max(d for _, d in small_tree.degree())
+
+    def test_counts(self, arb3_graph):
+        net = Network(arb3_graph)
+        assert net.node_count == arb3_graph.number_of_nodes()
+        assert net.edge_count == arb3_graph.number_of_edges()
+        assert len(net) == net.node_count
+
+    def test_contains_and_iter(self):
+        net = Network(nx.path_graph(3))
+        assert 1 in net
+        assert 7 not in net
+        assert list(net) == [0, 1, 2]
+
+    def test_empty_graph(self):
+        net = Network(nx.Graph())
+        assert net.nodes == ()
+        assert net.max_degree() == 0
+
+    def test_has_edge(self):
+        net = Network(nx.path_graph(3))
+        assert net.has_edge(0, 1)
+        assert not net.has_edge(0, 2)
+
+
+class TestSubnetwork:
+    def test_induced_subgraph(self):
+        net = Network(nx.cycle_graph(6))
+        sub = net.subnetwork([0, 1, 2])
+        assert sub.nodes == (0, 1, 2)
+        assert sub.edge_count == 2  # 0-1, 1-2; the 5-0 edge is cut
+
+    def test_subnetwork_is_independent_copy(self):
+        net = Network(nx.path_graph(4))
+        sub = net.subnetwork([0, 1])
+        assert 3 in net
+        assert 3 not in sub

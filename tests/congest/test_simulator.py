@@ -1,0 +1,213 @@
+"""Tests for the synchronous simulator: delivery semantics, halting,
+metrics, CONGEST enforcement, and fault injection."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.faults import CrashSchedule
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+from repro.congest.tracing import TraceRecorder
+from repro.errors import MessageSizeExceededError, SimulationError
+
+
+class EchoOnce(NodeAlgorithm):
+    """Round 0: broadcast own id.  Round 1: record inbox, halt."""
+
+    name = "echo-once"
+
+    def on_round(self, ctx: NodeContext, inbox):
+        if ctx.round_index == 0:
+            ctx.broadcast(("id", ctx.node))
+        else:
+            senders = sorted(m.sender for m in inbox)
+            ctx.halt(("saw", tuple(senders)))
+
+
+class CountDown(NodeAlgorithm):
+    """Halts after a node-dependent number of rounds (staggered halting)."""
+
+    def on_round(self, ctx: NodeContext, inbox):
+        if ctx.round_index >= ctx.node:
+            ctx.halt(("done", ctx.round_index))
+
+
+class ChattyForever(NodeAlgorithm):
+    """Never halts; used to test the round cap."""
+
+    def on_round(self, ctx: NodeContext, inbox):
+        ctx.broadcast(("ping",))
+
+
+class BigTalker(NodeAlgorithm):
+    """Sends an oversized message in round 0."""
+
+    def on_round(self, ctx: NodeContext, inbox):
+        if ctx.round_index == 0 and ctx.node == 0:
+            ctx.broadcast("x" * 500)
+        ctx.halt(None)
+
+
+class PathRelay(NodeAlgorithm):
+    """Node 0 emits a token that is relayed down a path; everyone records
+    when it passed.  Exercises multi-hop delivery timing."""
+
+    def on_start(self, ctx: NodeContext):
+        if ctx.node == 0:
+            ctx.send(max(ctx.neighbors), ("token",)) if ctx.neighbors else None
+
+    def on_round(self, ctx: NodeContext, inbox):
+        token = [m for m in inbox if m.payload[0] == "token"]
+        if ctx.node == 0:
+            ctx.halt(("emitted", 0))
+            return
+        if token:
+            forward = [u for u in ctx.neighbors if u > ctx.node]
+            if forward:
+                ctx.send(forward[0], ("token",))
+            ctx.halt(("relayed", ctx.round_index))
+
+
+class TestDeliverySemantics:
+    def test_messages_delivered_next_round(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(EchoOnce())
+        # Node 1 hears both endpoints; endpoints hear node 1.
+        assert run.outputs[1] == ("saw", (0, 2))
+        assert run.outputs[0] == ("saw", (1,))
+
+    def test_relay_timing_along_path(self):
+        n = 6
+        net = Network(nx.path_graph(n))
+        run = SynchronousSimulator(net).run(PathRelay())
+        # The token reaches node i at round i-1 (sent during on_start).
+        for v in range(1, n):
+            assert run.outputs[v] == ("relayed", v - 1)
+
+    def test_send_to_non_neighbor_rejected(self):
+        class BadSend(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.send(ctx.node + 10, ("x",))
+
+        net = Network(nx.path_graph(12))
+        with pytest.raises(SimulationError):
+            SynchronousSimulator(net).run(BadSend(), max_rounds=2)
+
+
+class TestHalting:
+    def test_all_halt_ends_run(self):
+        net = Network(nx.path_graph(4))
+        run = SynchronousSimulator(net).run(CountDown())
+        assert run.halted
+        # Node 3 halts at round 3, so the run lasts 4 rounds.
+        assert run.metrics.rounds == 4
+
+    def test_round_cap_stops_nonterminating(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(ChattyForever(), max_rounds=7)
+        assert not run.halted
+        assert run.metrics.rounds == 7
+        assert run.outputs == {}
+
+    def test_halted_node_sends_raise(self):
+        class SendAfterHalt(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt(None)
+                ctx.send(ctx.neighbors[0], ("zombie",))
+
+        net = Network(nx.path_graph(2))
+        with pytest.raises(SimulationError):
+            SynchronousSimulator(net).run(SendAfterHalt())
+
+    def test_outputs_collected_per_node(self):
+        net = Network(nx.path_graph(4))
+        run = SynchronousSimulator(net).run(CountDown())
+        assert set(run.outputs) == {0, 1, 2, 3}
+        assert run.outputs[2] == ("done", 2)
+
+
+class TestMetrics:
+    def test_message_and_bit_totals(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(EchoOnce())
+        # Round 0: nodes 0,2 send 1 message each; node 1 sends 2.
+        assert run.metrics.total_messages == 4
+        assert run.metrics.total_bits > 0
+        assert run.metrics.max_message_bits > 0
+
+    def test_per_round_breakdown(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(EchoOnce())
+        assert run.metrics.per_round[0].messages_sent == 4
+        assert run.metrics.per_round[1].messages_sent == 0
+
+    def test_congest_compliance_flag(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(EchoOnce())
+        assert run.metrics.congest_compliant is True
+
+    def test_summary_mentions_budget(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(EchoOnce())
+        assert "budget" in run.metrics.summary()
+
+
+class TestCongestEnforcement:
+    def test_oversized_message_recorded_without_enforcement(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net, enforce_congest=False).run(BigTalker())
+        assert run.metrics.congest_compliant is False
+
+    def test_oversized_message_raises_with_enforcement(self):
+        net = Network(nx.path_graph(3))
+        with pytest.raises(MessageSizeExceededError):
+            SynchronousSimulator(net, enforce_congest=True).run(BigTalker())
+
+
+class TestTracing:
+    def test_trace_records_sends_and_halts(self):
+        net = Network(nx.path_graph(3))
+        trace = TraceRecorder()
+        SynchronousSimulator(net, trace=trace).run(EchoOnce())
+        kinds = {e.kind for e in trace}
+        assert "send" in kinds
+        assert "halt" in kinds
+        assert "round-end" in kinds
+
+    def test_trace_predicate_filters(self):
+        net = Network(nx.path_graph(3))
+        trace = TraceRecorder(predicate=lambda e: e.kind == "halt")
+        SynchronousSimulator(net, trace=trace).run(EchoOnce())
+        assert all(e.kind == "halt" for e in trace)
+        assert len(trace) == 3
+
+
+class TestCrashFaults:
+    def test_crashed_node_stops_participating(self):
+        net = Network(nx.path_graph(3))
+        schedule = CrashSchedule.single(0, [1])
+        run = SynchronousSimulator(net, crash_schedule=schedule).run(EchoOnce())
+        assert 1 in run.crashed
+        assert 1 not in run.outputs
+        # Survivors saw no message from the crashed node.
+        assert run.outputs[0] == ("saw", ())
+        assert run.outputs[2] == ("saw", ())
+
+    def test_crash_after_send_still_delivers(self):
+        # Node 1 crashes at round 1; its round-0 broadcast was already on
+        # the wire... but crash-stop drops messages from crashed senders at
+        # delivery time, so receivers must NOT see it.
+        net = Network(nx.path_graph(3))
+        schedule = CrashSchedule.single(1, [1])
+        run = SynchronousSimulator(net, crash_schedule=schedule).run(EchoOnce())
+        assert run.outputs[0] == ("saw", ())
+
+    def test_run_completes_when_survivors_halt(self):
+        net = Network(nx.path_graph(4))
+        schedule = CrashSchedule.single(0, [3])
+        run = SynchronousSimulator(net, crash_schedule=schedule).run(CountDown())
+        assert run.halted
+        assert set(run.outputs) == {0, 1, 2}

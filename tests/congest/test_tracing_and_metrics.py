@@ -1,0 +1,113 @@
+"""Standalone tests for trace recording and metrics objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.faults import CrashSchedule
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.tracing import TraceEvent, TraceRecorder
+
+
+class TestTraceEvent:
+    def test_str_with_node_and_detail(self):
+        event = TraceEvent(3, "send", node=1, detail={"to": 2, "bits": 8})
+        text = str(event)
+        assert "[r3]" in text
+        assert "node=1" in text
+        assert "bits=8" in text
+
+    def test_str_without_node(self):
+        assert "node" not in str(TraceEvent(0, "round-end"))
+
+    def test_frozen(self):
+        event = TraceEvent(0, "x")
+        with pytest.raises(AttributeError):
+            event.kind = "y"
+
+
+class TestTraceRecorder:
+    def test_record_and_query(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "send", node=1, to=2)
+        recorder.record(0, "halt", node=2)
+        recorder.record(1, "send", node=3, to=1)
+        assert len(recorder) == 3
+        assert len(recorder.of_kind("send")) == 2
+        assert len(recorder.for_node(2)) == 1
+
+    def test_max_events_truncates(self):
+        recorder = TraceRecorder(max_events=2)
+        for i in range(5):
+            recorder.record(0, "e", node=i)
+        assert len(recorder) == 2
+        assert recorder.truncated
+
+    def test_render_limits(self):
+        recorder = TraceRecorder()
+        for i in range(10):
+            recorder.record(i, "tick")
+        text = recorder.render(limit=3)
+        assert "7 more events" in text
+
+    def test_predicate(self):
+        recorder = TraceRecorder(predicate=lambda e: e.node == 5)
+        recorder.record(0, "a", node=5)
+        recorder.record(0, "a", node=6)
+        assert len(recorder) == 1
+
+
+class TestMetrics:
+    def test_round_metrics_accumulate(self):
+        rm = RoundMetrics(round_index=0)
+        rm.record_message(10)
+        rm.record_message(30)
+        assert rm.messages_sent == 2
+        assert rm.bits_sent == 40
+        assert rm.max_message_bits == 30
+
+    def test_run_metrics_absorb(self):
+        run = RunMetrics(congest_budget_bits=64)
+        for i, bits in enumerate((10, 70)):
+            rm = RoundMetrics(round_index=i)
+            rm.record_message(bits)
+            run.absorb(rm)
+        assert run.rounds == 2
+        assert run.total_bits == 80
+        assert run.max_message_bits == 70
+        assert run.congest_compliant is False
+        assert run.messages_per_round() == [1, 1]
+
+    def test_compliance_none_without_budget(self):
+        assert RunMetrics().congest_compliant is None
+
+    def test_summary_string(self):
+        run = RunMetrics(congest_budget_bits=128)
+        rm = RoundMetrics(round_index=0)
+        rm.record_message(100)
+        run.absorb(rm)
+        assert "OK" in run.summary()
+
+
+class TestCrashSchedule:
+    def test_single_and_lookup(self):
+        schedule = CrashSchedule.single(3, [1, 2])
+        assert schedule.crashing_at(3) == {1, 2}
+        assert schedule.crashing_at(4) == set()
+
+    def test_all_crashed_by(self):
+        schedule = CrashSchedule({1: {5}, 3: {6}})
+        assert schedule.all_crashed_by(0) == set()
+        assert schedule.all_crashed_by(2) == {5}
+        assert schedule.all_crashed_by(3) == {5, 6}
+
+    def test_add_and_empty(self):
+        schedule = CrashSchedule.none()
+        assert schedule.is_empty
+        schedule.add(2, 7)
+        assert not schedule.is_empty
+        assert schedule.crashing_at(2) == {7}
+
+    def test_sorted_items(self):
+        schedule = CrashSchedule({5: {3, 1}, 2: {9}})
+        assert schedule.as_sorted_items() == ((2, (9,)), (5, (1, 3)))

@@ -1,0 +1,78 @@
+"""Tests for the Theorem-7.2-style degree reduction preprocessing."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.degree_reduction import (
+    degree_reduction_threshold,
+    reduce_max_degree,
+)
+from repro.graphs.generators import starry_arboricity_graph
+from repro.mis.validation import is_independent_set
+
+
+class TestThreshold:
+    def test_formula_shape(self):
+        import math
+
+        n, alpha = 2**20, 3
+        log_n = 20.0
+        expected = alpha * 2 ** math.sqrt(log_n * math.log2(log_n))
+        assert degree_reduction_threshold(n, alpha) == pytest.approx(expected)
+
+    def test_scales_with_alpha(self):
+        assert degree_reduction_threshold(10**4, 4) == pytest.approx(
+            2 * degree_reduction_threshold(10**4, 2)
+        )
+
+    def test_tiny_n(self):
+        assert degree_reduction_threshold(2, 3) == 6.0
+
+
+class TestReduceMaxDegree:
+    def test_noop_when_degree_small(self, arb3_graph):
+        result = reduce_max_degree(arb3_graph, alpha=3, seed=1, threshold=10_000)
+        assert result.was_noop
+        assert result.surviving == set(arb3_graph.nodes())
+        assert result.independent_set == set()
+
+    def test_reduces_below_threshold(self):
+        g = starry_arboricity_graph(600, 2, hubs=3, seed=1)
+        result = reduce_max_degree(g, alpha=2, seed=1, threshold=30)
+        assert result.max_degree_before > 30
+        assert result.max_degree_after <= 30
+
+    def test_independent_set_valid(self):
+        g = starry_arboricity_graph(600, 2, hubs=3, seed=2)
+        result = reduce_max_degree(g, alpha=2, seed=2, threshold=30)
+        assert is_independent_set(g, result.independent_set)
+
+    def test_removed_nodes_are_is_plus_neighbors(self):
+        g = starry_arboricity_graph(400, 2, hubs=2, seed=3)
+        result = reduce_max_degree(g, alpha=2, seed=3, threshold=25)
+        covered = set(result.independent_set)
+        for v in result.independent_set:
+            covered.update(g.neighbors(v))
+        assert result.removed <= covered
+
+    def test_surviving_partition(self):
+        g = starry_arboricity_graph(400, 2, hubs=2, seed=4)
+        result = reduce_max_degree(g, alpha=2, seed=4, threshold=25)
+        assert result.removed | result.surviving == set(g.nodes())
+        assert not (result.removed & result.surviving)
+
+    def test_reproducible(self):
+        g = starry_arboricity_graph(300, 2, hubs=2, seed=5)
+        a = reduce_max_degree(g, alpha=2, seed=6, threshold=20)
+        b = reduce_max_degree(g, alpha=2, seed=6, threshold=20)
+        assert a.independent_set == b.independent_set
+
+    def test_star_hub_removed_or_isolated(self):
+        g = nx.star_graph(100)
+        result = reduce_max_degree(g, alpha=1, seed=0, threshold=10)
+        # The hub is the only high-degree node; it joins the IS and the
+        # whole star is removed.
+        assert result.independent_set == {0}
+        assert result.max_degree_after == 0

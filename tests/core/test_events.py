@@ -1,0 +1,125 @@
+"""Tests for the Events (1)-(3) simulators and bounds (Theorems 3.1-3.3)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.events import (
+    event1_bound,
+    event2_bound,
+    event3_bound,
+    simulate_event1,
+    simulate_event2,
+    simulate_event3,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.generators import bounded_arboricity_graph
+from repro.graphs.orientation import peeling_orientation
+
+
+@pytest.fixture(scope="module")
+def oriented_arb_graph():
+    g = bounded_arboricity_graph(150, 2, seed=3)
+    return g, peeling_orientation(g)
+
+
+class TestBounds:
+    def test_event1_bound_increases_with_m(self):
+        assert event1_bound(100, 10, 2) > event1_bound(10, 10, 2)
+
+    def test_event1_bound_decreases_with_alpha(self):
+        assert event1_bound(50, 10, 4) < event1_bound(50, 10, 2)
+
+    def test_event1_bound_edge_cases(self):
+        assert event1_bound(0, 10, 2) == 0.0
+        assert event1_bound(10, 0, 2) == 0.0
+
+    def test_event2_event3_bounds_near_one(self):
+        assert event2_bound(10) == 1 - 1e-4
+        assert event3_bound(10) == 1 - 1e-3
+
+    def test_bounds_are_probabilities(self):
+        assert 0 <= event1_bound(30, 5, 2) <= 1
+        assert 0 <= event2_bound(3) <= 1
+        assert 0 <= event3_bound(3) <= 1
+
+
+class TestSimulateEvent1:
+    def test_bound_holds(self, oriented_arb_graph):
+        g, orientation = oriented_arb_graph
+        # M = competitive nodes with at least one child.
+        m = [v for v in g.nodes() if orientation.children(v)][:40]
+        estimate = simulate_event1(g, orientation, m, alpha=2, rho=1e9, trials=600, seed=1)
+        assert estimate.bound_holds
+
+    def test_empty_m_rejected(self, oriented_arb_graph):
+        g, orientation = oriented_arb_graph
+        with pytest.raises(ConfigurationError):
+            simulate_event1(g, orientation, [], alpha=2, rho=10)
+
+    def test_larger_m_raises_empirical(self, oriented_arb_graph):
+        g, orientation = oriented_arb_graph
+        with_children = [v for v in g.nodes() if orientation.children(v)]
+        small = simulate_event1(g, orientation, with_children[:5], alpha=2, rho=1e9, trials=400, seed=2)
+        large = simulate_event1(g, orientation, with_children[:50], alpha=2, rho=1e9, trials=400, seed=2)
+        assert large.empirical >= small.empirical - 0.05
+
+
+class TestSimulateEvent2:
+    def test_bound_holds_on_large_m(self, oriented_arb_graph):
+        g, orientation = oriented_arb_graph
+        m = list(g.nodes())[:120]
+        estimate = simulate_event2(g, orientation, m, alpha=2, rho=1e9, trials=400, seed=3)
+        # Theorem 3.2's quota |M|/2alpha succeeds essentially always when
+        # every node is competitive: each node beats its <= alpha parents
+        # with prob >= 1/(alpha+1) ... empirically ~1.
+        assert estimate.empirical >= estimate.bound - 0.05
+
+    def test_root_nodes_always_beat_parents(self, oriented_arb_graph):
+        g, orientation = oriented_arb_graph
+        roots = [v for v in g.nodes() if not orientation.parents(v)]
+        if roots:
+            estimate = simulate_event2(g, orientation, roots, alpha=2, rho=1e9, trials=100, seed=4)
+            assert estimate.empirical == 1.0
+
+
+class TestSimulateEvent3:
+    def test_runs_and_reports(self, oriented_arb_graph):
+        g, orientation = oriented_arb_graph
+        m = [v for v in g.nodes() if len(orientation.children(v)) >= 2][:20]
+        estimate = simulate_event3(
+            g, orientation, m, alpha=2, rho=1e9, trials=200, seed=5
+        )
+        assert 0.0 <= estimate.empirical <= 1.0
+        assert estimate.trials == 200
+
+    def test_paper_quota_nearly_always_met(self, oriented_arb_graph):
+        # The paper quota 1/(8a^2(32a^6+1)) is ~0.0002 for alpha=2: with
+        # |M|=20 the quota is < 1 node, so any elimination counts; nodes
+        # with children are eliminated often.
+        g, orientation = oriented_arb_graph
+        m = [v for v in g.nodes() if len(orientation.children(v)) >= 2][:20]
+        estimate = simulate_event3(g, orientation, m, alpha=2, rho=1e9, trials=200, seed=6)
+        assert estimate.empirical > 0.5
+
+    def test_custom_quota_monotone(self, oriented_arb_graph):
+        g, orientation = oriented_arb_graph
+        m = [v for v in g.nodes() if orientation.children(v)][:30]
+        lenient = simulate_event3(
+            g, orientation, m, alpha=2, rho=1e9, trials=200, seed=7, quota_fraction=0.01
+        )
+        strict = simulate_event3(
+            g, orientation, m, alpha=2, rho=1e9, trials=200, seed=7, quota_fraction=0.9
+        )
+        assert lenient.empirical >= strict.empirical
+
+
+class TestRhoCutoff:
+    def test_non_competitive_nodes_cannot_win(self):
+        # With rho=0 nobody is competitive: Event (1) can never happen.
+        g = bounded_arboricity_graph(40, 2, seed=8)
+        orientation = peeling_orientation(g)
+        m = [v for v in g.nodes() if orientation.children(v)][:10]
+        estimate = simulate_event1(g, orientation, m, alpha=2, rho=0, trials=100, seed=9)
+        assert estimate.empirical == 0.0

@@ -1,0 +1,118 @@
+"""Tests for the finishing-up machinery (§3.3)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.bounded_arb import bounded_arb_independent_set
+from repro.core.finishing import finish, restricted_metivier_mis, split_vlo_vhi
+from repro.graphs.generators import bounded_arboricity_graph, starry_arboricity_graph
+from repro.mis.validation import assert_valid_mis, is_independent_set
+
+
+class TestSplit:
+    def test_partition(self, starry_graph):
+        partial = bounded_arb_independent_set(starry_graph, alpha=2, seed=1)
+        split = split_vlo_vhi(starry_graph, partial.residual, partial.parameters)
+        assert split["vlo"] | split["vhi"] == partial.residual
+        assert not (split["vlo"] & split["vhi"])
+
+    def test_vlo_degree_bounded(self, starry_graph):
+        partial = bounded_arb_independent_set(starry_graph, alpha=2, seed=1)
+        split = split_vlo_vhi(starry_graph, partial.residual, partial.parameters)
+        threshold = partial.parameters.final_degree_threshold()
+        for v in split["vlo"]:
+            deg = sum(1 for u in starry_graph.neighbors(v) if u in partial.residual)
+            assert deg <= threshold
+
+    def test_empty_residual(self, arb3_graph):
+        from repro.core.parameters import compute_parameters
+
+        params = compute_parameters(3, 10, "practical")
+        split = split_vlo_vhi(arb3_graph, set(), params)
+        assert split == {"vlo": set(), "vhi": set()}
+
+
+class TestRestrictedMetivier:
+    def test_blocked_nodes_never_join(self, path5):
+        selected, _ = restricted_metivier_mis(
+            path5, nodes={0, 1, 2, 3, 4}, blocked={0, 2, 4}, seed=1, tag=99
+        )
+        assert selected <= {1, 3}
+
+    def test_maximal_over_eligible(self, arb3_graph):
+        nodes = set(arb3_graph.nodes())
+        selected, _ = restricted_metivier_mis(
+            arb3_graph, nodes=nodes, blocked=set(), seed=2, tag=99
+        )
+        assert_valid_mis(arb3_graph, selected)
+
+    def test_empty_inputs(self, arb3_graph):
+        selected, iterations = restricted_metivier_mis(
+            arb3_graph, nodes=set(), blocked=set(), seed=1, tag=99
+        )
+        assert selected == set()
+        assert iterations == 0
+
+
+class TestFinish:
+    def test_produces_valid_mis(self, starry_graph):
+        partial = bounded_arb_independent_set(starry_graph, alpha=2, seed=4)
+        report = finish(starry_graph, partial, alpha=2, seed=4)
+        assert_valid_mis(starry_graph, report.mis)
+
+    def test_extends_partial_set(self, starry_graph):
+        partial = bounded_arb_independent_set(starry_graph, alpha=2, seed=4)
+        report = finish(starry_graph, partial, alpha=2, seed=4)
+        assert partial.independent_set <= report.mis
+
+    def test_stage_outputs_disjoint(self, starry_graph):
+        partial = bounded_arb_independent_set(starry_graph, alpha=2, seed=5)
+        report = finish(starry_graph, partial, alpha=2, seed=5)
+        assert not (report.ilo & report.ihi)
+        assert not (report.ilo & partial.independent_set)
+        assert report.bad_members <= partial.bad_set
+
+    def test_round_accounting_nonnegative(self, starry_graph):
+        partial = bounded_arb_independent_set(starry_graph, alpha=2, seed=5)
+        report = finish(starry_graph, partial, alpha=2, seed=5)
+        assert report.total_finishing_rounds >= 0
+        assert report.total_finishing_rounds >= 3 * report.vlo_iterations
+
+    def test_paper_profile_everything_in_finishing(self, arb3_graph):
+        # Theta=0: the finishing phase does all the work alone.
+        partial = bounded_arb_independent_set(arb3_graph, alpha=3, seed=1, profile="paper")
+        assert partial.independent_set == set()
+        report = finish(arb3_graph, partial, alpha=3, seed=1)
+        assert_valid_mis(arb3_graph, report.mis)
+
+
+class TestLinialStrategy:
+    def test_produces_valid_mis(self, starry_graph):
+        partial = bounded_arb_independent_set(starry_graph, alpha=2, seed=4)
+        report = finish(starry_graph, partial, alpha=2, seed=4, strategy="linial")
+        assert_valid_mis(starry_graph, report.mis)
+        assert report.strategy == "linial"
+
+    def test_deterministic_given_partial(self, arb3_graph):
+        partial = bounded_arb_independent_set(arb3_graph, alpha=3, seed=2)
+        a = finish(arb3_graph, partial, alpha=3, seed=2, strategy="linial")
+        b = finish(arb3_graph, partial, alpha=3, seed=99, strategy="linial")
+        # The Linial stages ignore the seed entirely: same partial input,
+        # same output, regardless of seed.
+        assert a.mis == b.mis
+
+    def test_unknown_strategy_rejected(self, arb3_graph):
+        from repro.errors import ConfigurationError
+
+        partial = bounded_arb_independent_set(arb3_graph, alpha=3, seed=2)
+        with pytest.raises(ConfigurationError):
+            finish(arb3_graph, partial, alpha=3, strategy="magic")
+
+    def test_arb_mis_exposes_strategy(self, arb3_graph):
+        from repro.core.arb_mis import arb_mis
+
+        result = arb_mis(arb3_graph, alpha=3, seed=1, finishing_strategy="linial")
+        assert_valid_mis(arb3_graph, result.mis)
+        assert result.extra["report"].finishing.strategy == "linial"

@@ -1,0 +1,80 @@
+"""Tests for the per-scale Invariant machinery."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.invariant import (
+    active_degrees,
+    high_degree_neighbor_counts,
+    invariant_holds,
+    invariant_violators,
+)
+from repro.core.parameters import compute_parameters
+from repro.mis.engine import active_adjacency
+
+
+class TestActiveDegrees:
+    def test_full_active_set(self, path5):
+        adj = active_adjacency(path5)
+        degrees = active_degrees(set(path5.nodes()), adj)
+        assert degrees == {0: 1, 1: 2, 2: 2, 3: 2, 4: 1}
+
+    def test_partial_active_set(self, path5):
+        adj = active_adjacency(path5)
+        degrees = active_degrees({0, 1, 2}, adj)
+        assert degrees == {0: 1, 1: 2, 2: 1}
+
+    def test_empty(self, path5):
+        assert active_degrees(set(), active_adjacency(path5)) == {}
+
+
+class TestHighDegreeCounts:
+    def test_star(self):
+        g = nx.star_graph(6)  # hub 0 degree 6, leaves degree 1
+        adj = active_adjacency(g)
+        counts = high_degree_neighbor_counts(set(g.nodes()), adj, degree_threshold=3)
+        assert counts[0] == 0  # no high-degree neighbors of the hub
+        for leaf in range(1, 7):
+            assert counts[leaf] == 1  # the hub
+
+    def test_threshold_is_strict(self):
+        g = nx.star_graph(4)  # hub degree 4
+        adj = active_adjacency(g)
+        counts = high_degree_neighbor_counts(set(g.nodes()), adj, degree_threshold=4)
+        assert counts[1] == 0  # degree 4 is NOT > 4
+
+
+class TestInvariantPredicate:
+    def _double_star(self):
+        """Two hubs (degree ~8) sharing a set of leaves."""
+        g = nx.Graph()
+        for leaf in range(2, 10):
+            g.add_edge(0, leaf)
+            g.add_edge(1, leaf)
+        return g
+
+    def test_violators_on_double_star(self):
+        g = self._double_star()
+        params = compute_parameters(2, 8, profile="practical")
+        adj = active_adjacency(g)
+        active = set(g.nodes())
+        k = 1
+        # High-degree threshold at scale 1 = 8/2 + 2 = 6: both hubs qualify
+        # (degree 8); bad threshold = 8/8 = 1.  Every leaf has 2 high-degree
+        # neighbors > 1 -> all leaves are violators.
+        violators = invariant_violators(active, adj, params, k)
+        assert violators == set(range(2, 10))
+        assert not invariant_holds(active, adj, params, k)
+
+    def test_holds_after_removal(self):
+        g = self._double_star()
+        params = compute_parameters(2, 8, profile="practical")
+        adj = active_adjacency(g)
+        active = set(g.nodes()) - {0}  # one hub gone: each leaf has 1 high neighbor
+        assert invariant_holds(active, adj, params, 1)
+
+    def test_trivially_holds_when_empty(self, path5):
+        params = compute_parameters(1, 2, profile="practical")
+        assert invariant_holds(set(), active_adjacency(path5), params, 1)

@@ -1,0 +1,128 @@
+"""Tests for the (Θ, Λ, ρ_k) parameter formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parameters import PROFILES, Parameters, compute_parameters
+from repro.errors import ConfigurationError
+
+
+class TestPaperProfile:
+    def test_theta_formula_pinned(self):
+        # Delta must be astronomically large before Theta goes positive:
+        # for alpha=2, the denominator 1176*16*2^10*ln^2(Delta) first drops
+        # below Delta around 10^10.
+        alpha, delta = 2, 10**11
+        params = compute_parameters(alpha, delta, profile="paper")
+        denominator = 1176 * 16 * alpha**10 * math.log(delta) ** 2
+        expected = math.floor(math.log2(delta / denominator))
+        assert expected > 0
+        assert params.theta == expected
+
+    def test_theta_zero_at_laptop_scale(self):
+        # The documented degeneracy: any feasible Delta gives Theta = 0.
+        for delta in (10, 100, 10_000, 1_000_000):
+            assert compute_parameters(2, delta, profile="paper").theta == 0
+
+    def test_lambda_formula_pinned(self):
+        alpha, delta, p = 3, 1000, 2
+        params = compute_parameters(alpha, delta, profile="paper", p_constant=p)
+        inner = 260 * alpha**4 * math.log(delta) ** 2
+        expected = math.ceil(p * 8 * alpha**2 * (32 * alpha**6 + 1) * math.log(inner))
+        assert params.lambda_iterations == expected
+
+    def test_rho_formula_pinned(self):
+        params = compute_parameters(2, 1024, profile="paper")
+        assert params.rho(1) == pytest.approx(8 * math.log(1024) * 1024 / 4)
+        assert params.rho(3) == pytest.approx(8 * math.log(1024) * 1024 / 16)
+
+
+class TestPracticalProfile:
+    def test_multiple_scales_at_moderate_delta(self):
+        params = compute_parameters(3, 500, profile="practical")
+        assert params.theta >= 3
+
+    def test_lambda_grows_with_alpha(self):
+        lambdas = [
+            compute_parameters(a, 100, profile="practical").lambda_iterations
+            for a in (1, 2, 4, 8)
+        ]
+        assert lambdas == sorted(lambdas)
+        assert lambdas[-1] > lambdas[0]
+
+    def test_rho_halves_per_scale(self):
+        params = compute_parameters(2, 512, profile="practical")
+        assert params.rho(2) == pytest.approx(params.rho(1) / 2)
+
+    def test_rho_exceeds_high_degree_threshold(self):
+        # The analysis needs low-degree nodes (deg <= Delta/2^(k-1) + alpha)
+        # to be competitive: rho_k must be >= that.
+        params = compute_parameters(3, 2048, profile="practical")
+        for k in params.scales():
+            low_degree_cap = params.max_degree / 2 ** (k - 1) + params.alpha
+            assert params.rho(k) >= min(low_degree_cap, params.max_degree)
+
+
+class TestThresholds:
+    def test_high_degree_threshold(self):
+        params = compute_parameters(2, 256, profile="practical")
+        assert params.high_degree_threshold(1) == 256 / 2 + 2
+        assert params.high_degree_threshold(3) == 256 / 8 + 2
+
+    def test_bad_threshold(self):
+        params = compute_parameters(2, 256, profile="practical")
+        assert params.bad_threshold(1) == 256 / 8
+        assert params.bad_threshold(2) == 256 / 16
+
+    def test_final_degree_threshold(self):
+        params = compute_parameters(2, 256, profile="practical")
+        assert params.final_degree_threshold() == 256 / 2**params.theta + 2
+
+    def test_scale_index_one_based(self):
+        params = compute_parameters(2, 256, profile="practical")
+        with pytest.raises(ConfigurationError):
+            params.rho(0)
+        with pytest.raises(ConfigurationError):
+            params.bad_threshold(-1)
+
+    def test_scales_range(self):
+        params = compute_parameters(2, 256, profile="practical")
+        assert list(params.scales()) == list(range(1, params.theta + 1))
+
+    def test_total_iterations(self):
+        params = compute_parameters(2, 256, profile="practical")
+        assert params.total_iterations() == params.theta * params.lambda_iterations
+
+
+class TestValidation:
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            compute_parameters(0, 100)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            compute_parameters(2, -1)
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            compute_parameters(2, 100, p_constant=0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            compute_parameters(2, 100, profile="magic")
+
+    def test_profiles_constant(self):
+        assert set(PROFILES) == {"paper", "practical"}
+
+    def test_degenerate_graph(self):
+        params = compute_parameters(1, 0, profile="practical")
+        assert params.theta == 0
+        assert params.total_iterations() == 0
+
+    def test_frozen(self):
+        params = compute_parameters(2, 100)
+        with pytest.raises(AttributeError):
+            params.theta = 99

@@ -1,0 +1,62 @@
+"""Tests for the shattering analysis (Theorem 3.6 / Lemma 3.7)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.shattering import analyze_bad_components, lemma_3_7_component_bound
+from repro.graphs.generators import bounded_arboricity_graph
+
+
+class TestLemmaBound:
+    def test_formula(self):
+        import math
+
+        bound = lemma_3_7_component_bound(10, 1000, c=1.0)
+        assert bound == pytest.approx(10**6 * math.log(1000) / math.log(10))
+
+    def test_grows_with_delta(self):
+        assert lemma_3_7_component_bound(20, 1000) > lemma_3_7_component_bound(5, 1000)
+
+    def test_c_scales_linearly(self):
+        assert lemma_3_7_component_bound(10, 100, c=2.0) == pytest.approx(
+            2 * lemma_3_7_component_bound(10, 100, c=1.0)
+        )
+
+
+class TestAnalyzeBadComponents:
+    def test_empty_bad_set(self, arb3_graph):
+        report = analyze_bad_components(arb3_graph, set())
+        assert report.bad_count == 0
+        assert report.component_count == 0
+        assert report.largest_component == 0
+        assert report.within_bound
+
+    def test_counts_components(self, path5):
+        # Bad = {0, 1, 3}: components {0,1} and {3}.
+        report = analyze_bad_components(path5, {0, 1, 3})
+        assert report.bad_count == 3
+        assert sorted(report.component_sizes) == [1, 2]
+        assert report.largest_component == 2
+
+    def test_bad_fraction(self, path5):
+        report = analyze_bad_components(path5, {0})
+        assert report.bad_fraction == pytest.approx(0.2)
+
+    def test_summary_readable(self, path5):
+        report = analyze_bad_components(path5, {0, 1})
+        text = report.summary()
+        assert "|B|=2/5" in text
+        assert "largest=2" in text
+
+    def test_real_run_shatters(self):
+        # On a real run of the algorithm, B should be small and shattered.
+        from repro.core.bounded_arb import bounded_arb_independent_set
+        from repro.graphs.generators import starry_arboricity_graph
+
+        g = starry_arboricity_graph(500, 2, hubs=5, seed=2)
+        result = bounded_arb_independent_set(g, alpha=2, seed=2)
+        report = analyze_bad_components(g, result.bad_set)
+        assert report.bad_fraction < 0.2
+        assert report.within_bound  # the lemma bound is enormous; must hold

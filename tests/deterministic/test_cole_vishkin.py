@@ -1,0 +1,121 @@
+"""Tests for Cole-Vishkin coloring and the forest MIS sweep."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.deterministic.cole_vishkin import (
+    color_reduction_rounds_bound,
+    forest_mis_deterministic,
+    forest_three_coloring,
+    log_star,
+)
+from repro.errors import GraphError
+from repro.graphs.generators import random_tree
+from repro.graphs.orientation import bfs_forest_orientation
+
+
+def _rooted_edges(tree: nx.Graph):
+    """(child, parent) pairs from a BFS orientation of the tree."""
+    orientation = bfs_forest_orientation(tree)
+    return [(v, next(iter(orientation.parents(v)))) for v in tree.nodes() if orientation.parents(v)]
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536) if False else True  # skip the tower
+
+    def test_bound_generous(self):
+        assert color_reduction_rounds_bound(10**6) >= log_star(10**6)
+
+
+class TestForestThreeColoring:
+    def test_path(self):
+        tree = nx.path_graph(50)
+        result = forest_three_coloring(tree.nodes(), _rooted_edges(tree))
+        assert set(result.colors.values()) <= {0, 1, 2}
+
+    def test_proper_on_random_trees(self):
+        for seed in range(4):
+            tree = random_tree(200, seed=seed)
+            edges = _rooted_edges(tree)
+            result = forest_three_coloring(tree.nodes(), edges)
+            for child, parent in edges:
+                assert result.colors[child] != result.colors[parent]
+
+    def test_round_count_is_log_star_ish(self):
+        tree = random_tree(4000, seed=1)
+        result = forest_three_coloring(tree.nodes(), _rooted_edges(tree))
+        assert result.rounds <= color_reduction_rounds_bound(4000) + 6  # +6 shift-down rounds
+
+    def test_star(self):
+        star = nx.star_graph(30)
+        result = forest_three_coloring(star.nodes(), [(i, 0) for i in range(1, 31)])
+        assert all(result.colors[i] != result.colors[0] for i in range(1, 31))
+
+    def test_multi_tree_forest(self):
+        forest = nx.union(
+            random_tree(40, seed=1),
+            nx.relabel_nodes(random_tree(30, seed=2), {i: i + 100 for i in range(30)}),
+        )
+        edges = _rooted_edges(forest)
+        result = forest_three_coloring(forest.nodes(), edges)
+        for child, parent in edges:
+            assert result.colors[child] != result.colors[parent]
+
+    def test_single_node(self):
+        result = forest_three_coloring([5], [])
+        assert result.colors[5] in {0, 1, 2}
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(GraphError):
+            forest_three_coloring([0, 1, 2], [(0, 1), (0, 2)])
+
+
+class TestForestMisSweep:
+    def test_valid_on_tree(self):
+        tree = random_tree(100, seed=3)
+        joined, rounds = forest_mis_deterministic(tree, _rooted_edges(tree), set(), set())
+        from repro.mis.validation import assert_valid_mis
+
+        assert_valid_mis(tree, joined)
+        assert rounds > 0
+
+    def test_respects_blocked(self):
+        path = nx.path_graph(6)
+        joined, _ = forest_mis_deterministic(
+            path, _rooted_edges(path), already_decided=set(), blocked={0, 2, 4}
+        )
+        assert joined <= {1, 3, 5}
+
+    def test_respects_already_decided(self):
+        path = nx.path_graph(4)
+        # Node 1 already joined (from an earlier forest); nodes 0, 2 are
+        # its neighbors and must not join now.
+        joined, _ = forest_mis_deterministic(
+            path, _rooted_edges(path), already_decided={1}, blocked={0, 2}
+        )
+        assert 0 not in joined and 2 not in joined
+        assert 3 in joined
+
+    def test_cross_forest_conflicts_resolved(self):
+        # Component graph has an extra edge not in the forest: two
+        # same-color forest nodes adjacent through it must not both join.
+        g = nx.path_graph(4)
+        g.add_edge(0, 2)  # extra non-forest edge
+        forest = _rooted_edges(nx.path_graph(4))
+        joined, _ = forest_mis_deterministic(g, forest, set(), set())
+        from repro.mis.validation import is_independent_set
+
+        assert is_independent_set(g, joined)
+
+    def test_empty_forest(self):
+        joined, rounds = forest_mis_deterministic(nx.Graph(), [], set(), set())
+        assert joined == set()
+        assert rounds == 0

@@ -1,0 +1,103 @@
+"""Tests for the Barenboim-Elkin H-partition and forest decomposition."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.deterministic.forest_decomposition import (
+    barenboim_elkin_forests,
+    h_partition,
+)
+from repro.errors import ConfigurationError, DecompositionError
+from repro.graphs.forests import is_forest_partition
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    random_maximal_planar_graph,
+    random_tree,
+)
+
+
+class TestHPartition:
+    def test_tree_single_phase(self):
+        # A tree always has >= half its nodes at degree <= 4a >= 2... a path
+        # peels entirely in one phase at threshold (2+2)*1 = 4.
+        part = h_partition(nx.path_graph(20), alpha=1)
+        assert part.phases == 1
+
+    def test_bands_cover_all_nodes(self):
+        g = bounded_arboricity_graph(100, 3, seed=1)
+        part = h_partition(g, alpha=3)
+        assert set(part.bands) == set(g.nodes())
+
+    def test_band_sizes_sum(self):
+        g = bounded_arboricity_graph(100, 2, seed=2)
+        part = h_partition(g, alpha=2)
+        assert sum(part.band_sizes()) == 100
+
+    def test_logarithmic_phases(self):
+        import math
+
+        g = bounded_arboricity_graph(1000, 3, seed=3)
+        part = h_partition(g, alpha=3)
+        assert part.phases <= 4 * math.log2(1000)
+
+    def test_stalls_when_alpha_understated(self):
+        # K7 has arboricity 4 > (2+2)*... threshold (2+eps)*1 = 3 < min
+        # degree 6: peeling can never start.
+        with pytest.raises(DecompositionError):
+            h_partition(nx.complete_graph(7), alpha=1)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            h_partition(nx.path_graph(3), alpha=1, epsilon=0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            h_partition(nx.path_graph(3), alpha=0)
+
+
+class TestForestDecomposition:
+    def test_valid_partition_on_arb_graphs(self):
+        for alpha, seed in ((2, 1), (3, 2)):
+            g = bounded_arboricity_graph(80, alpha, seed=seed)
+            decomposition = barenboim_elkin_forests(g, alpha)
+            non_empty = [f for f in decomposition.forests if f]
+            assert is_forest_partition(g, non_empty)
+
+    def test_forest_count_bounded(self):
+        g = bounded_arboricity_graph(80, 3, seed=4)
+        decomposition = barenboim_elkin_forests(g, 3)
+        assert decomposition.forest_count <= 4 * 3
+
+    def test_each_forest_has_out_degree_one(self):
+        g = random_maximal_planar_graph(60, seed=1)
+        decomposition = barenboim_elkin_forests(g, 3)
+        for forest in decomposition.forests:
+            children = [child for child, _ in forest]
+            assert len(children) == len(set(children))
+
+    def test_rounds_accounting(self):
+        g = bounded_arboricity_graph(80, 2, seed=5)
+        decomposition = barenboim_elkin_forests(g, 2)
+        assert decomposition.rounds == decomposition.partition.phases + 2
+
+    def test_tree_input(self):
+        t = random_tree(50, seed=6)
+        decomposition = barenboim_elkin_forests(t, 1)
+        non_empty = [f for f in decomposition.forests if f]
+        assert is_forest_partition(t, non_empty)
+
+    def test_rooted_forests_feed_cole_vishkin(self):
+        # End-to-end: decompose, then 3-color each forest.
+        from repro.deterministic.cole_vishkin import forest_three_coloring
+
+        g = bounded_arboricity_graph(60, 2, seed=7)
+        decomposition = barenboim_elkin_forests(g, 2)
+        for forest in decomposition.forests:
+            if not forest:
+                continue
+            nodes = {v for e in forest for v in e}
+            result = forest_three_coloring(nodes, forest)
+            for child, parent in forest:
+                assert result.colors[child] != result.colors[parent]

@@ -1,0 +1,114 @@
+"""Tests for Linial coloring and the deterministic bounded-degree MIS."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.deterministic.linial import (
+    bounded_degree_mis,
+    delta_plus_one_coloring,
+    linial_coloring,
+    linial_step_parameters,
+    next_prime,
+    reduce_to_delta_plus_one,
+)
+from repro.graphs.generators import bounded_arboricity_graph, random_regular, random_tree
+from repro.mis.validation import is_maximal_independent_set
+
+
+class TestPrimes:
+    def test_next_prime_values(self):
+        assert next_prime(2) == 2
+        assert next_prime(4) == 5
+        assert next_prime(14) == 17
+        assert next_prime(100) == 101
+
+    def test_step_parameters_encode_palette(self):
+        for m, delta in ((10, 3), (100, 5), (1000, 8), (2, 1)):
+            q, d = linial_step_parameters(m, delta)
+            assert q ** (d + 1) >= m
+            assert q > delta * d
+
+
+class TestLinialColoring:
+    def test_proper_on_assorted(self, assorted_graph):
+        coloring = linial_coloring(assorted_graph)
+        coloring.validate(assorted_graph)
+
+    def test_palette_shrinks_below_n(self):
+        g = bounded_arboricity_graph(400, 2, seed=1)
+        coloring = linial_coloring(g)
+        assert coloring.palette < g.number_of_nodes()
+
+    def test_log_star_round_count(self):
+        g = bounded_arboricity_graph(500, 2, seed=2)
+        coloring = linial_coloring(g)
+        assert coloring.rounds <= 8  # log* 500 + slack; Linial is fast
+
+    def test_empty_graph(self):
+        coloring = linial_coloring(nx.Graph())
+        assert coloring.colors == {}
+        assert coloring.rounds == 0
+
+    def test_deterministic(self):
+        g = bounded_arboricity_graph(100, 2, seed=3)
+        a = linial_coloring(g)
+        b = linial_coloring(g)
+        assert a.colors == b.colors
+
+
+class TestDeltaPlusOne:
+    def test_palette_at_most_delta_plus_one(self, assorted_graph):
+        coloring = delta_plus_one_coloring(assorted_graph)
+        delta = max((d for _, d in assorted_graph.degree()), default=0)
+        assert coloring.palette <= delta + 1
+        coloring.validate(assorted_graph)
+
+    def test_regular_graph(self):
+        g = random_regular(60, 4, seed=1)
+        coloring = delta_plus_one_coloring(g)
+        assert coloring.palette <= 5
+        coloring.validate(g)
+
+    def test_tree_three_colors_or_fewer_than_delta(self):
+        t = random_tree(80, seed=4)
+        coloring = delta_plus_one_coloring(t)
+        delta = max(d for _, d in t.degree())
+        assert coloring.palette <= delta + 1
+
+    def test_rounds_monotone(self):
+        g = bounded_arboricity_graph(120, 3, seed=5)
+        base = linial_coloring(g)
+        reduced = reduce_to_delta_plus_one(g, base)
+        assert reduced.rounds >= base.rounds
+
+
+class TestBoundedDegreeMis:
+    def test_maximal_on_assorted(self, assorted_graph):
+        mis, rounds = bounded_degree_mis(assorted_graph)
+        assert is_maximal_independent_set(assorted_graph, mis)
+        assert rounds > 0
+
+    def test_blocked_respected(self, path5):
+        mis, _ = bounded_degree_mis(path5, blocked={0, 2, 4})
+        assert mis <= {1, 3}
+        # Every unblocked node is dominated.
+        for v in (1, 3):
+            assert v in mis or any(u in mis for u in path5.neighbors(v))
+
+    def test_deterministic(self, arb3_graph):
+        assert bounded_degree_mis(arb3_graph)[0] == bounded_degree_mis(arb3_graph)[0]
+
+    def test_round_count_scales_with_delta_not_n(self):
+        small = bounded_arboricity_graph(100, 2, seed=6)
+        large = bounded_arboricity_graph(3000, 2, seed=6)
+        _, small_rounds = bounded_degree_mis(small)
+        _, large_rounds = bounded_degree_mis(large)
+        # 30x the nodes but similar Delta: rounds should not blow up.
+        assert large_rounds <= 3 * small_rounds + 20
+
+    def test_empty(self):
+        mis, rounds = bounded_degree_mis(nx.Graph())
+        assert mis == set()
+        assert rounds == 0

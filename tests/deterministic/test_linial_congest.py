@@ -1,0 +1,89 @@
+"""Tests for the distributed Linial MIS program."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.deterministic.linial import bounded_degree_mis, delta_plus_one_coloring
+from repro.deterministic.linial_congest import (
+    LinialMISProgram,
+    linial_mis_congest,
+    linial_schedule,
+)
+from repro.graphs.generators import bounded_arboricity_graph, random_regular, random_tree
+from repro.mis.validation import assert_valid_mis
+
+
+class TestSchedule:
+    def test_palettes_shrink(self):
+        steps, m_final, retirement = linial_schedule(500, 6)
+        palettes = [m for _, _, m in steps] + [m_final]
+        assert palettes == sorted(palettes, reverse=True)
+        assert m_final < 500
+
+    def test_retirement_count(self):
+        _, m_final, retirement = linial_schedule(300, 5)
+        assert retirement == m_final - 6
+
+    def test_trivial_graph(self):
+        steps, m_final, retirement = linial_schedule(1, 0)
+        assert m_final >= 1
+
+
+class TestProgram:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: nx.path_graph(25),
+            lambda: random_tree(40, seed=1),
+            lambda: bounded_arboricity_graph(60, 2, seed=2),
+            lambda: random_regular(30, 3, seed=3),
+            lambda: nx.cycle_graph(17),
+        ],
+    )
+    def test_valid_mis_and_proper_coloring(self, builder):
+        graph = builder()
+        mis, colors, rounds, _ = linial_mis_congest(graph)
+        assert_valid_mis(graph, mis)
+        delta = max(d for _, d in graph.degree())
+        for u, v in graph.edges():
+            assert colors[u] != colors[v]
+        assert max(colors.values()) <= delta
+
+    def test_matches_centralized(self):
+        # Both implementations are deterministic and follow the same
+        # schedule, so the outputs must coincide exactly.
+        for seed in range(3):
+            graph = bounded_arboricity_graph(50, 2, seed=seed)
+            congest_mis, congest_colors, _, _ = linial_mis_congest(graph)
+            central_mis, _ = bounded_degree_mis(graph)
+            central_colors = delta_plus_one_coloring(graph).colors
+            assert congest_mis == central_mis
+            assert congest_colors == central_colors
+
+    def test_congest_budget_respected(self):
+        graph = bounded_arboricity_graph(40, 2, seed=4)
+        mis, _, _, metrics = linial_mis_congest(graph, enforce_congest=True)
+        assert metrics.congest_compliant
+        assert_valid_mis(graph, mis)
+
+    def test_round_count_matches_plan(self):
+        graph = random_tree(30, seed=5)
+        net_delta = max(d for _, d in graph.degree())
+        program = LinialMISProgram(30, net_delta)
+        _, _, rounds, _ = linial_mis_congest(graph)
+        assert rounds <= program.total_rounds + 1
+
+    def test_edgeless_graph(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        mis, colors, _, _ = linial_mis_congest(g)
+        assert mis == {0, 1, 2, 3, 4}
+
+    def test_deterministic(self):
+        graph = bounded_arboricity_graph(40, 2, seed=6)
+        a = linial_mis_congest(graph)
+        b = linial_mis_congest(graph)
+        assert a[0] == b[0]
+        assert a[1] == b[1]

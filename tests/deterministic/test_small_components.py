@@ -1,0 +1,83 @@
+"""Tests for per-component deterministic finishing (Lemma 3.8 driver)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.deterministic.small_components import finish_components, finish_one_component
+from repro.graphs.generators import bounded_arboricity_graph, random_tree
+from repro.mis.validation import is_independent_set, is_maximal_independent_set
+
+
+class TestFinishOneComponent:
+    def test_mis_of_a_tree(self):
+        t = random_tree(40, seed=1)
+        joined, rounds = finish_one_component(t, alpha=1, blocked=set())
+        assert is_maximal_independent_set(t, joined)
+        assert rounds > 0
+
+    def test_mis_of_arb_component(self):
+        g = bounded_arboricity_graph(50, 2, seed=2)
+        joined, _ = finish_one_component(g, alpha=2, blocked=set())
+        assert is_maximal_independent_set(g, joined)
+
+    def test_blocked_nodes_excluded_but_dominating(self):
+        path = nx.path_graph(5)
+        # Nodes 0 and 1 are blocked (dominated by outside members).
+        joined, _ = finish_one_component(path, alpha=1, blocked={0, 1})
+        assert not (joined & {0, 1})
+        # Every unblocked node is in or adjacent to the set.
+        for v in (2, 3, 4):
+            assert v in joined or any(u in joined for u in path.neighbors(v))
+
+    def test_empty_component(self):
+        joined, rounds = finish_one_component(nx.Graph(), alpha=1, blocked=set())
+        assert joined == set()
+        assert rounds == 0
+
+    def test_isolated_nodes(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        joined, _ = finish_one_component(g, alpha=1, blocked={2})
+        assert joined == {0, 1, 3}
+
+
+class TestFinishComponents:
+    def test_multiple_components_processed(self):
+        g = nx.union(
+            random_tree(20, seed=1),
+            nx.relabel_nodes(random_tree(15, seed=2), {i: i + 50 for i in range(15)}),
+        )
+        report = finish_components(g, g.nodes(), alpha=1, blocked=set())
+        assert report.component_count == 2
+        assert is_maximal_independent_set(g, report.independent_set)
+
+    def test_parallel_cost_is_max(self):
+        g = nx.union(
+            random_tree(30, seed=3),
+            nx.relabel_nodes(random_tree(5, seed=4), {i: i + 50 for i in range(5)}),
+        )
+        report = finish_components(g, g.nodes(), alpha=1, blocked=set())
+        assert report.max_rounds == max(report.per_component_rounds)
+        assert report.total_rounds == sum(report.per_component_rounds)
+
+    def test_subset_of_nodes_only(self):
+        g = random_tree(30, seed=5)
+        subset = set(range(10))
+        report = finish_components(g, subset, alpha=1, blocked=set())
+        assert report.independent_set <= subset
+
+    def test_largest_component_recorded(self):
+        g = nx.union(
+            random_tree(25, seed=6),
+            nx.relabel_nodes(random_tree(10, seed=7), {i: i + 50 for i in range(10)}),
+        )
+        report = finish_components(g, g.nodes(), alpha=1, blocked=set())
+        assert report.largest_component == 25
+
+    def test_empty_node_set(self):
+        g = random_tree(10, seed=8)
+        report = finish_components(g, [], alpha=1, blocked=set())
+        assert report.component_count == 0
+        assert report.independent_set == set()

@@ -1,0 +1,143 @@
+"""Tests for arboricity / pseudoarboricity / degeneracy machinery."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.arboricity import (
+    arboricity_bounds,
+    degeneracy,
+    degeneracy_ordering,
+    maximum_density_subgraph_density,
+    nash_williams_lower_bound,
+    pseudoarboricity,
+)
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    k_tree,
+    random_maximal_planar_graph,
+    random_tree,
+)
+
+
+class TestDegeneracy:
+    def test_tree_is_1_degenerate(self):
+        assert degeneracy(random_tree(50, seed=1)) == 1
+
+    def test_cycle_is_2_degenerate(self):
+        assert degeneracy(nx.cycle_graph(10)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(nx.complete_graph(6)) == 5
+
+    def test_empty_and_edgeless(self):
+        assert degeneracy(nx.Graph()) == 0
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        assert degeneracy(g) == 0
+
+    def test_ordering_is_permutation(self):
+        g = bounded_arboricity_graph(40, 2, seed=3)
+        ordering, _ = degeneracy_ordering(g)
+        assert sorted(ordering) == sorted(g.nodes())
+
+    def test_ordering_witnesses_degeneracy(self):
+        # Orienting edges backward along the ordering gives out-degree <= d.
+        g = bounded_arboricity_graph(40, 2, seed=3)
+        ordering, d = degeneracy_ordering(g)
+        position = {v: i for i, v in enumerate(ordering)}
+        for v in g.nodes():
+            later = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+            assert later <= d
+
+    def test_matches_networkx_core_number(self):
+        g = nx.gnp_random_graph(40, 0.2, seed=7)
+        assert degeneracy(g) == max(nx.core_number(g).values())
+
+
+class TestPseudoarboricity:
+    def test_tree(self):
+        assert pseudoarboricity(random_tree(30, seed=1)) == 1
+
+    def test_cycle(self):
+        assert pseudoarboricity(nx.cycle_graph(8)) == 1  # orient the cycle
+
+    def test_complete_graph(self):
+        # K5 has 10 edges, 5 nodes: ceil(10/5) = 2 and 2 is achievable.
+        assert pseudoarboricity(nx.complete_graph(5)) == 2
+
+    def test_union_of_forests(self):
+        g = bounded_arboricity_graph(60, 3, seed=2)
+        p = pseudoarboricity(g)
+        assert 2 <= p <= 3
+
+    def test_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert pseudoarboricity(g) == 0
+
+
+class TestNashWilliams:
+    def test_tree_bound(self):
+        assert nash_williams_lower_bound(random_tree(30, seed=4)) == 1
+
+    def test_complete_graph(self):
+        # alpha(K4) = ceil(6/3) = 2; alpha(K5) = ceil(10/4) = 3.
+        assert nash_williams_lower_bound(nx.complete_graph(4)) == 2
+        assert nash_williams_lower_bound(nx.complete_graph(5)) == 3
+
+    def test_planar_triangulation(self):
+        g = random_maximal_planar_graph(30, seed=1)
+        assert nash_williams_lower_bound(g) == 3
+
+
+class TestMaximumDensity:
+    def test_whole_graph_density_reachable(self):
+        g = nx.complete_graph(5)
+        density, nodes = maximum_density_subgraph_density(g)
+        assert float(density) == pytest.approx(2.0)  # 10/5
+        assert len(nodes) == 5
+
+    def test_finds_dense_core(self):
+        # A K6 (density 2.5) hanging off a long path (density ~0.5).
+        g = nx.complete_graph(6)
+        path = nx.path_graph(range(6, 30))
+        g = nx.compose(g, path)
+        g.add_edge(5, 6)
+        density, nodes = maximum_density_subgraph_density(g)
+        assert float(density) == pytest.approx(15 / 6)
+        assert set(range(6)).issubset(nodes)
+
+    def test_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        density, nodes = maximum_density_subgraph_density(g)
+        assert float(density) == 0.0
+        assert nodes == frozenset()
+
+
+class TestArboricityBounds:
+    def test_interval_contains_truth_for_trees(self):
+        low, high = arboricity_bounds(random_tree(40, seed=5))
+        assert low <= 1 <= high
+
+    def test_interval_for_planar(self):
+        low, high = arboricity_bounds(random_maximal_planar_graph(40, seed=5))
+        assert low <= 3 <= high
+        assert low == 3  # Nash-Williams is tight on triangulations
+
+    def test_interval_for_k_tree(self):
+        low, high = arboricity_bounds(k_tree(25, 3, seed=5))
+        assert low <= 3 <= high
+
+    def test_interval_width_at_most_one(self):
+        for seed in range(3):
+            g = bounded_arboricity_graph(40, 2, seed=seed)
+            low, high = arboricity_bounds(g)
+            assert high - low <= 1
+
+    def test_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert arboricity_bounds(g) == (0, 0)

@@ -1,0 +1,72 @@
+"""Tests for forest partitions."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.forests import (
+    forest_count_of_partition,
+    forest_partition_greedy,
+    is_forest_partition,
+)
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    random_maximal_planar_graph,
+    random_tree,
+)
+
+
+class TestIsForestPartition:
+    def test_valid_single_tree(self):
+        t = random_tree(20, seed=1)
+        assert is_forest_partition(t, [list(t.edges())])
+
+    def test_detects_cycle_in_part(self):
+        g = nx.cycle_graph(4)
+        assert not is_forest_partition(g, [list(g.edges())])
+
+    def test_detects_missing_edge(self):
+        g = nx.path_graph(4)
+        assert not is_forest_partition(g, [[(0, 1), (1, 2)]])
+
+    def test_detects_duplicate_edge(self):
+        g = nx.path_graph(3)
+        assert not is_forest_partition(g, [[(0, 1)], [(1, 0), (1, 2)]])
+
+    def test_detects_foreign_edge(self):
+        g = nx.path_graph(3)
+        assert not is_forest_partition(g, [[(0, 1), (1, 2), (0, 2)]])
+
+    def test_multiple_valid_parts(self):
+        g = nx.cycle_graph(4)
+        parts = [[(0, 1), (1, 2), (2, 3)], [(3, 0)]]
+        assert is_forest_partition(g, parts)
+
+
+class TestGreedyPartition:
+    def test_tree_single_part(self):
+        t = random_tree(30, seed=2)
+        parts = forest_partition_greedy(t)
+        assert forest_count_of_partition(parts) == 1
+
+    def test_union_of_forests(self):
+        g = bounded_arboricity_graph(60, 3, seed=3)
+        parts = forest_partition_greedy(g)
+        assert is_forest_partition(g, parts)
+        # Degeneracy of a union of 3 forests is at most 5 (= 2*3 - 1).
+        assert forest_count_of_partition(parts) <= 6
+
+    def test_planar(self):
+        g = random_maximal_planar_graph(40, seed=4)
+        parts = forest_partition_greedy(g)
+        assert is_forest_partition(g, parts)
+        assert forest_count_of_partition(parts) <= 6  # degeneracy of planar <= 5
+
+    def test_complete_graph(self):
+        g = nx.complete_graph(6)
+        parts = forest_partition_greedy(g)
+        assert is_forest_partition(g, parts)
+
+    def test_counts_only_nonempty(self):
+        assert forest_count_of_partition([[], [(0, 1)], []]) == 1

@@ -1,0 +1,181 @@
+"""Tests for the workload graph generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import (
+    GraphSpec,
+    barbell_of_trees,
+    bounded_arboricity_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    hypercube_graph,
+    k_tree,
+    path_graph,
+    random_binary_tree,
+    random_maximal_planar_graph,
+    random_regular,
+    random_tree,
+    star_graph,
+    starry_arboricity_graph,
+)
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        for seed in range(5):
+            g = random_tree(40, seed=seed)
+            assert nx.is_tree(g)
+
+    def test_sizes(self):
+        assert random_tree(1).number_of_nodes() == 1
+        assert random_tree(2).number_of_edges() == 1
+        assert random_tree(100, seed=1).number_of_edges() == 99
+
+    def test_seed_reproducible(self):
+        assert set(random_tree(30, seed=9).edges()) == set(random_tree(30, seed=9).edges())
+
+    def test_seeds_differ(self):
+        assert set(random_tree(30, seed=1).edges()) != set(random_tree(30, seed=2).edges())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            random_tree(0)
+
+    def test_prufer_uniformity_smoke(self):
+        # On 4 nodes there are 16 labeled trees; with 800 samples each
+        # should appear a decent number of times.
+        from collections import Counter
+
+        counts = Counter(
+            tuple(sorted(tuple(sorted(e)) for e in random_tree(4, seed=s).edges()))
+            for s in range(800)
+        )
+        assert len(counts) == 16
+        assert min(counts.values()) > 20
+
+
+class TestRandomBinaryTree:
+    def test_is_tree_with_degree_cap(self):
+        g = random_binary_tree(64, seed=3)
+        assert nx.is_tree(g)
+        assert max(d for _, d in g.degree()) <= 3
+
+
+class TestClassicShapes:
+    def test_path_star_cycle_complete(self):
+        assert path_graph(5).number_of_edges() == 4
+        assert star_graph(5).number_of_edges() == 4
+        assert cycle_graph(5).number_of_edges() == 5
+        assert complete_graph(5).number_of_edges() == 10
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4
+        assert all(isinstance(v, int) for v in g.nodes())
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.number_of_nodes() == 16
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_random_regular_validates(self):
+        with pytest.raises(ConfigurationError):
+            random_regular(5, 3)  # odd n*d
+        g = random_regular(10, 3, seed=1)
+        assert all(d == 3 for _, d in g.degree())
+
+
+class TestKTree:
+    def test_edge_count(self):
+        # A k-tree on n nodes has k(k+1)/2 + (n-k-1)k edges.
+        g = k_tree(20, 3, seed=1)
+        assert g.number_of_edges() == 6 + 16 * 3
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ConfigurationError):
+            k_tree(3, 3)
+
+    def test_is_chordal(self):
+        assert nx.is_chordal(k_tree(15, 2, seed=4))
+
+
+class TestBoundedArboricityGraph:
+    def test_edge_budget(self):
+        g = bounded_arboricity_graph(100, 3, seed=1)
+        assert g.number_of_edges() <= 3 * 99
+
+    def test_decomposes_into_alpha_forests(self):
+        # By construction the edges are a union of alpha trees; verify via
+        # the greedy partition achieving <= degeneracy parts and the
+        # density certificate.
+        from repro.graphs.arboricity import nash_williams_lower_bound
+
+        g = bounded_arboricity_graph(80, 2, seed=5)
+        assert nash_williams_lower_bound(g) <= 2
+
+    def test_connected(self):
+        assert nx.is_connected(bounded_arboricity_graph(50, 2, seed=0))
+
+
+class TestStarryArboricityGraph:
+    def test_high_max_degree(self):
+        g = starry_arboricity_graph(400, 2, hubs=4, seed=1)
+        assert max(d for _, d in g.degree()) > 50
+
+    def test_arboricity_stays_bounded(self):
+        from repro.graphs.arboricity import pseudoarboricity
+
+        g = starry_arboricity_graph(120, 2, hubs=3, seed=1)
+        assert pseudoarboricity(g) <= 2
+
+    def test_rejects_bad_hubs(self):
+        with pytest.raises(ConfigurationError):
+            starry_arboricity_graph(10, 2, hubs=0)
+
+
+class TestPlanar:
+    def test_maximal_planar_edge_count(self):
+        g = random_maximal_planar_graph(50, seed=2)
+        assert g.number_of_edges() == 3 * 50 - 6
+
+    def test_is_planar(self):
+        g = random_maximal_planar_graph(40, seed=3)
+        is_planar, _ = nx.check_planarity(g)
+        assert is_planar
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            random_maximal_planar_graph(2)
+
+
+class TestBarbell:
+    def test_connected_with_bridge(self):
+        g = barbell_of_trees(30, 2, seed=1)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() > 60
+
+
+class TestGraphSpec:
+    def test_build_and_label(self):
+        spec = GraphSpec("arb", (3,))
+        g = spec.build(50, seed=1)
+        assert g.number_of_nodes() == 50
+        assert spec.label() == "arb(3)"
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            GraphSpec("nope").build(10)
+
+    def test_tree_spec(self):
+        assert nx.is_tree(GraphSpec("tree").build(20, seed=2))
+
+    def test_spec_reproducible(self):
+        s = GraphSpec("gnp", (0.1,))
+        assert set(s.build(30, seed=4).edges()) == set(s.build(30, seed=4).edges())

@@ -1,0 +1,80 @@
+"""Tests for graph serialization."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import bounded_arboricity_graph
+from repro.graphs.io import (
+    read_edge_list,
+    read_workload,
+    write_edge_list,
+    write_workload,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, arb3_graph):
+        path = tmp_path / "g.edges"
+        write_edge_list(arb3_graph, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.nodes()) == set(arb3_graph.nodes())
+        assert set(map(frozenset, loaded.edges())) == set(map(frozenset, arb3_graph.edges()))
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        g = nx.Graph()
+        g.add_nodes_from([5, 9])
+        g.add_edge(0, 1)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.nodes()) == {0, 1, 5, 9}
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        write_edge_list(nx.Graph(), path)
+        assert read_edge_list(path).number_of_nodes() == 0
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# a comment\n\n0 1\n\n1 2\n")
+        loaded = read_edge_list(path)
+        assert loaded.number_of_edges() == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+
+class TestWorkload:
+    def test_round_trip_with_metadata(self, tmp_path):
+        g = bounded_arboricity_graph(40, 2, seed=3)
+        path = tmp_path / "w.json"
+        write_workload(g, path, metadata={"family": "arb", "alpha": 2, "seed": 3})
+        loaded, metadata = read_workload(path)
+        assert set(loaded.nodes()) == set(g.nodes())
+        assert loaded.number_of_edges() == g.number_of_edges()
+        assert metadata == {"family": "arb", "alpha": 2, "seed": 3}
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": [1]}')
+        with pytest.raises(GraphError):
+            read_workload(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            read_workload(path)
+
+    def test_default_metadata_empty(self, tmp_path):
+        g = nx.path_graph(3)
+        path = tmp_path / "w.json"
+        write_workload(g, path)
+        _, metadata = read_workload(path)
+        assert metadata == {}

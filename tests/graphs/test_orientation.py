@@ -1,0 +1,117 @@
+"""Tests for edge orientations."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import OrientationError
+from repro.graphs.generators import bounded_arboricity_graph, random_tree
+from repro.graphs.orientation import (
+    Orientation,
+    bfs_forest_orientation,
+    min_outdegree_orientation,
+    peeling_orientation,
+)
+
+
+class TestOrientationValidation:
+    def test_rejects_non_edges(self):
+        g = nx.path_graph(3)
+        with pytest.raises(OrientationError):
+            Orientation(g, [(0, 1), (0, 2)])
+
+    def test_rejects_double_orientation(self):
+        g = nx.path_graph(3)
+        with pytest.raises(OrientationError):
+            Orientation(g, [(0, 1), (1, 0), (1, 2)])
+
+    def test_rejects_missing_edges(self):
+        g = nx.path_graph(3)
+        with pytest.raises(OrientationError):
+            Orientation(g, [(0, 1)])
+
+    def test_parents_children_inverse(self):
+        g = nx.path_graph(4)
+        o = Orientation(g, [(0, 1), (2, 1), (2, 3)])
+        assert o.parents(0) == frozenset({1})
+        assert o.children(1) == frozenset({0, 2})
+        assert o.parents(2) == frozenset({1, 3})
+
+
+class TestDerivedNeighborhoods:
+    def test_grandchildren(self):
+        g = nx.path_graph(4)  # 0-1-2-3 oriented 3->2->1->0
+        o = Orientation(g, [(3, 2), (2, 1), (1, 0)])
+        assert o.grandchildren(0) == frozenset({2})
+        assert o.grandchildren(1) == frozenset({3})
+
+    def test_coparents(self):
+        # Two parents sharing a child: each is the other's co-parent.
+        g = nx.Graph([(0, 1), (0, 2)])
+        o = Orientation(g, [(0, 1), (0, 2)])
+        assert o.coparents(1) == frozenset({2})
+        assert o.coparents(2) == frozenset({1})
+
+    def test_read_k_of_child_events(self):
+        g = nx.star_graph(4)  # hub 0
+        o = Orientation(g, [(i, 0) for i in range(1, 5)])
+        assert o.max_out_degree() == 1
+        assert o.read_k_of_child_events() == 1
+
+
+class TestPeelingOrientation:
+    def test_out_degree_bounded_by_degeneracy(self):
+        from repro.graphs.arboricity import degeneracy
+
+        g = bounded_arboricity_graph(80, 3, seed=1)
+        o = peeling_orientation(g)
+        assert o.max_out_degree() <= degeneracy(g)
+
+    def test_covers_all_edges(self):
+        g = bounded_arboricity_graph(40, 2, seed=2)
+        o = peeling_orientation(g)
+        assert len(o.directed_edges()) == g.number_of_edges()
+
+    def test_tree_gets_low_out_degree(self):
+        o = peeling_orientation(random_tree(50, seed=3))
+        assert o.max_out_degree() == 1
+
+
+class TestMinOutdegreeOrientation:
+    def test_achieves_pseudoarboricity(self):
+        from repro.graphs.arboricity import pseudoarboricity
+
+        g = bounded_arboricity_graph(40, 3, seed=4)
+        o = min_outdegree_orientation(g)
+        assert o.max_out_degree() == pseudoarboricity(g)
+
+    def test_tree(self):
+        o = min_outdegree_orientation(random_tree(25, seed=1))
+        assert o.max_out_degree() == 1
+
+    def test_cycle(self):
+        o = min_outdegree_orientation(nx.cycle_graph(7))
+        assert o.max_out_degree() == 1
+
+    def test_empty(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert min_outdegree_orientation(g).max_out_degree() == 0
+
+
+class TestBfsForestOrientation:
+    def test_forest_out_degree_one(self):
+        forest = nx.union(random_tree(20, seed=1), nx.relabel_nodes(random_tree(10, seed=2), {i: i + 100 for i in range(10)}))
+        o = bfs_forest_orientation(forest)
+        assert o.max_out_degree() == 1
+
+    def test_roots_have_no_parent(self):
+        tree = random_tree(20, seed=5)
+        o = bfs_forest_orientation(tree)
+        roots = [v for v in tree.nodes() if not o.parents(v)]
+        assert len(roots) == 1
+
+    def test_rejects_cycles(self):
+        with pytest.raises(OrientationError):
+            bfs_forest_orientation(nx.cycle_graph(5))

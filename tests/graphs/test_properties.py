@@ -1,0 +1,48 @@
+"""Tests for graph property summaries."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.generators import bounded_arboricity_graph
+from repro.graphs.properties import average_degree, graph_summary, max_degree
+
+
+class TestMaxDegree:
+    def test_star(self):
+        assert max_degree(nx.star_graph(9)) == 9
+
+    def test_empty(self):
+        assert max_degree(nx.Graph()) == 0
+
+    def test_isolated_nodes(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        assert max_degree(g) == 0
+
+
+class TestAverageDegree:
+    def test_cycle(self):
+        assert average_degree(nx.cycle_graph(10)) == 2.0
+
+    def test_empty(self):
+        assert average_degree(nx.Graph()) == 0.0
+
+
+class TestGraphSummary:
+    def test_fields(self):
+        g = bounded_arboricity_graph(50, 2, seed=1)
+        s = graph_summary(g)
+        assert s.n == 50
+        assert s.m == g.number_of_edges()
+        assert s.max_degree == max_degree(g)
+        assert s.components == 1
+        assert s.degeneracy >= 1
+
+    def test_as_row_keys(self):
+        s = graph_summary(nx.path_graph(4))
+        row = s.as_row()
+        assert set(row) == {"n", "m", "max_deg", "avg_deg", "degeneracy", "components"}
+
+    def test_log_n_positive(self):
+        assert graph_summary(nx.path_graph(10)).log_n() > 0

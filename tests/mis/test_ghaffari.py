@@ -1,0 +1,70 @@
+"""Tests for Ghaffari's desire-level MIS algorithm."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.mis.ghaffari import ghaffari_mis, ghaffari_mis_congest
+from repro.mis.validation import assert_valid_mis
+
+
+class TestFastEngine:
+    def test_valid(self, assorted_graph):
+        assert_valid_mis(assorted_graph, ghaffari_mis(assorted_graph, seed=1).mis)
+
+    def test_reproducible(self, arb3_graph):
+        assert ghaffari_mis(arb3_graph, seed=6).mis == ghaffari_mis(arb3_graph, seed=6).mis
+
+    def test_terminates(self, starry_graph):
+        result = ghaffari_mis(starry_graph, seed=2)
+        assert result.extra["completed"]
+        assert_valid_mis(starry_graph, result.mis)
+
+    def test_two_adjacent_marked_nodes_back_off(self):
+        # On K2, both nodes start at p=1/2; whenever both mark, neither
+        # joins — so the one that eventually joins does so in an iteration
+        # where exactly one marked.  The output is always a single node.
+        for seed in range(5):
+            result = ghaffari_mis(nx.complete_graph(2), seed=seed)
+            assert len(result.mis) == 1
+
+    def test_shatter_iteration_recorded(self):
+        from repro.graphs.generators import bounded_arboricity_graph
+
+        g = bounded_arboricity_graph(1200, 2, seed=4)
+        result = ghaffari_mis(g, seed=4)
+        shatter = result.extra["iterations_to_shatter"]
+        assert shatter is not None
+        assert shatter <= result.iterations
+
+    def test_empty_graph(self):
+        assert ghaffari_mis(nx.Graph(), seed=0).mis == set()
+
+    def test_desire_levels_bounded(self):
+        # The exponent floor prevents p from collapsing to 0 entirely; the
+        # algorithm must still finish on a dense graph.
+        result = ghaffari_mis(nx.complete_graph(30), seed=1)
+        assert len(result.mis) == 1
+        assert result.extra["completed"]
+
+
+class TestCongestEngine:
+    def test_bit_identical_to_fast(self, assorted_graph):
+        fast = ghaffari_mis(assorted_graph, seed=8)
+        slow = ghaffari_mis_congest(assorted_graph, seed=8)
+        assert fast.mis == slow.mis
+
+    def test_iterations_match(self, small_tree):
+        fast = ghaffari_mis(small_tree, seed=3)
+        slow = ghaffari_mis_congest(small_tree, seed=3)
+        assert slow.iterations == fast.iterations
+
+    def test_congest_budget_respected(self, small_tree):
+        from repro.congest.network import Network
+        from repro.congest.simulator import SynchronousSimulator
+        from repro.mis.ghaffari import GhaffariMIS
+
+        net = Network(small_tree)
+        run = SynchronousSimulator(net, seed=3, enforce_congest=True).run(GhaffariMIS())
+        assert run.halted

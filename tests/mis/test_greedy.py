@@ -1,0 +1,57 @@
+"""Tests for sequential greedy MIS baselines."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.mis.greedy import (
+    greedy_mis,
+    lexicographic_mis,
+    min_degree_mis,
+    random_order_mis,
+)
+from repro.mis.validation import assert_valid_mis
+
+
+class TestGreedy:
+    def test_order_respected(self, path5):
+        assert greedy_mis(path5, [0, 1, 2, 3, 4]) == {0, 2, 4}
+        assert greedy_mis(path5, [1, 0, 2, 3, 4]) == {1, 3}
+
+    def test_always_valid(self, assorted_graph):
+        assert_valid_mis(assorted_graph, lexicographic_mis(assorted_graph))
+
+    def test_duplicate_entries_ignored(self, path5):
+        assert greedy_mis(path5, [0, 0, 2, 2, 4]) == {0, 2, 4}
+
+
+class TestLexicographic:
+    def test_deterministic(self, arb3_graph):
+        assert lexicographic_mis(arb3_graph) == lexicographic_mis(arb3_graph)
+
+    def test_star_picks_hub_first(self):
+        assert lexicographic_mis(nx.star_graph(5)) == {0}
+
+
+class TestRandomOrder:
+    def test_valid(self, arb3_graph):
+        assert_valid_mis(arb3_graph, random_order_mis(arb3_graph, seed=1))
+
+    def test_seed_reproducible(self, arb3_graph):
+        assert random_order_mis(arb3_graph, seed=4) == random_order_mis(arb3_graph, seed=4)
+
+    def test_seeds_vary(self, arb3_graph):
+        results = {frozenset(random_order_mis(arb3_graph, seed=s)) for s in range(6)}
+        assert len(results) > 1
+
+
+class TestMinDegree:
+    def test_valid(self, assorted_graph):
+        assert_valid_mis(assorted_graph, min_degree_mis(assorted_graph))
+
+    def test_star_picks_leaves(self):
+        # Min-degree greedy takes leaves first, yielding the large side.
+        assert min_degree_mis(nx.star_graph(5)) == {1, 2, 3, 4, 5}
+
+    def test_at_least_as_large_as_hub_choice(self, small_tree):
+        assert len(min_degree_mis(small_tree)) >= len(lexicographic_mis(small_tree)) - 5

@@ -1,0 +1,95 @@
+"""Tests for the Lenzen-Wattenhofer tree MIS."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import random_binary_tree, random_tree
+from repro.mis.lenzen_wattenhofer import (
+    lenzen_wattenhofer_tree_mis,
+    shattering_length,
+)
+from repro.mis.validation import assert_valid_mis
+
+
+class TestShatteringLength:
+    def test_formula(self):
+        n = 2**16
+        expected = math.ceil(2.0 * math.sqrt(16 * 4))
+        assert shattering_length(n) == expected
+
+    def test_minimum_one(self):
+        assert shattering_length(1) == 1
+        assert shattering_length(3) == 1
+
+    def test_scales_with_constant(self):
+        assert shattering_length(10**6, constant=4.0) >= 2 * shattering_length(10**6, constant=2.0) - 1
+
+    def test_sublogarithmic(self):
+        n = 2**30
+        assert shattering_length(n) < math.log2(n) * 2
+
+
+class TestLWTreeMis:
+    def test_valid_on_random_trees(self):
+        for seed in range(5):
+            t = random_tree(200, seed=seed)
+            result = lenzen_wattenhofer_tree_mis(t, seed=seed)
+            assert_valid_mis(t, result.mis)
+
+    def test_valid_on_binary_tree_and_path(self):
+        for g in (random_binary_tree(150, seed=1), nx.path_graph(100)):
+            assert_valid_mis(g, lenzen_wattenhofer_tree_mis(g, seed=2).mis)
+
+    def test_valid_on_forest(self):
+        forest = nx.union(
+            random_tree(60, seed=1),
+            nx.relabel_nodes(random_tree(40, seed=2), {i: i + 100 for i in range(40)}),
+        )
+        assert_valid_mis(forest, lenzen_wattenhofer_tree_mis(forest, seed=3).mis)
+
+    def test_rejects_non_forest(self):
+        with pytest.raises(GraphError):
+            lenzen_wattenhofer_tree_mis(nx.cycle_graph(6), seed=0)
+
+    def test_general_graph_with_check_disabled(self):
+        g = nx.cycle_graph(7)
+        result = lenzen_wattenhofer_tree_mis(g, seed=0, validate_forest=False)
+        assert_valid_mis(g, result.mis)
+
+    def test_phase1_respects_budget(self):
+        t = random_tree(500, seed=4)
+        result = lenzen_wattenhofer_tree_mis(t, seed=4)
+        assert result.iterations <= result.extra["phase1_budget"]
+
+    def test_shattering_components_small(self):
+        # The LW claim: after phase 1 the residual components are small.
+        t = random_tree(3000, seed=5)
+        result = lenzen_wattenhofer_tree_mis(t, seed=5)
+        largest = result.extra["phase2_largest_component"]
+        assert largest <= max(1, 3000 // 10)  # crude: far below n
+
+    def test_reproducible(self):
+        t = random_tree(120, seed=6)
+        assert (
+            lenzen_wattenhofer_tree_mis(t, seed=7).mis
+            == lenzen_wattenhofer_tree_mis(t, seed=7).mis
+        )
+
+    def test_small_constant_pushes_work_to_phase2(self):
+        t = random_tree(1000, seed=8)
+        eager = lenzen_wattenhofer_tree_mis(t, seed=8, constant=0.5)
+        patient = lenzen_wattenhofer_tree_mis(t, seed=8, constant=4.0)
+        assert_valid_mis(t, eager.mis)
+        assert_valid_mis(t, patient.mis)
+        assert eager.extra["residual_after_phase1"] >= patient.extra["residual_after_phase1"]
+
+    def test_empty_and_single(self):
+        assert lenzen_wattenhofer_tree_mis(nx.Graph(), seed=0).mis == set()
+        g = nx.Graph()
+        g.add_node(3)
+        assert lenzen_wattenhofer_tree_mis(g, seed=0).mis == {3}

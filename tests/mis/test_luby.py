@@ -1,0 +1,81 @@
+"""Tests for Luby's Algorithm A and Algorithm B."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.mis.luby import (
+    luby_a_mis,
+    luby_a_mis_congest,
+    luby_b_mis,
+    luby_b_mis_congest,
+)
+from repro.mis.validation import assert_valid_mis
+
+
+class TestLubyA:
+    def test_valid(self, assorted_graph):
+        assert_valid_mis(assorted_graph, luby_a_mis(assorted_graph, seed=1).mis)
+
+    def test_dual_engine_identity(self, assorted_graph):
+        assert (
+            luby_a_mis(assorted_graph, seed=2).mis
+            == luby_a_mis_congest(assorted_graph, seed=2).mis
+        )
+
+    def test_reproducible(self, arb3_graph):
+        assert luby_a_mis(arb3_graph, seed=7).mis == luby_a_mis(arb3_graph, seed=7).mis
+
+    def test_logarithmic_iterations(self):
+        from repro.graphs.generators import bounded_arboricity_graph
+
+        g = bounded_arboricity_graph(1500, 2, seed=3)
+        assert luby_a_mis(g, seed=1).iterations <= 8 * math.log2(1500)
+
+    def test_complete_graph(self):
+        result = luby_a_mis(nx.complete_graph(15), seed=0)
+        assert len(result.mis) == 1
+
+
+class TestLubyB:
+    def test_valid(self, assorted_graph):
+        assert_valid_mis(assorted_graph, luby_b_mis(assorted_graph, seed=1).mis)
+
+    def test_dual_engine_identity(self, assorted_graph):
+        assert (
+            luby_b_mis(assorted_graph, seed=2).mis
+            == luby_b_mis_congest(assorted_graph, seed=2).mis
+        )
+
+    def test_isolated_nodes_join_immediately(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        result = luby_b_mis(g, seed=0)
+        assert result.mis == {0, 1, 2, 3}
+        assert result.iterations == 1
+
+    def test_star_hub_or_all_leaves(self):
+        result = luby_b_mis(nx.star_graph(20), seed=5)
+        mis = result.mis
+        assert mis == {0} or (0 not in mis and len(mis) >= 1)
+        assert_valid_mis(nx.star_graph(20), mis)
+
+    def test_terminates_on_large_sparse(self):
+        from repro.graphs.generators import bounded_arboricity_graph
+
+        g = bounded_arboricity_graph(1500, 2, seed=9)
+        result = luby_b_mis(g, seed=9)
+        assert result.extra["completed"]
+        assert result.iterations <= 12 * math.log2(1500)
+
+    def test_unmarked_nodes_never_win(self, arb3_graph):
+        # Statistically: Luby B typically needs more iterations than
+        # Métivier on the same graph because only marked nodes can join.
+        from repro.mis.metivier import metivier_mis
+
+        luby_iters = luby_b_mis(arb3_graph, seed=3).iterations
+        met_iters = metivier_mis(arb3_graph, seed=3).iterations
+        assert luby_iters >= met_iters - 1

@@ -1,0 +1,90 @@
+"""Tests for the Métivier et al. MIS algorithm (both engines)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.mis.metivier import MetivierMIS, metivier_mis, metivier_mis_congest
+from repro.mis.validation import assert_valid_mis
+
+
+class TestFastEngine:
+    def test_valid_on_assorted_graphs(self, assorted_graph):
+        result = metivier_mis(assorted_graph, seed=3)
+        assert_valid_mis(assorted_graph, result.mis)
+
+    def test_reproducible(self, arb3_graph):
+        assert metivier_mis(arb3_graph, seed=5).mis == metivier_mis(arb3_graph, seed=5).mis
+
+    def test_seeds_vary_output(self, arb3_graph):
+        outputs = {frozenset(metivier_mis(arb3_graph, seed=s).mis) for s in range(8)}
+        assert len(outputs) > 1
+
+    def test_logarithmic_iterations(self):
+        # O(log n) w.h.p.; allow a generous constant.
+        from repro.graphs.generators import bounded_arboricity_graph
+
+        g = bounded_arboricity_graph(2000, 3, seed=1)
+        result = metivier_mis(g, seed=1)
+        assert result.iterations <= 8 * math.log2(2000)
+
+    def test_active_history_strictly_decreasing(self, arb3_graph):
+        result = metivier_mis(arb3_graph, seed=2)
+        history = result.active_history
+        assert all(a > b for a, b in zip(history, history[1:]))
+
+    def test_empty_graph(self):
+        result = metivier_mis(nx.Graph(), seed=0)
+        assert result.mis == set()
+        assert result.iterations == 0
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(7)
+        assert metivier_mis(g, seed=0).mis == {7}
+
+    def test_complete_graph_single_winner(self):
+        result = metivier_mis(nx.complete_graph(20), seed=1)
+        assert len(result.mis) == 1
+        assert result.iterations == 1
+
+    def test_isolated_nodes_all_join(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        assert metivier_mis(g, seed=0).mis == {0, 1, 2, 3, 4}
+
+    def test_completed_flag(self, arb3_graph):
+        assert metivier_mis(arb3_graph, seed=0).extra["completed"]
+
+    def test_iteration_cap_respected(self, arb3_graph):
+        result = metivier_mis(arb3_graph, seed=0, max_iterations=1)
+        assert result.iterations == 1
+        assert not result.extra["completed"]
+
+
+class TestCongestEngine:
+    def test_bit_identical_to_fast(self, assorted_graph):
+        fast = metivier_mis(assorted_graph, seed=9)
+        slow = metivier_mis_congest(assorted_graph, seed=9)
+        assert fast.mis == slow.mis
+
+    def test_three_rounds_per_iteration(self, arb3_graph):
+        fast = metivier_mis(arb3_graph, seed=4)
+        slow = metivier_mis_congest(arb3_graph, seed=4)
+        assert slow.congest_rounds <= 3 * fast.iterations
+        assert slow.iterations == fast.iterations
+
+    def test_congest_budget_respected(self, small_tree):
+        result = metivier_mis_congest(small_tree, seed=1, enforce_congest=True)
+        assert result.metrics.congest_compliant
+        assert_valid_mis(small_tree, result.mis)
+
+    def test_message_count_bounded_by_edge_activity(self, small_tree):
+        result = metivier_mis_congest(small_tree, seed=1)
+        m = small_tree.number_of_edges()
+        # Per iteration each live edge carries at most 2 key msgs + 2
+        # join/leave msgs in each direction.
+        assert result.metrics.total_messages <= 4 * m * result.iterations + 4 * m

@@ -1,0 +1,54 @@
+"""Tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mis.registry import (
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.mis.validation import assert_valid_mis
+
+
+class TestRegistry:
+    def test_default_algorithms_present(self):
+        names = available_algorithms()
+        for expected in (
+            "luby-a",
+            "luby-b",
+            "metivier",
+            "ghaffari",
+            "tree-independent-set",
+            "arb-mis",
+        ):
+            assert expected in names
+
+    def test_lookup_and_run(self):
+        fn = get_algorithm("metivier")
+        g = nx.path_graph(10)
+        assert_valid_mis(g, fn(g, seed=1).mis)
+
+    def test_arb_mis_takes_alpha(self):
+        fn = get_algorithm("arb-mis")
+        from repro.graphs.generators import bounded_arboricity_graph
+
+        g = bounded_arboricity_graph(60, 2, seed=1)
+        assert_valid_mis(g, fn(g, alpha=2, seed=1).mis)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_algorithm("definitely-not-an-algorithm")
+
+    def test_duplicate_registration_rejected(self):
+        register_algorithm("test-only-dummy", lambda g, seed=0: None)
+        try:
+            with pytest.raises(ConfigurationError):
+                register_algorithm("test-only-dummy", lambda g, seed=0: None)
+        finally:
+            unregister_algorithm("test-only-dummy")
+        assert "test-only-dummy" not in available_algorithms()

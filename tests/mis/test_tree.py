@@ -1,0 +1,61 @@
+"""Tests for TreeIndependentSet (the α = 1 instantiation)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import random_binary_tree, random_tree
+from repro.mis.tree import tree_mis
+from repro.mis.validation import assert_valid_mis
+
+
+class TestTreeMis:
+    def test_valid_on_random_trees(self):
+        for seed in range(4):
+            t = random_tree(120, seed=seed)
+            result = tree_mis(t, seed=seed)
+            assert_valid_mis(t, result.mis)
+
+    def test_valid_on_paths_and_stars(self):
+        for g in (nx.path_graph(40), nx.star_graph(40)):
+            assert_valid_mis(g, tree_mis(g, seed=1).mis)
+
+    def test_valid_on_forest(self):
+        forest = nx.union(
+            random_tree(30, seed=1),
+            nx.relabel_nodes(random_tree(20, seed=2), {i: i + 100 for i in range(20)}),
+        )
+        assert_valid_mis(forest, tree_mis(forest, seed=3).mis)
+
+    def test_rejects_non_forest(self):
+        with pytest.raises(GraphError):
+            tree_mis(nx.cycle_graph(5), seed=0)
+
+    def test_validation_can_be_skipped(self):
+        # With validate_forest=False the pipeline still produces an MIS of
+        # whatever graph it is given (the guarantees just don't apply).
+        result = tree_mis(nx.cycle_graph(6), seed=0, validate_forest=False)
+        assert_valid_mis(nx.cycle_graph(6), result.mis)
+
+    def test_algorithm_name(self):
+        result = tree_mis(random_tree(20, seed=4), seed=0)
+        assert result.algorithm == "tree-independent-set"
+
+    def test_binary_tree(self):
+        t = random_binary_tree(150, seed=2)
+        assert_valid_mis(t, tree_mis(t, seed=2).mis)
+
+    def test_reproducible(self):
+        t = random_tree(80, seed=7)
+        assert tree_mis(t, seed=1).mis == tree_mis(t, seed=1).mis
+
+    def test_paper_profile_runs(self):
+        # With paper constants Θ=0: everything lands in the finishing
+        # phase, which must still produce a valid MIS.
+        t = random_tree(60, seed=3)
+        result = tree_mis(t, seed=3, profile="paper")
+        assert_valid_mis(t, result.mis)
+        report = result.extra["report"]
+        assert report.parameters.theta == 0

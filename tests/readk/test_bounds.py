@@ -1,0 +1,128 @@
+"""Tests for the closed-form read-k bounds (paper Theorems 1.1 / 1.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.readk.bounds import (
+    azuma_lower_tail,
+    chernoff_lower_tail,
+    form2_from_form1,
+    read_k_conjunction_bound,
+    read_k_lower_tail_form1,
+    read_k_lower_tail_form2,
+)
+
+
+class TestConjunctionBound:
+    def test_k1_matches_independence(self):
+        assert read_k_conjunction_bound(0.5, 10, 1) == pytest.approx(0.5**10)
+
+    def test_exact_formula(self):
+        assert read_k_conjunction_bound(0.5, 10, 2) == pytest.approx(0.5**5)
+
+    def test_monotone_in_k(self):
+        values = [read_k_conjunction_bound(0.3, 12, k) for k in (1, 2, 3, 6)]
+        assert values == sorted(values)
+
+    def test_monotone_in_p(self):
+        assert read_k_conjunction_bound(0.2, 10, 2) < read_k_conjunction_bound(0.8, 10, 2)
+
+    def test_p_zero_and_one(self):
+        assert read_k_conjunction_bound(0.0, 5, 2) == 0.0
+        assert read_k_conjunction_bound(1.0, 5, 2) == 1.0
+
+    def test_clamped_to_one(self):
+        assert read_k_conjunction_bound(0.999, 1, 100) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            read_k_conjunction_bound(1.5, 5, 2)
+        with pytest.raises(ConfigurationError):
+            read_k_conjunction_bound(0.5, 0, 2)
+        with pytest.raises(ConfigurationError):
+            read_k_conjunction_bound(0.5, 5, 0)
+
+
+class TestTailForm1:
+    def test_exact_formula(self):
+        assert read_k_lower_tail_form1(0.1, 100, 2) == pytest.approx(
+            math.exp(-2 * 0.01 * 100 / 2)
+        )
+
+    def test_k1_is_hoeffding(self):
+        assert read_k_lower_tail_form1(0.1, 100, 1) == pytest.approx(math.exp(-2.0))
+
+    def test_decreasing_in_n(self):
+        assert read_k_lower_tail_form1(0.1, 200, 2) < read_k_lower_tail_form1(0.1, 100, 2)
+
+    def test_increasing_in_k(self):
+        assert read_k_lower_tail_form1(0.1, 100, 4) > read_k_lower_tail_form1(0.1, 100, 2)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            read_k_lower_tail_form1(0.0, 100, 2)
+
+
+class TestTailForm2:
+    def test_exact_formula(self):
+        assert read_k_lower_tail_form2(0.5, 40, 2) == pytest.approx(
+            math.exp(-0.25 * 40 / 4)
+        )
+
+    def test_chernoff_is_k1(self):
+        assert chernoff_lower_tail(0.5, 40) == read_k_lower_tail_form2(0.5, 40, 1)
+
+    def test_readk_weaker_than_chernoff(self):
+        for k in (2, 5, 10):
+            assert read_k_lower_tail_form2(0.5, 40, k) > chernoff_lower_tail(0.5, 40)
+
+    def test_zero_expectation_vacuous(self):
+        assert read_k_lower_tail_form2(0.5, 0.0, 3) == 1.0
+
+    def test_negative_expectation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            read_k_lower_tail_form2(0.5, -1.0, 2)
+
+
+class TestForm2Derivation:
+    def test_derivation_consistent_when_mean_high(self):
+        # With p-bar >= 1/4 the Form (1) route is at least as strong as the
+        # stated Form (2); the paper calls the derivation "routine".
+        n, k = 200, 3
+        expectation = 0.5 * n  # p-bar = 1/2
+        delta = 0.4
+        via_form1 = form2_from_form1(delta, expectation, n, k)
+        stated_form2 = read_k_lower_tail_form2(delta, expectation, k)
+        assert via_form1 <= stated_form2
+
+    def test_vacuous_for_zero_expectation(self):
+        assert form2_from_form1(0.5, 0.0, 100, 2) == 1.0
+
+
+class TestAzumaComparison:
+    def test_exact_formula(self):
+        assert azuma_lower_tail(10.0, 100, 2) == pytest.approx(
+            math.exp(-100.0 / (2 * 100 * 4))
+        )
+
+    def test_readk_beats_azuma_when_m_large(self):
+        # Gavinsky et al.'s point: Azuma pays for all m base variables.
+        # Family: n indicators, m = 10n bases, k = 2, deviation t = delta*E.
+        n, k = 100, 2
+        m = 10 * n
+        expectation = n / 2
+        delta = 0.5
+        t = delta * expectation
+        readk = read_k_lower_tail_form2(delta, expectation, k)
+        azuma = azuma_lower_tail(t, m, k)
+        assert readk < azuma
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            azuma_lower_tail(0.0, 10, 2)
+        with pytest.raises(ConfigurationError):
+            azuma_lower_tail(1.0, 0, 2)

@@ -1,0 +1,91 @@
+"""Tests for the Monte-Carlo validation of the read-k bounds.
+
+These are the unit-test-sized versions of experiments E4/E5: on synthetic
+families with known k, the empirical probabilities must respect the
+closed-form bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.readk.empirical import (
+    estimate_conjunction_probability,
+    estimate_lower_tail,
+    wilson_upper_bound,
+)
+from repro.readk.family import shared_parent_family
+
+
+class TestWilson:
+    def test_zero_successes_still_positive(self):
+        assert wilson_upper_bound(0, 1000) > 0.0
+
+    def test_contains_point_estimate(self):
+        assert wilson_upper_bound(300, 1000) > 0.3
+
+    def test_no_trials_vacuous(self):
+        assert wilson_upper_bound(0, 0) == 1.0
+
+    def test_tightens_with_trials(self):
+        assert wilson_upper_bound(10, 1000) < wilson_upper_bound(1, 100)
+
+
+class TestConjunctionEstimate:
+    def test_bound_holds_on_shared_parent_family(self):
+        fam = shared_parent_family(8, children_per_indicator=2, sharing=2)
+        est = estimate_conjunction_probability(fam, trials=4000, seed=1)
+        assert est.k == 2
+        assert est.n == 8
+        assert est.bound_holds
+
+    def test_independent_reference_below_bound(self):
+        # p^n <= p^(n/k): independence is the best case.
+        fam = shared_parent_family(6, 2, 3)
+        est = estimate_conjunction_probability(fam, trials=2000, seed=2)
+        assert est.independent_reference <= est.bound + 1e-12
+
+    def test_explicit_marginal_override(self):
+        fam = shared_parent_family(6, 2, 2)
+        est = estimate_conjunction_probability(fam, trials=500, seed=3, marginal=0.9)
+        assert est.bound == pytest.approx(0.9 ** (6 / 2))
+
+    def test_slack_infinite_when_event_never_seen(self):
+        # 12 indicators each needing "child beats parent"; all at once is
+        # rare enough to miss in 200 trials sometimes — force it with an
+        # impossible marginal scenario instead: use many indicators.
+        fam = shared_parent_family(40, 1, 1)
+        est = estimate_conjunction_probability(fam, trials=50, seed=4)
+        if est.empirical == 0.0:
+            assert est.slack == float("inf")
+        else:
+            assert est.slack >= 1.0
+
+
+class TestTailEstimate:
+    def test_bounds_hold(self):
+        fam = shared_parent_family(30, 2, 3)
+        est = estimate_lower_tail(fam, delta=0.5, trials=3000, seed=5)
+        assert est.bounds_hold
+
+    def test_chernoff_reference_tighter(self):
+        fam = shared_parent_family(30, 2, 3)
+        est = estimate_lower_tail(fam, delta=0.5, trials=1000, seed=6)
+        assert est.chernoff_reference <= est.bound_form2
+
+    def test_threshold_matches_delta(self):
+        fam = shared_parent_family(20, 2, 2)
+        est = estimate_lower_tail(fam, delta=0.25, trials=500, seed=7)
+        assert est.threshold == pytest.approx(0.75 * est.expectation)
+
+    def test_k_detected(self):
+        fam = shared_parent_family(10, 2, 4)
+        est = estimate_lower_tail(fam, delta=0.5, trials=200, seed=8)
+        assert est.k == 4
+
+    def test_small_delta_tail_larger(self):
+        # A tighter threshold (smaller delta) is hit more often.
+        fam = shared_parent_family(30, 2, 2)
+        tight = estimate_lower_tail(fam, delta=0.05, trials=2000, seed=9)
+        loose = estimate_lower_tail(fam, delta=0.6, trials=2000, seed=9)
+        assert tight.empirical >= loose.empirical

@@ -1,0 +1,127 @@
+"""Tests for the ReadKFamily data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.readk.family import ReadKFamily, shared_parent_family
+
+
+def _two_indicator_family() -> ReadKFamily:
+    fam = ReadKFamily()
+    for i in range(3):
+        fam.add_base(f"x{i}")
+    fam.add_indicator("y0", ["x0", "x1"], lambda v: v["x0"] > v["x1"])
+    fam.add_indicator("y1", ["x1", "x2"], lambda v: v["x1"] > v["x2"])
+    return fam
+
+
+class TestDeclaration:
+    def test_duplicate_base_rejected(self):
+        fam = ReadKFamily()
+        fam.add_base("x")
+        with pytest.raises(ConfigurationError):
+            fam.add_base("x")
+
+    def test_duplicate_indicator_rejected(self):
+        fam = _two_indicator_family()
+        with pytest.raises(ConfigurationError):
+            fam.add_indicator("y0", ["x0"], lambda v: True)
+
+    def test_unknown_base_rejected(self):
+        fam = ReadKFamily()
+        fam.add_base("x")
+        with pytest.raises(ConfigurationError):
+            fam.add_indicator("y", ["x", "missing"], lambda v: True)
+
+    def test_size_and_names(self):
+        fam = _two_indicator_family()
+        assert fam.size == 2
+        assert fam.base_names == ("x0", "x1", "x2")
+
+
+class TestReadParameter:
+    def test_shared_base_counts(self):
+        fam = _two_indicator_family()
+        # x1 is read by both indicators; x0, x2 by one each.
+        assert fam.read_counts() == {"x0": 1, "x1": 2, "x2": 1}
+        assert fam.read_parameter() == 2
+
+    def test_duplicate_reads_in_one_indicator_count_once(self):
+        fam = ReadKFamily()
+        fam.add_base("x")
+        fam.add_indicator("y", ["x", "x"], lambda v: v["x"] > 0.5)
+        assert fam.read_parameter() == 1
+
+    def test_empty_family_defaults_to_one(self):
+        assert ReadKFamily().read_parameter() == 1
+
+
+class TestSampling:
+    def test_sample_returns_all_indicators(self):
+        fam = _two_indicator_family()
+        rng = np.random.Generator(np.random.Philox(key=1))
+        outcome = fam.sample(rng)
+        assert set(outcome) == {"y0", "y1"}
+        assert all(isinstance(v, bool) for v in outcome.values())
+
+    def test_sample_matrix_shape_and_dtype(self):
+        fam = _two_indicator_family()
+        matrix = fam.sample_matrix(trials=50, seed=0)
+        assert matrix.shape == (50, 2)
+        assert matrix.dtype == bool
+
+    def test_sample_matrix_reproducible(self):
+        fam = _two_indicator_family()
+        assert np.array_equal(fam.sample_matrix(20, seed=3), fam.sample_matrix(20, seed=3))
+
+    def test_marginals_near_half(self):
+        # Pr[x0 > x1] = 1/2 for iid uniforms.
+        fam = _two_indicator_family()
+        marginals = fam.marginals(trials=4000, seed=1)
+        assert np.all(np.abs(marginals - 0.5) < 0.05)
+
+    def test_custom_sampler(self):
+        fam = ReadKFamily()
+        fam.add_base("x", sampler=lambda rng: 1.0)
+        fam.add_indicator("y", ["x"], lambda v: v["x"] > 0.5)
+        rng = np.random.Generator(np.random.Philox(key=1))
+        assert fam.sample(rng)["y"] is True
+
+
+class TestSharedParentFamily:
+    def test_read_parameter_equals_sharing(self):
+        for sharing in (1, 2, 3):
+            fam = shared_parent_family(6, children_per_indicator=3, sharing=sharing)
+            assert fam.read_parameter() == sharing
+
+    def test_indicator_count(self):
+        fam = shared_parent_family(5, 2, 2)
+        assert fam.size == 5
+
+    def test_every_indicator_has_children(self):
+        fam = shared_parent_family(4, 3, 2)
+        for ind in fam.indicators:
+            # reads = own parent variable + 3 children
+            assert len(ind.reads) == 4
+
+    def test_invalid_sharing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shared_parent_family(3, 2, sharing=0)
+        with pytest.raises(ConfigurationError):
+            shared_parent_family(3, 2, sharing=4)
+
+    def test_indicator_semantics(self):
+        # With one parent and one child, Y = [child > parent], so the
+        # marginal should be ~1/2.
+        fam = shared_parent_family(8, 1, 1)
+        marginals = fam.marginals(trials=4000, seed=2)
+        assert np.all(np.abs(marginals - 0.5) < 0.06)
+
+    def test_marginal_increases_with_children(self):
+        # More children => more likely some child beats the parent.
+        few = shared_parent_family(6, 1, 1).marginals(2000, seed=3).mean()
+        many = shared_parent_family(6, 5, 1).marginals(2000, seed=3).mean()
+        assert many > few

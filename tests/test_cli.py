@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.family == "arb"
+        assert args.algorithm == "arb-mis"
+        assert args.profile == "practical"
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--family", "nonsense"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "arb-mis" in out
+        assert "planar" in out
+
+    def test_run_validates_and_prints(self, capsys):
+        code = main(
+            ["run", "--family", "tree", "--n", "80", "--algorithm", "metivier", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[validated]" in out
+        assert "metivier" in out
+
+    def test_run_arb_mis_with_report(self, capsys):
+        code = main(
+            [
+                "run",
+                "--family",
+                "arb",
+                "--alpha",
+                "2",
+                "--n",
+                "120",
+                "--algorithm",
+                "arb-mis",
+                "--report",
+            ]
+        )
+        assert code == 0
+        assert "CONGEST rounds" in capsys.readouterr().out
+
+    def test_run_with_linial_finishing(self, capsys):
+        code = main(
+            [
+                "run",
+                "--family",
+                "arb",
+                "--alpha",
+                "2",
+                "--n",
+                "100",
+                "--finishing",
+                "linial",
+            ]
+        )
+        assert code == 0
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--family",
+                "tree",
+                "--sizes",
+                "40,80",
+                "--algorithms",
+                "metivier,luby-b",
+                "--seeds",
+                "0,1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metivier" in out and "luby-b" in out
+        assert "40" in out and "80" in out
+
+    def test_certify_planar(self, capsys):
+        code = main(["certify", "--family", "planar", "--n", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pseudoarboricity" in out
+        assert "[3, 4]" in out or "[3, 3]" in out
+
+    def test_run_paper_profile(self, capsys):
+        code = main(
+            [
+                "run",
+                "--family",
+                "tree",
+                "--n",
+                "60",
+                "--algorithm",
+                "arb-mis",
+                "--alpha",
+                "1",
+                "--profile",
+                "paper",
+            ]
+        )
+        assert code == 0
+
+
+class TestExportCommands:
+    def test_export_csv(self, tmp_path, capsys):
+        out = tmp_path / "points.csv"
+        code = main(
+            [
+                "export",
+                "--family",
+                "tree",
+                "--sizes",
+                "30,60",
+                "--algorithms",
+                "metivier",
+                "--seeds",
+                "0,1",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        import csv
+
+        with out.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0]["algorithm"] == "metivier"
+
+    def test_export_json(self, tmp_path, capsys):
+        out = tmp_path / "points.json"
+        code = main(
+            [
+                "export",
+                "--family",
+                "tree",
+                "--sizes",
+                "30",
+                "--algorithms",
+                "metivier,luby-b",
+                "--seeds",
+                "0",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        points = json.loads(out.read_text())
+        assert {p["algorithm"] for p in points} == {"metivier", "luby-b"}
+
+    def test_workload_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "w.json"
+        code = main(
+            ["workload", "--family", "arb", "--alpha", "2", "--n", "50", "--output", str(out)]
+        )
+        assert code == 0
+        from repro.graphs.io import read_workload
+
+        graph, metadata = read_workload(out)
+        assert graph.number_of_nodes() == 50
+        assert metadata["family"] == "arb"
+        assert metadata["alpha"] == 2

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaves = [
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.MessageSizeExceededError,
+            errors.AlgorithmError,
+            errors.NotAnIndependentSetError,
+            errors.NotMaximalError,
+            errors.GraphError,
+            errors.OrientationError,
+            errors.DecompositionError,
+        ]
+        for exc in leaves:
+            assert issubclass(exc, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.MessageSizeExceededError, errors.SimulationError)
+        assert issubclass(errors.NotAnIndependentSetError, errors.AlgorithmError)
+        assert issubclass(errors.NotMaximalError, errors.AlgorithmError)
+        assert issubclass(errors.OrientationError, errors.GraphError)
+        assert issubclass(errors.DecompositionError, errors.GraphError)
+
+    def test_one_except_clause_catches_library_errors(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.OrientationError("x")
+
+    def test_message_size_error_fields(self):
+        exc = errors.MessageSizeExceededError(1, 2, 500, 100)
+        assert exc.sender == 1
+        assert exc.receiver == 2
+        assert exc.bits == 500
+        assert exc.limit == 100
+        assert "500 bits" in str(exc)

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are user-facing documentation; a broken example is a broken
+README.  Each script is executed in-process (``runpy``) with stdout
+captured, and key output markers are asserted so silent breakage (e.g. an
+example that prints nothing) is caught too.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example {name} is missing"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys)
+        assert "arb-mis" in out
+        assert "baselines" in out
+
+    def test_planar(self, capsys):
+        out = _run_example("planar_mis.py", capsys)
+        assert "arboricity certificate" in out
+        assert "metivier" in out
+
+    def test_readk(self, capsys):
+        out = _run_example("readk_tail_bounds.py", capsys)
+        assert "Conjunction bound" in out
+        assert "Lower tail" in out
+
+    def test_shattering(self, capsys):
+        out = _run_example("shattering_demo.py", capsys)
+        assert "per-scale progress" in out
+        assert "adversarial run" in out
+        assert "valid MIS of the whole graph" in out
+
+    def test_congest_trace(self, capsys):
+        out = _run_example("congest_trace.py", capsys)
+        assert "transcript" in out
+        assert "engine duality check" in out
+        assert "True" in out
+
+    def test_matching_and_primitives(self, capsys):
+        out = _run_example("matching_and_primitives.py", capsys)
+        assert "bit-identical" in out
+        assert "offline truth agrees: True" in out
+
+    def test_scaling_curves(self, capsys):
+        out = _run_example("scaling_curves.py", capsys)
+        assert "iterations vs n" in out
+        assert "log scale" in out
+        assert "o=luby-b" in out

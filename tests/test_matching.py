@@ -1,0 +1,144 @@
+"""Tests for the maximal matching subpackage."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graphs.generators import bounded_arboricity_graph, random_tree
+from repro.matching.greedy import greedy_matching
+from repro.matching.israeli_itai import (
+    israeli_itai_matching,
+    israeli_itai_matching_congest,
+)
+from repro.matching.validation import (
+    assert_valid_maximal_matching,
+    is_matching,
+    is_maximal_matching,
+    normalize_matching,
+)
+from repro.matching.via_mis import matching_via_line_graph_mis
+
+
+class TestValidation:
+    def test_empty_matching_on_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert is_maximal_matching(g, set())
+
+    def test_valid_matching(self, path5):
+        assert is_matching(path5, {(0, 1), (2, 3)})
+        assert is_maximal_matching(path5, {(0, 1), (2, 3)})
+
+    def test_shared_endpoint_detected(self, path5):
+        assert not is_matching(path5, {(0, 1), (1, 2)})
+
+    def test_non_edge_detected(self, path5):
+        assert not is_matching(path5, {(0, 2)})
+
+    def test_non_maximal_detected(self, path5):
+        assert is_matching(path5, {(1, 2)})
+        assert not is_maximal_matching(path5, {(1, 2)})
+
+    def test_assert_messages(self, path5):
+        with pytest.raises(AlgorithmError, match="matched twice"):
+            assert_valid_maximal_matching(path5, {(0, 1), (1, 2)})
+        with pytest.raises(AlgorithmError, match="not maximal"):
+            assert_valid_maximal_matching(path5, {(0, 1)})
+
+    def test_normalize(self):
+        assert normalize_matching([(3, 1), (2, 5)]) == {(1, 3), (2, 5)}
+
+
+class TestGreedy:
+    def test_deterministic_default(self, arb3_graph):
+        assert greedy_matching(arb3_graph) == greedy_matching(arb3_graph)
+
+    def test_always_maximal(self, assorted_graph):
+        assert_valid_maximal_matching(assorted_graph, greedy_matching(assorted_graph))
+
+    def test_shuffled_still_maximal(self, arb3_graph):
+        for seed in range(4):
+            assert_valid_maximal_matching(arb3_graph, greedy_matching(arb3_graph, seed=seed))
+
+
+class TestIsraeliItai:
+    def test_maximal_on_assorted(self, assorted_graph):
+        result = israeli_itai_matching(assorted_graph, seed=3)
+        assert_valid_maximal_matching(assorted_graph, result.matching)
+
+    def test_reproducible(self, arb3_graph):
+        assert (
+            israeli_itai_matching(arb3_graph, seed=5).matching
+            == israeli_itai_matching(arb3_graph, seed=5).matching
+        )
+
+    def test_logarithmic_iterations(self):
+        import math
+
+        g = bounded_arboricity_graph(2000, 3, seed=1)
+        result = israeli_itai_matching(g, seed=1)
+        assert result.iterations <= 12 * math.log2(2000)
+
+    def test_single_edge(self):
+        g = nx.Graph([(0, 1)])
+        result = israeli_itai_matching(g, seed=0)
+        assert result.matching == {(0, 1)}
+
+    def test_empty_graph(self):
+        result = israeli_itai_matching(nx.Graph(), seed=0)
+        assert result.matching == set()
+        assert result.iterations == 0
+
+    def test_star_matches_one_edge(self):
+        g = nx.star_graph(10)
+        result = israeli_itai_matching(g, seed=2)
+        assert len(result.matching) == 1
+        assert_valid_maximal_matching(g, result.matching)
+
+    def test_size_within_factor_two_of_maximum(self, arb3_graph):
+        # Any maximal matching is a 2-approximation of maximum matching.
+        maximum = len(nx.max_weight_matching(arb3_graph, maxcardinality=True))
+        result = israeli_itai_matching(arb3_graph, seed=1)
+        assert len(result.matching) >= maximum / 2
+
+    def test_congest_engine_maximal(self, assorted_graph):
+        result = israeli_itai_matching_congest(assorted_graph, seed=4)
+        assert_valid_maximal_matching(assorted_graph, result.matching)
+
+    def test_dual_engine_identity(self, assorted_graph):
+        fast = israeli_itai_matching(assorted_graph, seed=6)
+        slow = israeli_itai_matching_congest(assorted_graph, seed=6)
+        assert fast.matching == slow.matching
+
+    def test_dual_engine_identity_across_seeds(self, small_tree):
+        for seed in range(5):
+            fast = israeli_itai_matching(small_tree, seed=seed)
+            slow = israeli_itai_matching_congest(small_tree, seed=seed)
+            assert fast.matching == slow.matching
+
+    def test_summary(self, path5):
+        result = israeli_itai_matching(path5, seed=0)
+        assert "israeli-itai" in result.summary()
+
+
+class TestLineGraphReduction:
+    def test_maximal_via_reduction(self, assorted_graph):
+        result = matching_via_line_graph_mis(assorted_graph, seed=2)
+        assert_valid_maximal_matching(assorted_graph, result.matching)
+
+    def test_empty(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        assert matching_via_line_graph_mis(g, seed=0).matching == set()
+
+    def test_triangle(self, triangle):
+        result = matching_via_line_graph_mis(triangle, seed=1)
+        assert len(result.matching) == 1
+
+    def test_agrees_with_direct_on_maximality(self, small_tree):
+        direct = israeli_itai_matching(small_tree, seed=7)
+        reduced = matching_via_line_graph_mis(small_tree, seed=7)
+        assert_valid_maximal_matching(small_tree, direct.matching)
+        assert_valid_maximal_matching(small_tree, reduced.matching)

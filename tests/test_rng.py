@@ -1,0 +1,138 @@
+"""Tests for the keyed randomness scheme (repro.rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert rng.derive_seed(1, 2, 3) == rng.derive_seed(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert rng.derive_seed(1, 2) != rng.derive_seed(2, 1)
+
+    def test_key_length_sensitive(self):
+        assert rng.derive_seed(1) != rng.derive_seed(1, 0)
+
+    def test_negative_keys_fold(self):
+        # Negative keys are masked into 64 bits, not rejected.
+        assert isinstance(rng.derive_seed(-5, 7), int)
+        assert rng.derive_seed(-5, 7) != rng.derive_seed(5, 7)
+
+    def test_range(self):
+        for keys in [(0,), (2**64 - 1,), (123, 456, 789)]:
+            value = rng.derive_seed(*keys)
+            assert 0 <= value < 2**64
+
+
+class TestPriorityDraw:
+    def test_deterministic(self):
+        assert rng.priority_draw(7, 3, 11) == rng.priority_draw(7, 3, 11)
+
+    def test_varies_with_each_key(self):
+        base = rng.priority_draw(7, 3, 11, tag=0)
+        assert base != rng.priority_draw(8, 3, 11, tag=0)
+        assert base != rng.priority_draw(7, 4, 11, tag=0)
+        assert base != rng.priority_draw(7, 3, 12, tag=0)
+        assert base != rng.priority_draw(7, 3, 11, tag=1)
+
+    def test_in_priority_range(self):
+        for node in range(50):
+            value = rng.priority_draw(0, node, 0)
+            assert 0 <= value < 2**rng.PRIORITY_BITS
+
+    def test_roughly_uniform(self):
+        # The mean of many draws should be near the middle of the range.
+        draws = [rng.priority_draw(1, v, 0) for v in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert abs(mean / 2**64 - 0.5) < 0.02
+
+
+class TestUniformDraw:
+    def test_unit_interval(self):
+        for v in range(100):
+            x = rng.uniform_draw(3, v, 5)
+            assert 0.0 <= x < 1.0
+
+    def test_matches_priority_bits(self):
+        # uniform_draw is the top 53 bits of the same keyed hash.
+        p = rng.priority_draw(3, 9, 5)
+        u = rng.uniform_draw(3, 9, 5)
+        assert u == (p >> 11) / float(1 << 53)
+
+    def test_mean_near_half(self):
+        draws = [rng.uniform_draw(2, v, 0) for v in range(5000)]
+        assert abs(np.mean(draws) - 0.5) < 0.02
+
+
+class TestBernoulliDraw:
+    def test_extremes(self):
+        assert not rng.bernoulli_draw(0.0, 1, 2, 3)
+        assert rng.bernoulli_draw(1.0, 1, 2, 3)
+
+    def test_frequency(self):
+        hits = sum(rng.bernoulli_draw(0.3, 0, v, 0) for v in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+
+class TestNodeRoundRng:
+    def test_reproducible_generator(self):
+        a = rng.node_round_rng(1, 2, 3).random(4)
+        b = rng.node_round_rng(1, 2, 3).random(4)
+        assert np.array_equal(a, b)
+
+    def test_distinct_streams(self):
+        a = rng.node_round_rng(1, 2, 3).random(4)
+        b = rng.node_round_rng(1, 2, 4).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestPriorityVector:
+    def test_matches_scalar_draws(self):
+        nodes = [5, 1, 9]
+        vector = rng.priority_vector(7, nodes, 2)
+        for v in nodes:
+            assert vector[v] == rng.priority_draw(7, v, 2)
+
+    def test_order_independent(self):
+        assert rng.priority_vector(7, [1, 2, 3], 0) == rng.priority_vector(7, [3, 2, 1], 0)
+
+
+class TestPriorityArray:
+    def test_matches_scalar_bit_for_bit(self):
+        import numpy as np
+
+        from repro.rng import priority_array
+
+        nodes = np.array([0, 5, 17, 123456], dtype=np.int64)
+        arr = priority_array(99, nodes, 12, tag=4)
+        for i, v in enumerate(nodes):
+            assert int(arr[i]) == rng.priority_draw(99, int(v), 12, tag=4)
+
+    def test_empty_array(self):
+        import numpy as np
+
+        from repro.rng import priority_array
+
+        assert len(priority_array(1, np.array([], dtype=np.int64), 0)) == 0
+
+    def test_dtype_is_uint64(self):
+        import numpy as np
+
+        from repro.rng import priority_array
+
+        assert priority_array(1, np.arange(3), 0).dtype == np.uint64
+
+    def test_distinct_across_rounds(self):
+        import numpy as np
+
+        from repro.rng import priority_array
+
+        nodes = np.arange(100)
+        a = priority_array(1, nodes, 0)
+        b = priority_array(1, nodes, 1)
+        assert not np.array_equal(a, b)
