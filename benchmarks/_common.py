@@ -23,6 +23,26 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 SIZES = [256, 512, 1024, 2048, 4096]
 SEEDS = [0, 1, 2]
 
+# Sweep-runtime knobs (repro.analysis.runner), set from the environment so a
+# benchmark invocation can pin the pool size or reuse a results store without
+# touching any benchmark file:
+#   REPRO_SWEEP_WORKERS=8                 process-pool size (0 = serial path)
+#   REPRO_SWEEP_CACHE=results/sweep.jsonl resume/persist points across runs
+_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "-1"))
+SWEEP_CACHE = os.environ.get("REPRO_SWEEP_CACHE") or None
+
+
+def sweep_kwargs() -> dict:
+    """Extra keyword arguments every benchmark passes to ``run_sweep``."""
+    kwargs: dict = {}
+    if _WORKERS == 0:
+        kwargs["parallel"] = False
+    elif _WORKERS > 0:
+        kwargs["max_workers"] = _WORKERS
+    if SWEEP_CACHE:
+        kwargs["cache"] = SWEEP_CACHE
+    return kwargs
+
 
 def emit(name: str, rows: Sequence[Mapping[str, object]], title: str) -> str:
     """Render, print, and persist one experiment table."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from _common import SEEDS, SIZES, emit
+from _common import SEEDS, SIZES, emit, sweep_kwargs
 from repro.analysis.sweep import run_sweep
 from repro.core.arb_mis import arb_mis
 from repro.graphs.generators import GraphSpec, bounded_arboricity_graph
@@ -38,6 +38,7 @@ def _sweep(spec: GraphSpec, alpha: int):
         algorithms=ALGORITHMS,
         seeds=SEEDS,
         algorithm_kwargs={"arb-mis": {"alpha": alpha}},
+        **sweep_kwargs(),
     )
 
 

@@ -5,7 +5,14 @@ EXPERIMENTS.md come out of the same machinery.
 """
 
 from repro.analysis.ascii_plot import ascii_plot
-from repro.analysis.export import sweep_to_rows, write_rows_csv, write_rows_json
+from repro.analysis.cache import SweepCache, unit_fingerprint
+from repro.analysis.export import (
+    sweep_to_rows,
+    write_rows_csv,
+    write_rows_json,
+    write_rows_jsonl,
+)
+from repro.analysis.runner import SweepProgress, SweepRunner, WorkUnit
 from repro.analysis.rounds import (
     barenboim_arb_bound,
     ghaffari_bound,
@@ -32,6 +39,12 @@ __all__ = [
     "mean_confidence_interval",
     "format_table",
     "render_rows",
+    "write_rows_jsonl",
     "run_sweep",
     "SweepResult",
+    "SweepRunner",
+    "SweepProgress",
+    "SweepCache",
+    "WorkUnit",
+    "unit_fingerprint",
 ]

@@ -1,0 +1,130 @@
+"""Content-addressed result store for sweep runs.
+
+Every sweep work unit — one ``(graph spec, n, algorithm, seed, kwargs)``
+cell — is identified by a SHA-256 fingerprint of its canonical JSON
+encoding.  :class:`SweepCache` persists each completed
+:class:`~repro.analysis.sweep.SweepPoint` under that fingerprint as one
+JSONL line, so an interrupted or repeated sweep *resumes*: points already
+on disk are loaded instead of recomputed.  The fingerprint covers
+everything that determines a point's value (the keyed RNG scheme of
+:mod:`repro.rng` makes results a pure function of the fingerprinted
+fields), so a hit is always safe to reuse.
+
+The file is append-only and tolerant of torn writes: a process killed
+mid-line leaves at most one unparseable tail line, which is skipped on
+load and overwritten by the rerun.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.analysis.sweep import SweepPoint
+from repro.graphs.generators import GraphSpec
+
+__all__ = ["SweepCache", "unit_fingerprint", "CACHE_FORMAT_VERSION"]
+
+# Bumped whenever the fingerprint payload or the stored record shape
+# changes; old cache files then miss cleanly instead of mis-hitting.
+CACHE_FORMAT_VERSION = 1
+
+
+def unit_fingerprint(
+    spec: GraphSpec,
+    n: int,
+    algorithm: str,
+    seed: int,
+    kwargs: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Stable hex digest identifying one sweep work unit.
+
+    The digest is a SHA-256 of the canonical (sorted-key, no-whitespace)
+    JSON of every field that influences the point's result.  Non-JSON
+    kwargs values fall back to their ``repr``, which keeps the fingerprint
+    total at the cost of treating equal-but-differently-represented values
+    as distinct — the safe direction for a cache.
+    """
+    payload = {
+        "v": CACHE_FORMAT_VERSION,
+        "family": spec.family,
+        "params": list(spec.params),
+        "n": n,
+        "algorithm": algorithm,
+        "seed": seed,
+        "kwargs": dict(sorted((kwargs or {}).items())),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Append-only JSONL store of completed sweep points.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "sweep.jsonl")
+    >>> cache = SweepCache(path)
+    >>> len(cache)
+    0
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from an interrupted run
+            key = record.get("key")
+            if isinstance(key, str) and "algorithm" in record:
+                self._records[key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get_point(self, key: str) -> Optional[SweepPoint]:
+        """Return the stored point for ``key``, or None on a miss."""
+        record = self._records.get(key)
+        if record is None:
+            return None
+        return SweepPoint(
+            spec=GraphSpec(record["family"], tuple(record["params"])),
+            n=record["n"],
+            algorithm=record["algorithm"],
+            seed=record["seed"],
+            iterations=record["iterations"],
+            congest_rounds=record["congest_rounds"],
+            mis_size=record["mis_size"],
+        )
+
+    def put_point(self, key: str, point: SweepPoint) -> None:
+        """Persist ``point`` under ``key`` (one appended JSONL line)."""
+        record = {
+            "key": key,
+            "family": point.spec.family,
+            "params": list(point.spec.params),
+            "n": point.n,
+            "algorithm": point.algorithm,
+            "seed": point.seed,
+            "iterations": point.iterations,
+            "congest_rounds": point.congest_rounds,
+            "mis_size": point.mis_size,
+        }
+        self._records[key] = record
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -15,7 +15,14 @@ from typing import Any, Dict, List, Mapping, Sequence, Union
 
 from repro.analysis.sweep import SweepResult
 
-__all__ = ["sweep_to_rows", "write_rows_csv", "write_rows_json", "read_rows_json"]
+__all__ = [
+    "sweep_to_rows",
+    "write_rows_csv",
+    "write_rows_json",
+    "read_rows_json",
+    "write_rows_jsonl",
+    "read_rows_jsonl",
+]
 
 PathLike = Union[str, Path]
 
@@ -61,3 +68,25 @@ def write_rows_json(rows: Sequence[Mapping[str, Any]], path: PathLike) -> None:
 def read_rows_json(path: PathLike) -> List[Dict[str, Any]]:
     """Read back a JSON row file."""
     return json.loads(Path(path).read_text())
+
+
+def write_rows_jsonl(rows: Sequence[Mapping[str, Any]], path: PathLike) -> None:
+    """Write row dicts as JSON Lines (one object per line).
+
+    This is the same line format the sweep results store
+    (:mod:`repro.analysis.cache`) appends to, so cached sweeps and exported
+    sweeps are interchangeable for downstream tooling.
+    """
+    with Path(path).open("w") as handle:
+        for row in rows:
+            handle.write(json.dumps(dict(row), sort_keys=True) + "\n")
+
+
+def read_rows_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Read back a JSONL row file, skipping blank lines."""
+    rows = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows

@@ -1,0 +1,324 @@
+"""Parallel, cached, observable sweep runtime.
+
+:class:`SweepRunner` decomposes a sweep grid into independent
+:class:`WorkUnit` cells and executes them
+
+* **in parallel** over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``parallel=True``, the default; ``parallel=False`` preserves a
+  single-process path for debugging),
+* **resumably**, by consulting a :class:`~repro.analysis.cache.SweepCache`
+  keyed by each unit's content fingerprint before executing anything, and
+* **observably**, reporting a :class:`SweepProgress` snapshot to a
+  pluggable callback after every completed point (the ``repro sweep``
+  CLI's progress line is one such callback).
+
+Fanning the grid out is sound because the keyed splitmix64/Philox scheme
+of :mod:`repro.rng` makes every ``(seed, node, round, tag)`` draw
+order-independent: a point's value is a pure function of its work unit,
+so execution order and process boundaries cannot change any number.  The
+parallel runner is therefore **bit-identical** to the serial one — a
+property test pins this, the same way DESIGN.md §4 pins engine duality.
+
+Algorithm callables that cannot be pickled (lambdas, closures, test
+doubles) are detected up front and executed in the parent process while
+the picklable majority fans out, so correctness never depends on how a
+callable was defined.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import networkx as nx
+
+from repro.analysis.cache import SweepCache, unit_fingerprint
+from repro.analysis.sweep import SweepPoint, SweepResult
+from repro.graphs.generators import GraphSpec
+from repro.mis.engine import MISResult
+from repro.mis.validation import assert_valid_mis
+
+__all__ = ["WorkUnit", "SweepProgress", "SweepRunner", "execute_unit"]
+
+AlgorithmFn = Callable[..., MISResult]
+ProgressCallback = Callable[["SweepProgress"], None]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent cell of the sweep grid.
+
+    ``kwargs`` is stored as a sorted tuple of items so the unit is
+    hashable and its fingerprint canonical.
+    """
+
+    spec: GraphSpec
+    n: int
+    algorithm: str
+    seed: int
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash identifying this unit in the results store."""
+        return unit_fingerprint(
+            self.spec, self.n, self.algorithm, self.seed, dict(self.kwargs)
+        )
+
+
+@dataclass
+class SweepProgress:
+    """Telemetry snapshot passed to the progress callback after each point."""
+
+    total: int
+    done: int = 0
+    executed: int = 0
+    cached: int = 0
+    elapsed: float = 0.0
+    algorithm_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def points_per_second(self) -> float:
+        return self.done / self.elapsed if self.elapsed > 0 else 0.0
+
+    def render(self) -> str:
+        """One-line human-readable progress string (used by the CLI)."""
+        parts = [f"{self.done}/{self.total} points"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        parts.append(f"{self.points_per_second:.1f} pts/s")
+        return " | ".join(parts)
+
+
+def execute_unit(
+    unit: WorkUnit,
+    fn: AlgorithmFn,
+    validate: bool,
+    graph: Optional[nx.Graph] = None,
+) -> Tuple[SweepPoint, float]:
+    """Execute one work unit: build the graph, run, validate.
+
+    Module-level so worker processes can import it by reference.  Returns
+    the finished point plus the wall-clock seconds it took (graph build
+    included), which feeds the per-algorithm telemetry.
+    """
+    started = time.perf_counter()
+    if graph is None:
+        graph = unit.spec.build(unit.n, seed=unit.seed)
+    result = fn(graph, seed=unit.seed, **dict(unit.kwargs))
+    if validate:
+        assert_valid_mis(graph, result.mis)
+    point = SweepPoint(
+        spec=unit.spec,
+        n=unit.n,
+        algorithm=unit.algorithm,
+        seed=unit.seed,
+        iterations=result.iterations,
+        congest_rounds=result.congest_rounds,
+        mis_size=len(result.mis),
+    )
+    return point, time.perf_counter() - started
+
+
+def _is_picklable(fn: AlgorithmFn) -> bool:
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:
+        return False
+
+
+class SweepRunner:
+    """Executes a sweep grid with parallelism, caching, and telemetry.
+
+    Parameters
+    ----------
+    algorithms:
+        name → callable, as for :func:`~repro.analysis.sweep.run_sweep`.
+    algorithm_kwargs:
+        name → extra keyword arguments for that algorithm.
+    validate:
+        Validate every output as an MIS of its graph (never skipped by the
+        benchmarks; see sweep.py's module docstring).
+    parallel:
+        Fan work units out over a process pool; ``False`` keeps everything
+        in-process, in grid order.
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    cache:
+        A :class:`SweepCache`, a path to create one at, or None to disable
+        persistence.
+    progress:
+        Optional callback receiving a :class:`SweepProgress` after every
+        completed (executed or cache-hit) point.
+    """
+
+    def __init__(
+        self,
+        algorithms: Mapping[str, AlgorithmFn],
+        algorithm_kwargs: Optional[Mapping[str, Dict]] = None,
+        validate: bool = True,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+        cache: Union[SweepCache, str, Path, None] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.algorithms = dict(algorithms)
+        self.algorithm_kwargs = {
+            name: dict(kwargs) for name, kwargs in (algorithm_kwargs or {}).items()
+        }
+        self.validate = validate
+        self.parallel = parallel
+        self.max_workers = max_workers or os.cpu_count() or 1
+        if isinstance(cache, (str, Path)):
+            cache = SweepCache(cache)
+        self.cache = cache
+        self.progress = progress
+
+    # -- grid enumeration ----------------------------------------------------
+
+    def enumerate_units(
+        self,
+        specs: Sequence[GraphSpec],
+        sizes: Sequence[int],
+        seeds: Sequence[int],
+    ) -> List[WorkUnit]:
+        """Flatten the grid in the canonical spec → n → seed → algorithm
+        order (the same order the serial loop has always used, so results
+        line up point-for-point)."""
+        units = []
+        for spec in specs:
+            for n in sizes:
+                for seed in seeds:
+                    for name in self.algorithms:
+                        kwargs = self.algorithm_kwargs.get(name, {})
+                        units.append(
+                            WorkUnit(
+                                spec=spec,
+                                n=n,
+                                algorithm=name,
+                                seed=seed,
+                                kwargs=tuple(sorted(kwargs.items())),
+                            )
+                        )
+        return units
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[GraphSpec],
+        sizes: Sequence[int],
+        seeds: Sequence[int],
+    ) -> SweepResult:
+        """Execute the grid and return its points in enumeration order."""
+        units = self.enumerate_units(specs, sizes, seeds)
+        progress = SweepProgress(total=len(units))
+        started = time.perf_counter()
+        points: List[Optional[SweepPoint]] = [None] * len(units)
+
+        pending: List[int] = []
+        for i, unit in enumerate(units):
+            hit = self.cache.get_point(unit.fingerprint) if self.cache else None
+            if hit is not None:
+                points[i] = hit
+                progress.cached += 1
+                self._tick(progress, started)
+            else:
+                pending.append(i)
+
+        if self.parallel and self.max_workers > 1 and len(pending) > 1:
+            self._run_parallel(units, pending, points, progress, started)
+        else:
+            self._run_serial(units, pending, points, progress, started)
+        return SweepResult(points=[p for p in points if p is not None])
+
+    def _run_serial(self, units, pending, points, progress, started) -> None:
+        # Consecutive units share (spec, n, seed) when they differ only by
+        # algorithm; memoize the last graph so the serial path builds each
+        # graph once, exactly like the historical nested loop.
+        memo_key = None
+        memo_graph = None
+        for i in pending:
+            unit = units[i]
+            key = (unit.spec, unit.n, unit.seed)
+            if key != memo_key:
+                memo_graph = unit.spec.build(unit.n, seed=unit.seed)
+                memo_key = key
+            point, seconds = execute_unit(
+                unit, self.algorithms[unit.algorithm], self.validate, graph=memo_graph
+            )
+            self._complete(i, unit, point, seconds, points, progress, started)
+
+    def _run_parallel(self, units, pending, points, progress, started) -> None:
+        picklable: Dict[str, bool] = {
+            name: _is_picklable(fn) for name, fn in self.algorithms.items()
+        }
+        remote = [i for i in pending if picklable[units[i].algorithm]]
+        local = [i for i in pending if not picklable[units[i].algorithm]]
+        if not remote:
+            self._run_serial(units, pending, points, progress, started)
+            return
+
+        workers = min(self.max_workers, len(remote))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            try:
+                futures: Dict[Future, int] = {
+                    pool.submit(
+                        execute_unit,
+                        units[i],
+                        self.algorithms[units[i].algorithm],
+                        self.validate,
+                    ): i
+                    for i in remote
+                }
+                # Unpicklable callables run in the parent while the pool
+                # grinds through the rest.
+                self._run_serial(units, local, points, progress, started)
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        i = futures[future]
+                        point, seconds = future.result()  # re-raises worker errors
+                        self._complete(
+                            i, units[i], point, seconds, points, progress, started
+                        )
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _complete(self, i, unit, point, seconds, points, progress, started) -> None:
+        points[i] = point
+        progress.executed += 1
+        progress.algorithm_seconds[unit.algorithm] = (
+            progress.algorithm_seconds.get(unit.algorithm, 0.0) + seconds
+        )
+        if self.cache is not None:
+            self.cache.put_point(unit.fingerprint, point)
+        self._tick(progress, started)
+
+    def _tick(self, progress, started) -> None:
+        progress.done = progress.cached + progress.executed
+        progress.elapsed = time.perf_counter() - started
+        if self.progress is not None:
+            self.progress(progress)

@@ -2,21 +2,27 @@
 
 A sweep runs a set of MIS algorithms over a grid of (graph spec, n, seed)
 points, validates every output, and aggregates per-point statistics.  All
-twelve E-benchmarks that compare algorithms go through :func:`run_sweep`,
-so validation can never be skipped for speed.
+the E-benchmarks that compare algorithms go through :func:`run_sweep`, so
+validation can never be skipped for speed.
+
+:func:`run_sweep` is a thin wrapper over
+:class:`repro.analysis.runner.SweepRunner`, which fans the grid out over a
+process pool and can persist/resume points through a JSONL results store
+(see DESIGN.md §5) — every benchmark picks the speedup up without
+call-site changes.  Pass ``parallel=False`` for the single-process
+debugging path; both paths are bit-identical by construction and by test.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
-
-import networkx as nx
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.stats import Summary, summarize
+from repro.core.parameters import ROUNDS_PER_ITERATION
 from repro.graphs.generators import GraphSpec
 from repro.mis.engine import MISResult
-from repro.mis.validation import assert_valid_mis
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep"]
 
@@ -57,7 +63,9 @@ class SweepResult:
 
     def rounds_summary(self, spec: GraphSpec, n: int, algorithm: str) -> Summary:
         values = [
-            p.congest_rounds if p.congest_rounds is not None else 3 * p.iterations
+            p.congest_rounds
+            if p.congest_rounds is not None
+            else ROUNDS_PER_ITERATION * p.iterations
             for p in self.points
             if p.spec == spec and p.n == n and p.algorithm == algorithm
         ]
@@ -71,33 +79,32 @@ def run_sweep(
     seeds: Sequence[int],
     algorithm_kwargs: Optional[Mapping[str, Dict]] = None,
     validate: bool = True,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache: Union[str, Path, None] = None,
+    progress: Optional[Callable] = None,
 ) -> SweepResult:
     """Run every algorithm on every (spec, n, seed) grid point.
 
     ``algorithm_kwargs`` maps algorithm name → extra keyword arguments
     (e.g. ``{"arb-mis": {"alpha": 3}}``).  Each output is validated as an
     MIS of its graph before its numbers enter the result.
+
+    Work units fan out over a process pool by default (``parallel=True``);
+    points are returned in the canonical grid order either way.  ``cache``
+    names a JSONL results store so interrupted or repeated sweeps resume
+    instead of recomputing; ``progress`` receives a
+    :class:`~repro.analysis.runner.SweepProgress` after every point.
     """
-    algorithm_kwargs = algorithm_kwargs or {}
-    result = SweepResult()
-    for spec in specs:
-        for n in sizes:
-            for seed in seeds:
-                graph = spec.build(n, seed=seed)
-                for name, fn in algorithms.items():
-                    kwargs = dict(algorithm_kwargs.get(name, {}))
-                    mis_result = fn(graph, seed=seed, **kwargs)
-                    if validate:
-                        assert_valid_mis(graph, mis_result.mis)
-                    result.points.append(
-                        SweepPoint(
-                            spec=spec,
-                            n=n,
-                            algorithm=name,
-                            seed=seed,
-                            iterations=mis_result.iterations,
-                            congest_rounds=mis_result.congest_rounds,
-                            mis_size=len(mis_result.mis),
-                        )
-                    )
-    return result
+    from repro.analysis.runner import SweepRunner  # runner imports this module
+
+    runner = SweepRunner(
+        algorithms,
+        algorithm_kwargs=algorithm_kwargs,
+        validate=validate,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache=cache,
+        progress=progress,
+    )
+    return runner.run(specs, sizes, seeds)

@@ -5,7 +5,10 @@ Commands
 ``run``      run one MIS algorithm on a generated workload and print the
              validated result plus (for arb-mis) the stage report;
 ``sweep``    compare several algorithms over an n-grid, printing the
-             iterations table the benchmarks also produce;
+             iterations table the benchmarks also produce; fans grid
+             points out over a process pool (``--workers``, ``--serial``),
+             resumes from a JSONL results store (``--cache``), and can
+             report live progress (``--progress``);
 ``certify``  compute the arboricity certificate of a workload
              (pseudoarboricity, Nash–Williams bound, forest partition);
 ``list``     list registered algorithms and graph families.
@@ -16,6 +19,7 @@ Examples
 
     python -m repro run --family arb --alpha 3 --n 2000 --algorithm arb-mis
     python -m repro sweep --family tree --sizes 256,512,1024 --algorithms metivier,luby-b
+    python -m repro sweep --family arb --sizes 4096,8192 --cache results/sweep.jsonl --progress
     python -m repro certify --family planar --n 500
     python -m repro list
 """
@@ -82,6 +86,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sizes", default="256,512,1024")
     sweep.add_argument("--algorithms", default="metivier,luby-b,arb-mis")
     sweep.add_argument("--seeds", default="0,1,2")
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (default: cpu count)"
+    )
+    sweep.add_argument(
+        "--serial", action="store_true", help="run in-process (the debugging path)"
+    )
+    sweep.add_argument(
+        "--cache", default=None, help="JSONL results store; reruns and interrupted sweeps resume from it"
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="print live progress telemetry to stderr"
+    )
 
     certify = sub.add_parser("certify", help="arboricity certificate of a workload")
     add_workload_args(certify)
@@ -93,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--sizes", default="256,512,1024")
     export.add_argument("--algorithms", default="metivier,luby-b")
     export.add_argument("--seeds", default="0,1,2")
-    export.add_argument("--output", required=True, help=".csv or .json path")
+    export.add_argument("--output", required=True, help=".csv, .json or .jsonl path")
 
     workload = sub.add_parser(
         "workload", help="generate a workload and save it as a JSON artifact"
@@ -139,26 +155,60 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _sweep_spec(args):
+    """Translate the CLI workload arguments into a sweep GraphSpec."""
+    from repro.graphs.generators import GraphSpec
+
+    if args.family == "arb":
+        return GraphSpec("arb", (args.alpha,))
+    if args.family == "starry":
+        return GraphSpec("starry", (args.alpha, args.hubs))
+    if args.family == "gnp":
+        return GraphSpec("gnp", (args.p,))
+    if args.family == "ktree":
+        return GraphSpec("ktree", (args.alpha,))
+    return GraphSpec(args.family)
+
+
 def _cmd_sweep(args) -> int:
-    from repro.analysis.stats import summarize
-    from repro.mis.validation import assert_valid_mis
+    from repro.analysis.sweep import run_sweep
+    from repro.mis.registry import get_algorithm
 
     sizes = [int(s) for s in args.sizes.split(",") if s]
     names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
     seeds = [int(s) for s in args.seeds.split(",") if s]
+    spec = _sweep_spec(args)
+    algorithms = {name: get_algorithm(name) for name in names}
+    algorithm_kwargs = {}
+    if "arb-mis" in algorithms:
+        algorithm_kwargs["arb-mis"] = {"alpha": args.alpha}
+
+    progress = None
+    if args.progress:
+
+        def progress(p):
+            sys.stderr.write("\r[sweep] " + p.render())
+            sys.stderr.flush()
+
+    result = run_sweep(
+        specs=[spec],
+        sizes=sizes,
+        algorithms=algorithms,
+        seeds=seeds,
+        algorithm_kwargs=algorithm_kwargs,
+        parallel=not args.serial,
+        max_workers=args.workers,
+        cache=args.cache,
+        progress=progress,
+    )
+    if args.progress:
+        sys.stderr.write("\n")
+
     rows = []
     for n in sizes:
-        row = {"family": args.family, "n": n}
+        row = {"family": spec.label(), "n": n}
         for name in names:
-            iterations = []
-            for seed in seeds:
-                sub_args = argparse.Namespace(**vars(args))
-                sub_args.n, sub_args.seed = n, seed
-                graph = _build_graph(sub_args)
-                result = _run_algorithm(name, graph, sub_args)
-                assert_valid_mis(graph, result.mis)
-                iterations.append(result.iterations)
-            row[name] = str(summarize(iterations))
+            row[name] = str(result.iterations_summary(spec, n, name))
         rows.append(row)
     print(render_rows(rows, title=f"iterations over seeds {seeds}"))
     return 0
@@ -200,7 +250,7 @@ def _cmd_certify(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    from repro.analysis.export import write_rows_csv, write_rows_json
+    from repro.analysis.export import write_rows_csv, write_rows_json, write_rows_jsonl
     from repro.mis.validation import assert_valid_mis
 
     sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -226,7 +276,9 @@ def _cmd_export(args) -> int:
                         "mis_size": len(result.mis),
                     }
                 )
-    if args.output.endswith(".json"):
+    if args.output.endswith(".jsonl"):
+        write_rows_jsonl(rows, args.output)
+    elif args.output.endswith(".json"):
         write_rows_json(rows, args.output)
     else:
         write_rows_csv(rows, args.output)

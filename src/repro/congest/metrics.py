@@ -41,6 +41,7 @@ class RunMetrics:
     max_message_bits: int = 0
     per_round: List[RoundMetrics] = field(default_factory=list)
     congest_budget_bits: Optional[int] = None
+    start_round: Optional[RoundMetrics] = None
 
     def absorb(self, rm: RoundMetrics) -> None:
         """Fold one round's metrics into the aggregate."""
@@ -50,6 +51,20 @@ class RunMetrics:
         if rm.max_message_bits > self.max_message_bits:
             self.max_message_bits = rm.max_message_bits
         self.per_round.append(rm)
+
+    def absorb_start(self, rm: RoundMetrics) -> None:
+        """Fold the synthetic pre-round (``on_start`` sends) into the totals.
+
+        Start sends travel on the wire like any other message, so they count
+        toward ``total_messages``/``total_bits``/``max_message_bits`` — E9's
+        compliance check must see them — but they do not constitute a
+        synchronous round, so ``rounds`` and ``per_round`` are untouched.
+        """
+        self.start_round = rm
+        self.total_messages += rm.messages_sent
+        self.total_bits += rm.bits_sent
+        if rm.max_message_bits > self.max_message_bits:
+            self.max_message_bits = rm.max_message_bits
 
     @property
     def congest_compliant(self) -> Optional[bool]:

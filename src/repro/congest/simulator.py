@@ -96,9 +96,14 @@ class SynchronousSimulator:
             algorithm.on_start(ctx)
 
         metrics = RunMetrics(congest_budget_bits=self.budget)
-        # Messages sent during on_start are delivered in round 0.
+        # Messages sent during on_start are delivered in round 0.  They are
+        # metered through a synthetic pre-round (round_index -1) so the run
+        # totals and max_message_bits account for them without inflating the
+        # round count.
         pending: Dict[int, List[Message]] = {v: [] for v in net.nodes}
-        self._collect_outboxes(contexts, pending, None, crashed)
+        start_rm = RoundMetrics(round_index=-1)
+        self._collect_outboxes(contexts, pending, start_rm, crashed)
+        metrics.absorb_start(start_rm)
 
         all_halted = self._all_halted(contexts, crashed)
         round_index = 0
@@ -136,9 +141,12 @@ class SynchronousSimulator:
             all_halted = self._all_halted(contexts, crashed)
             round_index += 1
 
-        outputs = {
-            v: ctx.output for v, ctx in contexts.items() if ctx.halted and v not in crashed
-        }
+        # Crash-stop semantics: a decided (halted) node's output is
+        # irrevocable, so a node that halted and crashed in a *later* round
+        # keeps its output.  A node can never halt in the round it crashes
+        # (crashes are applied before the step), so ctx.halted already implies
+        # the decision predates the crash.
+        outputs = {v: ctx.output for v, ctx in contexts.items() if ctx.halted}
         return RunResult(
             outputs=outputs,
             metrics=metrics,
@@ -153,7 +161,7 @@ class SynchronousSimulator:
         self,
         contexts: Dict[int, NodeContext],
         pending: Dict[int, List[Message]],
-        rm: Optional[RoundMetrics],
+        rm: RoundMetrics,
         crashed: set,
     ) -> None:
         for v, ctx in contexts.items():
@@ -163,11 +171,7 @@ class SynchronousSimulator:
             for message in ctx._drain_outbox():
                 if self.enforce_congest:
                     message.check_budget(self.budget)
-                if rm is not None:
-                    rm.record_message(message.bits)
-                else:
-                    # on_start sends count toward totals via a synthetic round
-                    pass
+                rm.record_message(message.bits)
                 if message.receiver not in pending:
                     raise SimulationError(
                         f"message addressed to unknown node {message.receiver}"

@@ -30,7 +30,7 @@ from repro.core.degree_reduction import (
     reduce_max_degree,
 )
 from repro.core.finishing import FinishReport, finish
-from repro.core.parameters import Parameters, compute_parameters
+from repro.core.parameters import Parameters, ROUNDS_PER_ITERATION, compute_parameters
 from repro.errors import ConfigurationError
 from repro.graphs.properties import max_degree as graph_max_degree
 from repro.mis.engine import MISResult
@@ -174,8 +174,8 @@ def arb_mis(
 
     reduction_iterations = reduction.iterations if reduction else 0
     congest_rounds = (
-        3 * reduction_iterations
-        + 3 * partial.iterations
+        ROUNDS_PER_ITERATION * reduction_iterations
+        + ROUNDS_PER_ITERATION * partial.iterations
         + 2 * params.theta
         + finishing.total_finishing_rounds
     )

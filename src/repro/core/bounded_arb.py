@@ -39,7 +39,7 @@ from repro.core.invariant import (
     high_degree_neighbor_counts,
     invariant_violators,
 )
-from repro.core.parameters import Parameters, compute_parameters
+from repro.core.parameters import Parameters, ROUNDS_PER_ITERATION, compute_parameters
 from repro.errors import ConfigurationError
 from repro.graphs.properties import max_degree as graph_max_degree
 from repro.mis.engine import active_adjacency, competition_winners, eliminate_winners
@@ -249,18 +249,22 @@ class BoundedArbNodeProgram(NodeAlgorithm):
 
     def __init__(self, parameters: Parameters):
         self.params = parameters
-        self.rounds_per_scale = 3 * parameters.lambda_iterations + 2
+        self.rounds_per_scale = ROUNDS_PER_ITERATION * parameters.lambda_iterations + 2
         self.total_rounds = parameters.theta * self.rounds_per_scale
 
     def _locate(self, round_index: int) -> Tuple[int, int, int]:
         """Map a round to (scale k, phase, global iteration index)."""
         scale_index = round_index // self.rounds_per_scale  # 0-based
         within = round_index % self.rounds_per_scale
-        if within < 3 * self.params.lambda_iterations:
-            phase = within % 3
-            iteration_in_scale = within // 3
+        if within < ROUNDS_PER_ITERATION * self.params.lambda_iterations:
+            phase = within % ROUNDS_PER_ITERATION
+            iteration_in_scale = within // ROUNDS_PER_ITERATION
         else:
-            phase = _PHASE_DEGREES if within == 3 * self.params.lambda_iterations else _PHASE_BAD
+            phase = (
+                _PHASE_DEGREES
+                if within == ROUNDS_PER_ITERATION * self.params.lambda_iterations
+                else _PHASE_BAD
+            )
             iteration_in_scale = self.params.lambda_iterations
         global_iteration = scale_index * self.params.lambda_iterations + iteration_in_scale
         return scale_index + 1, phase, global_iteration

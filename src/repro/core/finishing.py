@@ -31,7 +31,7 @@ from typing import Dict, Optional, Set
 import networkx as nx
 
 from repro.core.bounded_arb import BoundedArbResult
-from repro.core.parameters import Parameters
+from repro.core.parameters import Parameters, ROUNDS_PER_ITERATION
 from repro.deterministic.small_components import ComponentFinishReport, finish_components
 from repro.mis.engine import active_adjacency, competition_winners, eliminate_winners
 from repro.mis.validation import assert_valid_mis
@@ -106,7 +106,7 @@ def _restricted_linial_mis(
         return set(), 0
     subgraph = graph.subgraph(eligible)
     members, rounds = bounded_degree_mis(subgraph)
-    return members, (rounds + 2) // 3
+    return members, (rounds + ROUNDS_PER_ITERATION - 1) // ROUNDS_PER_ITERATION
 
 
 @dataclass
@@ -131,7 +131,7 @@ class FinishReport:
         (keys/decide/notify, or the Linial round-equivalent) plus the
         parallel component cost."""
         component = self.component_report.max_rounds if self.component_report else 0
-        return 3 * (self.vlo_iterations + self.vhi_iterations) + component
+        return ROUNDS_PER_ITERATION * (self.vlo_iterations + self.vhi_iterations) + component
 
 
 def finish(

@@ -41,9 +41,14 @@ from typing import Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Parameters", "compute_parameters", "PROFILES"]
+__all__ = ["Parameters", "compute_parameters", "PROFILES", "ROUNDS_PER_ITERATION"]
 
 PROFILES: Tuple[str, ...] = ("paper", "practical")
+
+# One priority-exchange iteration of the Métivier process costs exactly three
+# CONGEST rounds (keys / decide / notify).  Every iterations→rounds conversion
+# in the codebase goes through this constant so the accounting cannot drift.
+ROUNDS_PER_ITERATION = 3
 
 
 @dataclass(frozen=True)

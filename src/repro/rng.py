@@ -26,6 +26,8 @@ __all__ = [
     "derive_seed",
     "node_round_rng",
     "priority_draw",
+    "priority_array",
+    "priority_vector",
     "uniform_draw",
     "bernoulli_draw",
     "PRIORITY_BITS",

@@ -1,0 +1,97 @@
+"""Tests for the sweep results store (repro.analysis.cache)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cache import SweepCache, unit_fingerprint
+from repro.analysis.sweep import SweepPoint
+from repro.graphs.generators import GraphSpec
+
+
+def _point(spec=GraphSpec("arb", (2,)), n=64, algorithm="arb-mis", seed=3):
+    return SweepPoint(
+        spec=spec,
+        n=n,
+        algorithm=algorithm,
+        seed=seed,
+        iterations=5,
+        congest_rounds=21,
+        mis_size=30,
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        spec = GraphSpec("tree")
+        a = unit_fingerprint(spec, 100, "metivier", 0, {"x": 1})
+        b = unit_fingerprint(spec, 100, "metivier", 0, {"x": 1})
+        assert a == b
+
+    def test_kwargs_order_independent(self):
+        spec = GraphSpec("tree")
+        a = unit_fingerprint(spec, 100, "m", 0, {"a": 1, "b": 2})
+        b = unit_fingerprint(spec, 100, "m", 0, {"b": 2, "a": 1})
+        assert a == b
+
+    def test_every_field_matters(self):
+        spec = GraphSpec("arb", (2,))
+        base = unit_fingerprint(spec, 64, "arb-mis", 0, {"alpha": 2})
+        assert base != unit_fingerprint(GraphSpec("arb", (3,)), 64, "arb-mis", 0, {"alpha": 2})
+        assert base != unit_fingerprint(spec, 65, "arb-mis", 0, {"alpha": 2})
+        assert base != unit_fingerprint(spec, 64, "metivier", 0, {"alpha": 2})
+        assert base != unit_fingerprint(spec, 64, "arb-mis", 1, {"alpha": 2})
+        assert base != unit_fingerprint(spec, 64, "arb-mis", 0, {"alpha": 3})
+
+
+class TestSweepCache:
+    def test_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path / "c.jsonl")
+        point = _point()
+        cache.put_point("k1", point)
+        assert cache.get_point("k1") == point
+        assert "k1" in cache and len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = SweepCache(tmp_path / "c.jsonl")
+        assert cache.get_point("nope") is None
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        SweepCache(path).put_point("k1", _point())
+        reloaded = SweepCache(path)
+        assert reloaded.get_point("k1") == _point()
+
+    def test_spec_params_survive_serialization(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        point = _point(spec=GraphSpec("gnp", (0.05,)), algorithm="metivier")
+        SweepCache(path).put_point("k", point)
+        restored = SweepCache(path).get_point("k")
+        assert restored.spec == GraphSpec("gnp", (0.05,))
+        assert restored == point
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        cache = SweepCache(path)
+        cache.put_point("k1", _point())
+        with path.open("a") as handle:
+            handle.write('{"key": "k2", "family": "tr')  # interrupted write
+        reloaded = SweepCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get_point("k1") is not None
+
+    def test_last_write_wins_on_duplicate_keys(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        cache = SweepCache(path)
+        cache.put_point("k", _point(seed=1))
+        cache.put_point("k", _point(seed=2))
+        assert SweepCache(path).get_point("k").seed == 2
+
+    def test_lines_are_plain_json_objects(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        SweepCache(path).put_point("k1", _point())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["key"] == "k1"
+        assert record["iterations"] == 5

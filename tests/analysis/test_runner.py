@@ -1,0 +1,199 @@
+"""Tests for the parallel, cached sweep runtime (repro.analysis.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cache import SweepCache
+from repro.analysis.runner import SweepProgress, SweepRunner, WorkUnit
+from repro.analysis.sweep import run_sweep
+from repro.errors import NotMaximalError
+from repro.graphs.generators import GraphSpec
+from repro.mis.luby import luby_b_mis
+from repro.mis.metivier import metivier_mis
+
+SPECS = [GraphSpec("tree"), GraphSpec("arb", (2,))]
+SIZES = [16, 24]
+SEEDS = [0, 1]
+ALGORITHMS = {"metivier": metivier_mis, "luby-b": luby_b_mis}
+
+
+def broken_mis(graph, seed=0):
+    """Picklable deliberately-wrong algorithm (empty set is never maximal)."""
+    from repro.mis.engine import MISResult
+
+    return MISResult(mis=set(), iterations=0, algorithm="broken", seed=seed)
+
+
+class TestEnumeration:
+    def test_grid_order_is_canonical(self):
+        runner = SweepRunner(ALGORITHMS)
+        units = runner.enumerate_units(SPECS, SIZES, SEEDS)
+        assert len(units) == len(SPECS) * len(SIZES) * len(SEEDS) * len(ALGORITHMS)
+        # spec-major, then n, then seed, then algorithm.
+        assert units[0] == WorkUnit(SPECS[0], 16, "metivier", 0)
+        assert units[1] == WorkUnit(SPECS[0], 16, "luby-b", 0)
+        assert units[2] == WorkUnit(SPECS[0], 16, "metivier", 1)
+
+    def test_fingerprints_unique_across_grid(self):
+        runner = SweepRunner(ALGORITHMS)
+        units = runner.enumerate_units(SPECS, SIZES, SEEDS)
+        assert len({u.fingerprint for u in units}) == len(units)
+
+
+class TestParallelSerialIdentity:
+    def test_parallel_bit_identical_to_serial(self):
+        # The correctness oracle of the whole design: the keyed RNG makes a
+        # point a pure function of its work unit, so process boundaries must
+        # not change a single number.
+        serial = SweepRunner(ALGORITHMS, parallel=False).run(SPECS, SIZES, SEEDS)
+        parallel = SweepRunner(ALGORITHMS, parallel=True, max_workers=4).run(
+            SPECS, SIZES, SEEDS
+        )
+        assert serial.points == parallel.points
+
+    def test_run_sweep_wrapper_matches_serial(self):
+        via_wrapper = run_sweep(
+            specs=SPECS, sizes=SIZES, algorithms=ALGORITHMS, seeds=SEEDS
+        )
+        serial = run_sweep(
+            specs=SPECS,
+            sizes=SIZES,
+            algorithms=ALGORITHMS,
+            seeds=SEEDS,
+            parallel=False,
+        )
+        assert via_wrapper.points == serial.points
+
+    def test_unpicklable_algorithm_still_runs_in_parallel_mode(self):
+        # A lambda cannot cross a process boundary; the runner must execute
+        # it in the parent and still return the full, ordered grid.
+        algorithms = {
+            "metivier": metivier_mis,
+            "local": lambda graph, seed=0: metivier_mis(graph, seed=seed),
+        }
+        result = SweepRunner(algorithms, parallel=True, max_workers=2).run(
+            [GraphSpec("tree")], [20], [0, 1]
+        )
+        assert [p.algorithm for p in result.points] == [
+            "metivier",
+            "local",
+            "metivier",
+            "local",
+        ]
+        for pair in (result.points[0:2], result.points[2:4]):
+            assert pair[0].iterations == pair[1].iterations
+            assert pair[0].mis_size == pair[1].mis_size
+
+    def test_validation_error_propagates_from_workers(self):
+        with pytest.raises(NotMaximalError):
+            SweepRunner({"broken": broken_mis}, parallel=True, max_workers=2).run(
+                [GraphSpec("tree")], [10, 12], [0]
+            )
+
+
+class TestCacheResume:
+    def test_warm_cache_rerun_executes_nothing(self, tmp_path):
+        cache_path = tmp_path / "sweep.jsonl"
+        calls = []
+
+        def counting(graph, seed=0):
+            calls.append(seed)
+            return metivier_mis(graph, seed=seed)
+
+        cold = SweepRunner(
+            {"metivier": counting}, parallel=False, cache=cache_path
+        ).run([GraphSpec("tree")], SIZES, SEEDS)
+        executed_cold = len(calls)
+        assert executed_cold == len(cold.points) == 4
+
+        snapshots = []
+        warm = SweepRunner(
+            {"metivier": counting},
+            parallel=False,
+            cache=cache_path,
+            progress=snapshots.append,
+        ).run([GraphSpec("tree")], SIZES, SEEDS)
+        assert len(calls) == executed_cold  # zero algorithm executions
+        assert warm.points == cold.points
+        assert snapshots[-1].cached == 4
+        assert snapshots[-1].executed == 0
+
+    def test_partial_cache_resumes_missing_points_only(self, tmp_path):
+        cache_path = tmp_path / "sweep.jsonl"
+        calls = []
+
+        def counting(graph, seed=0):
+            calls.append(seed)
+            return metivier_mis(graph, seed=seed)
+
+        first = SweepRunner(
+            {"metivier": counting}, parallel=False, cache=cache_path
+        ).run([GraphSpec("tree")], [16], SEEDS)
+        assert len(calls) == 2
+
+        # Widen the grid: only the new size's points execute.
+        second = SweepRunner(
+            {"metivier": counting}, parallel=False, cache=cache_path
+        ).run([GraphSpec("tree")], [16, 24], SEEDS)
+        assert len(calls) == 4
+        assert second.points[:2] == first.points
+        assert len(second.points) == 4
+
+    def test_parallel_run_fills_cache_serial_run_reuses_it(self, tmp_path):
+        cache_path = tmp_path / "sweep.jsonl"
+        parallel = SweepRunner(
+            ALGORITHMS, parallel=True, max_workers=4, cache=cache_path
+        ).run(SPECS, SIZES, SEEDS)
+
+        snapshots = []
+        cached = SweepRunner(
+            ALGORITHMS, parallel=False, cache=cache_path, progress=snapshots.append
+        ).run(SPECS, SIZES, SEEDS)
+        assert cached.points == parallel.points
+        assert snapshots[-1].executed == 0
+        assert snapshots[-1].cached == len(parallel.points)
+
+    def test_kwargs_are_part_of_the_cache_key(self, tmp_path):
+        from repro.core.arb_mis import arb_mis
+
+        cache_path = tmp_path / "sweep.jsonl"
+        spec = GraphSpec("arb", (2,))
+
+        def run_with_alpha(alpha):
+            return SweepRunner(
+                {"arb-mis": arb_mis},
+                algorithm_kwargs={"arb-mis": {"alpha": alpha}},
+                parallel=False,
+                cache=cache_path,
+            ).run([spec], [30], [0])
+
+        run_with_alpha(2)
+        run_with_alpha(3)
+        assert len(SweepCache(cache_path)) == 2  # distinct fingerprints
+
+
+class TestTelemetry:
+    def test_progress_reports_every_point(self):
+        snapshots = []
+        SweepRunner(
+            ALGORITHMS, parallel=False, progress=lambda p: snapshots.append(p.done)
+        ).run([GraphSpec("tree")], SIZES, SEEDS)
+        total = len(SIZES) * len(SEEDS) * len(ALGORITHMS)
+        assert snapshots == list(range(1, total + 1))
+
+    def test_progress_tracks_per_algorithm_wall_time(self):
+        last = {}
+        SweepRunner(
+            ALGORITHMS, parallel=False, progress=lambda p: last.update(vars(p))
+        ).run([GraphSpec("tree")], [20], [0])
+        assert set(last["algorithm_seconds"]) == set(ALGORITHMS)
+        assert all(s >= 0 for s in last["algorithm_seconds"].values())
+        assert last["total"] == 2
+
+    def test_render_mentions_progress_and_rate(self):
+        progress = SweepProgress(total=10, done=4, executed=3, cached=1, elapsed=2.0)
+        text = progress.render()
+        assert "4/10" in text
+        assert "cached" in text
+        assert "pts/s" in text

@@ -155,6 +155,54 @@ class TestMetrics:
         assert "budget" in run.metrics.summary()
 
 
+class StartHeavy(NodeAlgorithm):
+    """Sends its largest message during ``on_start``; tiny ones afterwards."""
+
+    def on_start(self, ctx: NodeContext):
+        ctx.broadcast("x" * 40)
+
+    def on_round(self, ctx: NodeContext, inbox):
+        if ctx.round_index == 0:
+            ctx.broadcast(("t",))
+        else:
+            ctx.halt(None)
+
+
+class TestStartSendMetrics:
+    def test_start_sends_count_toward_totals(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(StartHeavy())
+        # 4 directed sends at start + 4 in round 0.
+        assert run.metrics.start_round is not None
+        assert run.metrics.start_round.messages_sent == 4
+        assert run.metrics.total_messages == 8
+        assert run.metrics.total_bits > run.metrics.start_round.bits_sent
+
+    def test_max_message_bits_sees_start_send(self):
+        # The largest message of the whole run is sent during on_start; the
+        # E9 compliance numbers must reflect it.
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(StartHeavy())
+        assert run.metrics.max_message_bits == 40 * 8
+        assert run.metrics.max_message_bits > max(
+            rm.max_message_bits for rm in run.metrics.per_round
+        )
+
+    def test_start_round_not_counted_as_round(self):
+        net = Network(nx.path_graph(3))
+        run = SynchronousSimulator(net).run(StartHeavy())
+        # Rounds 0 and 1 only; the synthetic pre-round stays out of per_round.
+        assert run.metrics.rounds == 2
+        assert [rm.round_index for rm in run.metrics.per_round] == [0, 1]
+
+    def test_oversized_start_send_enforced(self):
+        net = Network(nx.path_graph(3))
+        with pytest.raises(MessageSizeExceededError):
+            SynchronousSimulator(net, enforce_congest=True).run(
+                type("Big", (StartHeavy,), {"on_start": lambda self, ctx: ctx.broadcast("x" * 500)})()
+            )
+
+
 class TestCongestEnforcement:
     def test_oversized_message_recorded_without_enforcement(self):
         net = Network(nx.path_graph(3))
@@ -211,3 +259,21 @@ class TestCrashFaults:
         run = SynchronousSimulator(net, crash_schedule=schedule).run(CountDown())
         assert run.halted
         assert set(run.outputs) == {0, 1, 2}
+
+    def test_halted_then_crashed_node_keeps_output(self):
+        # Node 0 halts (decides) at round 0 and crashes at round 2; a decided
+        # node's output is irrevocable under crash-stop, so it must survive.
+        net = Network(nx.path_graph(4))
+        schedule = CrashSchedule.single(2, [0])
+        run = SynchronousSimulator(net, crash_schedule=schedule).run(CountDown())
+        assert 0 in run.crashed
+        assert run.outputs[0] == ("done", 0)
+        assert set(run.outputs) == {0, 1, 2, 3}
+
+    def test_crashed_before_halting_still_dropped(self):
+        # Node 3 would halt at round 3 but crashes at round 1: no output.
+        net = Network(nx.path_graph(4))
+        schedule = CrashSchedule.single(1, [3])
+        run = SynchronousSimulator(net, crash_schedule=schedule).run(CountDown())
+        assert 3 in run.crashed
+        assert 3 not in run.outputs

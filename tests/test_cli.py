@@ -92,6 +92,51 @@ class TestCommands:
         assert "metivier" in out and "luby-b" in out
         assert "40" in out and "80" in out
 
+    def test_sweep_serial_with_cache_and_progress(self, tmp_path, capsys):
+        cache = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep",
+            "--family",
+            "tree",
+            "--sizes",
+            "30,60",
+            "--algorithms",
+            "metivier",
+            "--seeds",
+            "0,1",
+            "--serial",
+            "--cache",
+            str(cache),
+            "--progress",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "metivier" in first.out
+        assert "points" in first.err  # progress telemetry on stderr
+        assert cache.exists()
+        # Second run resumes from the store and prints the same table.
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "4 cached" in second.err
+
+    def test_sweep_parallel_matches_serial_table(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--family",
+            "tree",
+            "--sizes",
+            "30",
+            "--algorithms",
+            "metivier,luby-b",
+            "--seeds",
+            "0,1",
+        ]
+        assert main(argv) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(argv + ["--serial"]) == 0
+        assert capsys.readouterr().out == parallel_out
+
     def test_certify_planar(self, capsys):
         code = main(["certify", "--family", "planar", "--n", "60"])
         assert code == 0
@@ -166,6 +211,30 @@ class TestExportCommands:
 
         points = json.loads(out.read_text())
         assert {p["algorithm"] for p in points} == {"metivier", "luby-b"}
+
+    def test_export_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "points.jsonl"
+        code = main(
+            [
+                "export",
+                "--family",
+                "tree",
+                "--sizes",
+                "30",
+                "--algorithms",
+                "metivier",
+                "--seeds",
+                "0,1",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(row["algorithm"] == "metivier" for row in lines)
 
     def test_workload_round_trip(self, tmp_path, capsys):
         out = tmp_path / "w.json"

@@ -8,6 +8,18 @@ import pytest
 from repro import rng
 
 
+class TestPublicSurface:
+    def test_bulk_entry_points_exported(self):
+        # priority_array / priority_vector are the documented bulk-engine
+        # entry points (E16/E17); they must be visible via ``import *``.
+        assert "priority_array" in rng.__all__
+        assert "priority_vector" in rng.__all__
+        namespace: dict = {}
+        exec("from repro.rng import *", namespace)
+        assert callable(namespace["priority_array"])
+        assert callable(namespace["priority_vector"])
+
+
 class TestDeriveSeed:
     def test_deterministic(self):
         assert rng.derive_seed(1, 2, 3) == rng.derive_seed(1, 2, 3)
