@@ -11,6 +11,8 @@ Commands
              report live progress (``--progress``);
 ``certify``  compute the arboricity certificate of a workload
              (pseudoarboricity, Nash–Williams bound, forest partition);
+``lint``     run the CONGEST model-compliance static analyzer (rules
+             R1–R5, docs/model_compliance.md) over the source tree;
 ``list``     list registered algorithms and graph families.
 
 Examples
@@ -21,6 +23,7 @@ Examples
     python -m repro sweep --family tree --sizes 256,512,1024 --algorithms metivier,luby-b
     python -m repro sweep --family arb --sizes 4096,8192 --cache results/sweep.jsonl --progress
     python -m repro certify --family planar --n 500
+    python -m repro lint --format json
     python -m repro list
 """
 
@@ -116,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workload_args(workload)
     workload.add_argument("--output", required=True, help=".json path")
+
+    lint = sub.add_parser(
+        "lint", help="CONGEST model-compliance static analysis (rules R1-R5)"
+    )
+    lint.add_argument("paths", nargs="*", help="files or directories to lint")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--config", default=None, metavar="PYPROJECT")
+    lint.add_argument("--no-config", action="store_true")
 
     sub.add_parser("list", help="list algorithms and graph families")
     return parser
@@ -307,6 +318,18 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.config:
+        argv += ["--config", args.config]
+    if args.no_config:
+        argv.append("--no-config")
+    return lint_main(argv)
+
+
 def _cmd_list(args) -> int:
     from repro.mis.registry import available_algorithms
 
@@ -325,6 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "certify": _cmd_certify,
         "export": _cmd_export,
         "workload": _cmd_workload,
+        "lint": _cmd_lint,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

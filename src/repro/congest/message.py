@@ -11,10 +11,21 @@ every payload sent through the simulator is measured by
 * ``str`` — 8 bits per UTF-8 byte;
 * ``tuple`` / ``list`` — sum of element sizes plus 2 bits of framing per
   element;
+* ``set`` / ``frozenset`` — identical to ``tuple``: sum of element sizes
+  plus 2 bits of framing per element;
 * ``dict`` — framed key/value pairs.
 
 The model under-approximates any real encoding by at most a constant factor,
 which is all the O(log n) claims need.
+
+Note on sets: because the total is a *sum* over elements, the bit count of
+a ``set``/``frozenset`` payload depends only on which elements it contains,
+never on the order Python happens to iterate them — runs that agree on the
+elements (e.g. under different ``PYTHONHASHSEED`` values) are charged
+exactly the same number of bits, so metrics stay reproducible.  (The one
+Python quirk to be aware of: ``False == 0``, so insertion order can decide
+*which representative* an equal set keeps — ``{False}`` totals 3 bits,
+``{0}`` totals 4 — but that changes the elements, not the accounting.)
 """
 
 from __future__ import annotations

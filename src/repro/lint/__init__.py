@@ -1,0 +1,44 @@
+"""CONGEST model-compliance static analysis (``repro lint``).
+
+The paper's guarantees are statements about the CONGEST model: one
+O(log n)-bit message per edge per round, decisions computed from purely
+local state, randomness drawn from seeded per-(node, round) streams.
+This package turns those contracts — previously prose in docstrings and
+runtime assertions — into an AST-based linter that checks every
+:class:`~repro.congest.algorithm.NodeAlgorithm` in the tree:
+
+==== =======================================================================
+R1   statelessness: no ``self.*`` writes in node-program methods
+R2   locality: only the public ``NodeContext`` surface; no simulator access
+R3   determinism: no ambient RNGs/clocks; randomness via :mod:`repro.rng`
+R4   bandwidth: payloads codable by ``bits_of_payload`` and O(log n)-sized
+R5   no shared mutable class attributes or default arguments
+==== =======================================================================
+
+Findings can be silenced per line with ``# repro: lint-ignore[R1]`` (or a
+bare ``# repro: lint-ignore`` for all rules) and configured project-wide
+via ``[tool.repro.lint]`` in ``pyproject.toml``.  Run it as
+``python -m repro.lint`` or ``python -m repro lint``; the tier-1 suite
+self-lints ``src/repro`` so compliance is a regression-tested property.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, load_config
+from repro.lint.engine import (
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "load_config",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,91 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes (for CI):
+
+* ``0`` — every checked file is model-compliant;
+* ``1`` — at least one R1–R5 finding;
+* ``2`` — a checked file failed to parse (``E1``) or no files matched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.config import DEFAULT_CONFIG, load_config
+from repro.lint.engine import iter_python_files, lint_file
+from repro.lint.report import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="CONGEST model-compliance static analyzer (rules R1-R5; "
+        "see docs/model_compliance.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: paths from "
+        "[tool.repro.lint] in pyproject.toml, else src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is stable for CI consumption)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro.lint] from "
+        "(default: ./pyproject.toml when present)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and use built-in defaults",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace):
+    if args.no_config:
+        return DEFAULT_CONFIG
+    path = args.config
+    if path is None and os.path.isfile("pyproject.toml"):
+        path = "pyproject.toml"
+    return load_config(path)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; returns the process exit code (0/1/2)."""
+    args = build_parser().parse_args(argv)
+    config = _resolve_config(args)
+    paths = list(args.paths) if args.paths else list(config.paths)
+
+    files = iter_python_files(paths, exclude=config.exclude)
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path, config=config))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, checked_files=len(files)))
+
+    if not files:
+        print(f"repro.lint: no python files under {paths!r}", file=sys.stderr)
+        return 2
+    if any(f.rule == "E1" for f in findings):
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""The lint engine: parse a module, discover node programs, run rules.
+
+The engine is deliberately a *static* pass — it never imports the code it
+checks, so it can lint a broken or half-written module, runs identically
+on every platform, and cannot be fooled by import-time side effects.  The
+flow per file is:
+
+1. parse the source to an :mod:`ast` tree (a syntax error becomes an
+   ``E1`` finding);
+2. build a :class:`ModuleModel`: imports, suppression comments, and the
+   set of *algorithm classes* — classes that (transitively, within the
+   module) inherit from a known node-program base
+   (``NodeAlgorithm`` / ``PhasedMISNodeProgram`` by default);
+3. run every enabled rule from :mod:`repro.lint.rules` and collect
+   :class:`Finding` records;
+4. drop findings silenced by ``# repro: lint-ignore[RULE]`` comments on
+   the finding's line (or on a comment-only line directly above it).
+
+Rules see the :class:`ModuleModel`, so each rule is a small function
+rather than a full visitor; shared questions ("is this an algorithm
+class?", "which parameter is the NodeContext?") are answered once here.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+
+__all__ = [
+    "Finding",
+    "ModuleModel",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "module_name_for_path",
+]
+
+#: Methods the simulator calls while the network is live.  Per-node state
+#: must live in ``ctx.state`` inside these (rule R1); ``__init__`` runs
+#: before the network exists and may freely configure the instance.
+LIFECYCLE_METHODS: FrozenSet[str] = frozenset({"on_start", "on_round", "on_halt"})
+
+#: Hooks the :class:`~repro.mis.engine.PhasedMISNodeProgram` skeleton
+#: invokes from inside its round loop — same statelessness contract.
+ROUND_HOOK_METHODS: FrozenSet[str] = frozenset(
+    {"competition_key", "may_win", "wins", "on_iteration_end"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One model violation at a precise source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass
+class ModuleModel:
+    """Everything the rules need to know about one parsed module."""
+
+    path: str
+    module_name: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    #: class name -> ClassDef for every class in the module
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: names of classes that are node programs (transitive closure)
+    algorithm_classes: Set[str] = field(default_factory=set)
+    #: local alias -> dotted module it refers to (``import numpy as np``)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module, original name) for ``from m import x``
+    imported_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: line -> suppressed rule ids (empty frozenset means "all rules")
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: lines that contain nothing but a comment
+    comment_only_lines: Set[int] = field(default_factory=set)
+
+    # -- shared rule helpers -------------------------------------------------
+
+    def algorithm_class_defs(self) -> List[ast.ClassDef]:
+        return [self.classes[name] for name in sorted(self.algorithm_classes)]
+
+    def methods_of(self, cls: ast.ClassDef) -> List[ast.FunctionDef]:
+        out: List[ast.FunctionDef] = []
+        for node in cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append(node)  # type: ignore[arg-type]
+        return out
+
+    def node_program_methods(self, cls: ast.ClassDef) -> List[ast.FunctionDef]:
+        """Methods that execute on behalf of a node during the run."""
+        wanted = LIFECYCLE_METHODS | ROUND_HOOK_METHODS
+        return [
+            m
+            for m in self.methods_of(cls)
+            if m.name in wanted or m.name.startswith("on_")
+        ]
+
+    def context_params(self, method: ast.FunctionDef) -> Set[str]:
+        """Parameter names that carry the :class:`NodeContext`.
+
+        A parameter counts if it is annotated ``NodeContext`` (possibly
+        dotted) or is literally named ``ctx`` — the repository-wide
+        convention the docs pin down.
+        """
+        names: Set[str] = set()
+        for arg in list(method.args.args) + list(method.args.kwonlyargs):
+            if arg.arg == "self":
+                continue
+            if arg.arg == "ctx":
+                names.add(arg.arg)
+            elif arg.annotation is not None:
+                if _terminal_name(arg.annotation) == "NodeContext":
+                    names.add(arg.arg)
+        return names
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        for line in (finding.line, finding.line - 1):
+            rules = self.suppressions.get(line)
+            if rules is None:
+                continue
+            if line != finding.line and line not in self.comment_only_lines:
+                continue  # trailing comments only silence their own line
+            if not rules or finding.rule in rules:
+                return True
+        return False
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # e.g. Optional[NodeContext]
+        return _terminal_name(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1]  # string annotation
+    return None
+
+
+def module_name_for_path(path: str) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Finds the last path component named after a known top-level package
+    (``repro``) and joins everything below it; otherwise returns the file
+    stem.  Used only for R3's package scoping, so a rough answer is fine.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "repro":
+            inner = parts[i:-1] + ([] if stem == "__init__" else [stem])
+            return ".".join(inner)
+    return stem
+
+
+def _collect_suppressions(
+    source: str,
+) -> Tuple[Dict[int, FrozenSet[str]], Set[int]]:
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    comment_only: Set[int] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            spec = match.group("rules")
+            rules = (
+                frozenset(r.strip() for r in spec.split(",") if r.strip())
+                if spec
+                else frozenset()
+            )
+            suppressions[lineno] = rules
+        if _COMMENT_ONLY_RE.match(line):
+            comment_only.add(lineno)
+    return suppressions, comment_only
+
+
+def _collect_imports(model: ModuleModel) -> None:
+    for node in ast.walk(model.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                model.module_aliases[local] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                model.imported_names[local] = (node.module, alias.name)
+
+
+def _discover_algorithm_classes(model: ModuleModel) -> None:
+    known_bases = set(model.config.algorithm_base_classes)
+    for node in ast.walk(model.tree):
+        if isinstance(node, ast.ClassDef):
+            model.classes[node.name] = node
+    # Fixpoint: a class inheriting (by terminal base name) from a known
+    # base, or from an already-discovered local algorithm class, is one.
+    changed = True
+    while changed:
+        changed = False
+        for name, cls in model.classes.items():
+            if name in model.algorithm_classes:
+                continue
+            for base in cls.bases:
+                terminal = _terminal_name(base)
+                if terminal in known_bases or terminal in model.algorithm_classes:
+                    model.algorithm_classes.add(name)
+                    changed = True
+                    break
+
+
+def build_model(
+    source: str,
+    path: str,
+    config: LintConfig,
+    module_name: Optional[str] = None,
+) -> ModuleModel:
+    """Parse ``source`` and assemble the :class:`ModuleModel` rules consume."""
+    tree = ast.parse(source, filename=path)
+    model = ModuleModel(
+        path=path,
+        module_name=module_name or module_name_for_path(path),
+        source=source,
+        tree=tree,
+        config=config,
+    )
+    model.suppressions, model.comment_only_lines = _collect_suppressions(source)
+    _collect_imports(model)
+    _discover_algorithm_classes(model)
+    return model
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig = DEFAULT_CONFIG,
+    module_name: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one module given as a string; returns surviving findings."""
+    from repro.lint import rules as rules_mod
+
+    try:
+        model = build_model(source, path, config, module_name=module_name)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="E1",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule_id, rule_fn in rules_mod.ALL_RULES:
+        if not config.rule_enabled(rule_id):
+            continue
+        findings.extend(rule_fn(model))
+    findings = [f for f in findings if not model.is_suppressed(f)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint one ``.py`` file from disk; returns surviving findings."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, config=config)
+
+
+def iter_python_files(paths: Sequence[str], exclude: Sequence[str] = ()) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    excluded = {os.path.normpath(e) for e in exclude}
+
+    def keep(candidate: str) -> bool:
+        norm = os.path.normpath(candidate)
+        return not any(
+            norm == e or norm.startswith(e + os.sep) for e in excluded
+        )
+
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and keep(path):
+                out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    candidate = os.path.join(root, name)
+                    if keep(candidate):
+                        out.append(candidate)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; the main library entry."""
+    findings: List[Finding] = []
+    for path in iter_python_files(list(paths), exclude=config.exclude):
+        findings.extend(lint_file(path, config=config))
+    return findings

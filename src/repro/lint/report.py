@@ -1,0 +1,57 @@
+"""Rendering lint findings for humans (text) and CI (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from repro.lint.engine import Finding
+
+__all__ = ["render_text", "render_json", "rule_counts"]
+
+#: One-line rule descriptions, shown in the text summary.
+RULE_TITLES: Dict[str, str] = {
+    "R1": "statelessness (no instance state in node programs)",
+    "R2": "locality (public NodeContext surface only)",
+    "R3": "determinism (seeded repro.rng randomness only)",
+    "R4": "bandwidth (payloads codable and O(log n) bits)",
+    "R5": "shared mutable defaults",
+    "E1": "parse error",
+}
+
+
+def rule_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Findings per rule id, sorted by rule."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        summary = ", ".join(
+            f"{count}x {rule} ({RULE_TITLES.get(rule, 'unknown rule')})"
+            for rule, count in rule_counts(findings).items()
+        )
+        lines.append("")
+        lines.append(
+            f"{len(findings)} model-compliance finding"
+            f"{'s' if len(findings) != 1 else ''} in {checked_files} files: {summary}"
+        )
+    else:
+        lines.append(f"{checked_files} files checked: CONGEST model-compliant.")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    """A machine-readable report for the CI job and tooling."""
+    payload = {
+        "checked_files": checked_files,
+        "total": len(findings),
+        "counts": rule_counts(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,506 @@
+"""The five CONGEST model-compliance rules.
+
+Each rule is a function ``rule(model) -> List[Finding]`` over the parsed
+:class:`~repro.lint.engine.ModuleModel`.  The rules encode the contracts
+the paper's claims rest on (docs/model_compliance.md gives the full
+justification per rule):
+
+* **R1 statelessness** — one ``NodeAlgorithm`` instance is shared by all
+  nodes, so per-node state written on ``self`` during the run is shared
+  global memory, which the message-passing model does not have.
+* **R2 locality** — a node program may touch only the public
+  ``NodeContext`` surface; private simulator state or the simulator
+  itself would be a global view.
+* **R3 determinism** — randomness must come from the seeded helpers in
+  :mod:`repro.rng`; ambient RNGs and clocks break run reproducibility
+  and the dual-engine bit-identity argument.
+* **R4 bandwidth** — payloads must be codable by ``bits_of_payload`` and
+  must not embed collections proportional to the degree or to ``n``,
+  which would blow the ``B = O(log n)`` budget structurally.
+* **R5 shared mutable defaults** — mutable class attributes and mutable
+  default arguments are instance-shared storage in disguise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import Finding, ModuleModel
+
+__all__ = [
+    "ALL_RULES",
+    "rule_r1_statelessness",
+    "rule_r2_locality",
+    "rule_r3_determinism",
+    "rule_r4_bandwidth",
+    "rule_r5_mutable_defaults",
+]
+
+#: Methods allowed to assign ``self.*``: they run before the simulator
+#: hands the instance to the network, i.e. construction-time injection.
+_CONSTRUCTION_METHODS = {"__init__", "__post_init__", "__new__", "__init_subclass__"}
+
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+_UNCODABLE_CONSTRUCTORS = {"bytes", "bytearray", "memoryview", "object"}
+
+_COLLECTION_CONSTRUCTORS = {"tuple", "list", "set", "frozenset", "sorted"}
+
+
+def _finding(model: ModuleModel, rule: str, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule=rule,
+        path=model.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _func_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _func_name(node)
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _self_rooted(node: ast.AST) -> bool:
+    """Whether an attribute chain is rooted at the name ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+# ---------------------------------------------------------------------------
+# R1 — statelessness
+# ---------------------------------------------------------------------------
+
+
+def rule_r1_statelessness(model: ModuleModel) -> List[Finding]:
+    """Flag ``self.<attr>`` writes outside construction methods."""
+    findings: List[Finding] = []
+    for cls in model.algorithm_class_defs():
+        for method in model.methods_of(cls):
+            if method.name in _CONSTRUCTION_METHODS:
+                continue
+            for node in ast.walk(method):
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                elif isinstance(node, ast.Delete):
+                    targets = list(node.targets)
+                for target in targets:
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        targets.extend(target.elts)
+                        continue
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and _self_rooted(target):
+                        findings.append(
+                            _finding(
+                                model,
+                                "R1",
+                                node,
+                                f"{cls.name}.{method.name} writes instance state "
+                                "(one instance is shared by every node; keep "
+                                "per-node state in ctx.state)",
+                            )
+                        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# R2 — locality
+# ---------------------------------------------------------------------------
+
+
+def rule_r2_locality(model: ModuleModel) -> List[Finding]:
+    """Flag private/unknown NodeContext access and simulator reach-through."""
+    findings: List[Finding] = []
+    public = set(model.config.public_context_surface)
+
+    # Names imported from the simulator module (any name) and private
+    # names imported from anywhere inside repro.congest.
+    simulator_names: Set[str] = set()
+    if model.algorithm_classes:
+        for local, (src_module, _original) in model.imported_names.items():
+            if src_module == "repro.congest.simulator" or src_module.startswith(
+                "repro.congest.simulator."
+            ):
+                simulator_names.add(local)
+        for node in ast.walk(model.tree):
+            if not (isinstance(node, ast.ImportFrom) and node.module):
+                continue
+            if not node.module.startswith("repro.congest"):
+                continue
+            for alias in node.names:
+                if alias.name.startswith("_"):
+                    findings.append(
+                        _finding(
+                            model,
+                            "R2",
+                            node,
+                            f"imports private name {alias.name!r} from "
+                            f"{node.module} (simulator internals are "
+                            "off-limits to algorithm modules)",
+                        )
+                    )
+
+    for cls in model.algorithm_class_defs():
+        for method in model.methods_of(cls):
+            ctx_names = model.context_params(method)
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in ctx_names
+                ):
+                    if node.attr.startswith("_"):
+                        findings.append(
+                            _finding(
+                                model,
+                                "R2",
+                                node,
+                                f"{cls.name}.{method.name} touches private "
+                                f"context attribute ctx.{node.attr}",
+                            )
+                        )
+                    elif node.attr not in public:
+                        findings.append(
+                            _finding(
+                                model,
+                                "R2",
+                                node,
+                                f"{cls.name}.{method.name} uses ctx.{node.attr}, "
+                                "which is outside the public NodeContext surface",
+                            )
+                        )
+                elif isinstance(node, ast.Name) and node.id in simulator_names:
+                    findings.append(
+                        _finding(
+                            model,
+                            "R2",
+                            node,
+                            f"{cls.name}.{method.name} references the simulator "
+                            f"({node.id}); node programs see only their context",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# R3 — determinism
+# ---------------------------------------------------------------------------
+
+_BANNED_MODULES = ("random", "time", "datetime")
+
+
+def _banned_module(name: str) -> Optional[str]:
+    for banned in _BANNED_MODULES:
+        if name == banned or name.startswith(banned + "."):
+            return banned
+    return None
+
+
+def rule_r3_determinism(model: ModuleModel) -> List[Finding]:
+    """Flag ambient RNG/clock imports and ``numpy.random`` module RNG."""
+    if not model.config.in_determinism_scope(model.module_name):
+        return []
+    findings: List[Finding] = []
+    keyed = set(model.config.keyed_numpy_random)
+
+    numpy_aliases = {
+        local
+        for local, target in model.module_aliases.items()
+        if target == "numpy" or target.startswith("numpy.")
+    }
+
+    for node in ast.walk(model.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                banned = _banned_module(alias.name)
+                if banned:
+                    findings.append(
+                        _finding(
+                            model,
+                            "R3",
+                            node,
+                            f"imports {alias.name!r}: ambient "
+                            f"{'randomness' if banned == 'random' else 'clock state'} "
+                            "breaks reproducibility; use the seeded helpers in "
+                            "repro.rng",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            banned = _banned_module(node.module)
+            if banned:
+                findings.append(
+                    _finding(
+                        model,
+                        "R3",
+                        node,
+                        f"imports from {node.module!r}: use the seeded helpers "
+                        "in repro.rng",
+                    )
+                )
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in keyed:
+                        findings.append(
+                            _finding(
+                                model,
+                                "R3",
+                                node,
+                                f"imports numpy.random.{alias.name}: module-level "
+                                "numpy RNG is unseeded shared state; derive "
+                                "generators via repro.rng",
+                            )
+                        )
+        elif isinstance(node, ast.Attribute):
+            dotted = _dotted_name(node)
+            if dotted is None:
+                continue
+            root, _, rest = dotted.partition(".")
+            if root in numpy_aliases:
+                dotted = "numpy." + rest if rest else "numpy"
+            if dotted.startswith("numpy.random."):
+                terminal = dotted.split(".")[2]
+                if terminal not in keyed:
+                    findings.append(
+                        _finding(
+                            model,
+                            "R3",
+                            node,
+                            f"uses numpy.random.{terminal}: module-level numpy "
+                            "RNG is unseeded shared state; derive generators "
+                            "via repro.rng",
+                        )
+                    )
+    # Deduplicate nested Attribute chains reported at the same location.
+    unique = {(f.line, f.col, f.message): f for f in findings}
+    return list(unique.values())
+
+
+# ---------------------------------------------------------------------------
+# R4 — bandwidth typing
+# ---------------------------------------------------------------------------
+
+
+def _is_degree_scale(node: ast.AST, ctx_names: Set[str]) -> bool:
+    """Whether ``node`` evaluates to a collection of size Θ(degree) or Θ(n)."""
+    if isinstance(node, ast.Attribute):
+        return (
+            isinstance(node.value, ast.Name)
+            and node.value.id in ctx_names
+            and node.attr == "neighbors"
+        )
+    if isinstance(node, ast.Call):
+        name = _func_name(node)
+        if name == "range":
+            return any(
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in ctx_names
+                and sub.attr == "n"
+                for arg in node.args
+                for sub in ast.walk(arg)
+            )
+        if name in _COLLECTION_CONSTRUCTORS and node.args:
+            return _is_degree_scale(node.args[0], ctx_names)
+    return False
+
+
+def _payload_violations(
+    node: ast.AST, ctx_names: Set[str]
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Best-effort structural check of one payload expression."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (bytes, complex)) or node.value is Ellipsis:
+            yield node, (
+                f"payload embeds a {type(node.value).__name__} constant, which "
+                "bits_of_payload rejects"
+            )
+        return
+    if _is_degree_scale(node, ctx_names):
+        yield node, (
+            "payload embeds a collection proportional to the neighborhood/n; "
+            "a CONGEST message carries O(log n) bits"
+        )
+        return
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for elt in node.elts:
+            if isinstance(elt, ast.Starred):
+                if _is_degree_scale(elt.value, ctx_names):
+                    yield elt, (
+                        "payload splices a degree-scale collection; a CONGEST "
+                        "message carries O(log n) bits"
+                    )
+            else:
+                yield from _payload_violations(elt, ctx_names)
+        return
+    if isinstance(node, ast.Dict):
+        for key in node.keys:
+            if key is not None:
+                yield from _payload_violations(key, ctx_names)
+        for value in node.values:
+            yield from _payload_violations(value, ctx_names)
+        return
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        for comp in node.generators:
+            if _is_degree_scale(comp.iter, ctx_names) or (
+                isinstance(comp.iter, ast.Attribute)
+                and isinstance(comp.iter.value, ast.Name)
+                and comp.iter.value.id in ctx_names
+                and comp.iter.attr == "neighbors"
+            ):
+                yield node, (
+                    "payload comprehension iterates the full neighborhood; a "
+                    "CONGEST message carries O(log n) bits"
+                )
+        yield from _payload_violations(node.elt, ctx_names)
+        return
+    if isinstance(node, ast.Call):
+        name = _func_name(node)
+        if name in _UNCODABLE_CONSTRUCTORS:
+            yield node, (
+                f"payload builds a {name}, which bits_of_payload rejects "
+                "(only None/bool/int/float/str and framed containers encode)"
+            )
+            return
+        if name in _COLLECTION_CONSTRUCTORS and node.args:
+            yield from _payload_violations(node.args[0], ctx_names)
+        return
+    if isinstance(node, ast.BinOp):
+        yield from _payload_violations(node.left, ctx_names)
+        yield from _payload_violations(node.right, ctx_names)
+        return
+    if isinstance(node, ast.IfExp):
+        yield from _payload_violations(node.body, ctx_names)
+        yield from _payload_violations(node.orelse, ctx_names)
+        return
+    # Names, subscripts, arbitrary calls: unknown types stay unflagged —
+    # the runtime meter in Message.__post_init__ is the backstop.
+
+
+def rule_r4_bandwidth(model: ModuleModel) -> List[Finding]:
+    """Flag structurally over-budget or uncodable payload expressions."""
+    findings: List[Finding] = []
+    for cls in model.algorithm_class_defs():
+        for method in model.methods_of(cls):
+            ctx_names = model.context_params(method)
+            if not ctx_names:
+                continue
+            for node in ast.walk(method):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("send", "broadcast")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in ctx_names
+                ):
+                    continue
+                payload: Optional[ast.AST] = None
+                payload_index = 1 if node.func.attr == "send" else 0
+                if len(node.args) > payload_index:
+                    payload = node.args[payload_index]
+                else:
+                    for kw in node.keywords:
+                        if kw.arg == "payload":
+                            payload = kw.value
+                if payload is None:
+                    continue
+                for bad_node, message in _payload_violations(payload, ctx_names):
+                    findings.append(
+                        _finding(
+                            model,
+                            "R4",
+                            bad_node,
+                            f"{cls.name}.{method.name}: {message}",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# R5 — shared mutable defaults
+# ---------------------------------------------------------------------------
+
+
+def rule_r5_mutable_defaults(model: ModuleModel) -> List[Finding]:
+    """Flag mutable class attributes and mutable default arguments."""
+    findings: List[Finding] = []
+    for cls in model.algorithm_class_defs():
+        for stmt in cls.body:
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and _is_mutable_literal(value):
+                findings.append(
+                    _finding(
+                        model,
+                        "R5",
+                        stmt,
+                        f"{cls.name} has a mutable class attribute; with one "
+                        "shared instance this is cross-node shared memory",
+                    )
+                )
+        for method in model.methods_of(cls):
+            defaults: Sequence[Optional[ast.AST]] = list(method.args.defaults) + [
+                d for d in method.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if default is not None and _is_mutable_literal(default):
+                    findings.append(
+                        _finding(
+                            model,
+                            "R5",
+                            default,
+                            f"{cls.name}.{method.name} has a mutable default "
+                            "argument (evaluated once, shared across all calls "
+                            "and nodes)",
+                        )
+                    )
+    return findings
+
+
+ALL_RULES: Tuple[Tuple[str, Callable[[ModuleModel], List[Finding]]], ...] = (
+    ("R1", rule_r1_statelessness),
+    ("R2", rule_r2_locality),
+    ("R3", rule_r3_determinism),
+    ("R4", rule_r4_bandwidth),
+    ("R5", rule_r5_mutable_defaults),
+)

@@ -1,0 +1,108 @@
+"""CLI behavior: exit codes, JSON output, and the ``repro lint`` alias."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+CLEAN = """
+from repro.congest.algorithm import NodeAlgorithm
+
+
+class Fine(NodeAlgorithm):
+    name = "fine"
+
+    def on_round(self, ctx, inbox):
+        ctx.halt(("done", ctx.node))
+"""
+
+VIOLATING = """
+from repro.congest.algorithm import NodeAlgorithm
+
+
+class Cheater(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        self.total = len(inbox)
+        ctx.broadcast(tuple(ctx.neighbors))
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "fine.py"
+    path.write_text(textwrap.dedent(CLEAN))
+    return str(path)
+
+
+@pytest.fixture
+def violating_file(tmp_path):
+    path = tmp_path / "cheater.py"
+    path.write_text(textwrap.dedent(VIOLATING))
+    return str(path)
+
+
+def test_exit_zero_on_clean_tree(clean_file, capsys):
+    assert lint_main([clean_file, "--no-config"]) == 0
+    out = capsys.readouterr().out
+    assert "model-compliant" in out
+
+
+def test_exit_one_with_precise_findings(violating_file, capsys):
+    assert lint_main([violating_file, "--no-config"]) == 1
+    out = capsys.readouterr().out
+    # file:line:col precision for both injected violations
+    assert f"{violating_file}:7:8: R1" in out
+    assert f"{violating_file}:8:22: R4" in out
+
+
+def test_exit_two_on_syntax_error(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n")
+    assert lint_main([str(path), "--no-config"]) == 2
+    assert "E1" in capsys.readouterr().out
+
+
+def test_exit_two_on_empty_target(tmp_path, capsys):
+    (tmp_path / "empty").mkdir()
+    assert lint_main([str(tmp_path / "empty"), "--no-config"]) == 2
+
+
+def test_json_report_shape(violating_file, capsys):
+    assert lint_main([violating_file, "--no-config", "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["checked_files"] == 1
+    assert report["total"] == 2
+    assert report["counts"] == {"R1": 1, "R4": 1}
+    rules = {f["rule"] for f in report["findings"]}
+    assert rules == {"R1", "R4"}
+    for finding in report["findings"]:
+        assert finding["path"] == violating_file
+        assert finding["line"] > 0
+
+
+def test_config_file_flag(tmp_path, violating_file, capsys):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.repro.lint]\ndisable = [\"R1\", \"R4\"]\n"
+    )
+    assert (
+        lint_main([violating_file, "--config", str(pyproject)]) == 0
+    )
+    capsys.readouterr()
+
+
+def test_repro_cli_lint_subcommand(violating_file, capsys):
+    assert repro_main(["lint", violating_file, "--no-config"]) == 1
+    out = capsys.readouterr().out
+    assert "R1" in out and "R4" in out
+
+
+def test_repro_cli_lint_json(clean_file, capsys):
+    assert repro_main(["lint", clean_file, "--no-config", "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["total"] == 0

@@ -1,0 +1,201 @@
+"""Engine mechanics: suppressions, config parsing, discovery, errors."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.config import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    _read_lint_table,
+    load_config,
+)
+from repro.lint.engine import iter_python_files, module_name_for_path
+
+HEADER = "from repro.congest.algorithm import NodeAlgorithm\n"
+
+
+def lint(body: str, **kwargs):
+    return lint_source(HEADER + textwrap.dedent(body), path="fixture.py", **kwargs)
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_trailing_suppression_silences_named_rule():
+    findings = lint(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.schedule = 1  # repro: lint-ignore[R1]
+        """
+    )
+    assert findings == []
+
+
+def test_bare_suppression_silences_all_rules():
+    findings = lint(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.schedule = ctx._outbox  # repro: lint-ignore
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_of_other_rule_does_not_silence():
+    findings = lint(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.schedule = 1  # repro: lint-ignore[R4]
+        """
+    )
+    assert [f.rule for f in findings] == ["R1"]
+
+
+def test_comment_line_above_suppresses_next_line():
+    findings = lint(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                # justified: schedule is identical on every node
+                # repro: lint-ignore[R1]
+                self.schedule = 1
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_on_code_line_does_not_leak_to_next_line():
+    findings = lint(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                x = 1  # repro: lint-ignore[R1]
+                self.schedule = x
+        """
+    )
+    assert [f.rule for f in findings] == ["R1"]
+
+
+def test_multi_rule_suppression():
+    findings = lint(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.x = ctx._outbox  # repro: lint-ignore[R1, R2]
+        """
+    )
+    assert findings == []
+
+
+# -- parse errors ------------------------------------------------------------
+
+
+def test_syntax_error_becomes_e1_finding():
+    findings = lint_source("def broken(:\n", path="broken.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "E1"
+    assert findings[0].path == "broken.py"
+    assert findings[0].line >= 1
+
+
+# -- config ------------------------------------------------------------------
+
+
+def test_default_config_round_trip(tmp_path):
+    assert load_config(None) is DEFAULT_CONFIG
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        textwrap.dedent(
+            """
+            [tool.other]
+            x = 1
+
+            [tool.repro.lint]
+            paths = ["src/alpha", "src/beta"]
+            disable = ["R4"]
+            determinism-packages = [
+                "alpha.core",  # trailing comment
+                "beta",
+            ]
+
+            [tool.after]
+            y = 2
+            """
+        )
+    )
+    config = load_config(str(pyproject))
+    assert config.paths == ("src/alpha", "src/beta")
+    assert config.disable == ("R4",)
+    assert config.determinism_packages == ("alpha.core", "beta")
+    # Untouched keys keep their defaults.
+    assert config.algorithm_base_classes == DEFAULT_CONFIG.algorithm_base_classes
+    assert not config.rule_enabled("R4")
+    assert config.rule_enabled("R1")
+
+
+def test_fallback_toml_reader_matches_expectations():
+    # The 3.9/3.10 path: no tomllib, the minimal reader takes over.
+    table = _read_lint_table(
+        textwrap.dedent(
+            """
+            [tool.repro.lint]
+            paths = ["a", 'b']
+            exclude = []
+            single = "one"
+
+            [tool.repro.lint.unrelated-subtable]
+            ignored = true
+            """
+        )
+    )
+    assert table["paths"] == ["a", "b"]
+    assert table["exclude"] == []
+    assert table["single"] == "one"
+    assert "ignored" not in table
+
+
+def test_disabled_rule_is_skipped():
+    config = LintConfig(disable=("R1",))
+    findings = lint(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.schedule = 1
+        """,
+        config=config,
+    )
+    assert findings == []
+
+
+def test_determinism_scope_matching():
+    config = LintConfig(determinism_packages=("repro.mis",))
+    assert config.in_determinism_scope("repro.mis")
+    assert config.in_determinism_scope("repro.mis.luby")
+    assert not config.in_determinism_scope("repro.misc")
+    assert not config.in_determinism_scope("repro.analysis")
+    assert LintConfig(determinism_packages=("*",)).in_determinism_scope("x.y")
+
+
+# -- path handling -----------------------------------------------------------
+
+
+def test_module_name_for_path():
+    assert module_name_for_path("src/repro/mis/luby.py") == "repro.mis.luby"
+    assert module_name_for_path("src/repro/mis/__init__.py") == "repro.mis"
+    assert module_name_for_path("/a/b/standalone.py") == "standalone"
+
+
+def test_iter_python_files_excludes(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "skipme.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+    files = iter_python_files(
+        [str(tmp_path)], exclude=[str(tmp_path / "pkg" / "skipme.py")]
+    )
+    assert [f.split("/")[-1] for f in files] == ["good.py"]

@@ -1,0 +1,327 @@
+"""Each lint rule fires on a minimal violating fixture, with precise
+file:line locations, and stays quiet on the compliant twin."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.config import LintConfig
+
+# Determinism scope "*" puts synthetic fixture modules in R3 scope.
+CFG = LintConfig(determinism_packages=("*",))
+
+HEADER = "from repro.congest.algorithm import NodeAlgorithm, NodeContext\n"
+
+
+def findings_for(body: str, config: LintConfig = CFG):
+    return lint_source(
+        HEADER + textwrap.dedent(body), path="fixture.py", config=config
+    )
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- R1 statelessness --------------------------------------------------------
+
+
+def test_r1_flags_self_write_in_on_round():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.counter = 1
+        """
+    )
+    assert rules_of(findings) == ["R1"]
+    # HEADER is line 1 and the dedented body keeps its leading blank
+    # line, so `self.counter = 1` lands on line 5.
+    assert findings[0].line == 5
+    assert findings[0].path == "fixture.py"
+
+
+def test_r1_flags_augmented_and_subscript_writes():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_start(self, ctx):
+                self.total += 1
+                self.cache[ctx.node] = 1
+            def on_halt(self, ctx):
+                del self.cache
+        """
+    )
+    assert rules_of(findings) == ["R1", "R1", "R1"]
+
+
+def test_r1_allows_init_and_ctx_state():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def __init__(self, plan):
+                self.plan = plan
+            def on_round(self, ctx, inbox):
+                ctx.state["seen"] = len(inbox)
+                ctx.state["count"] += 1
+        """
+    )
+    assert findings == []
+
+
+def test_r1_applies_to_phased_hook_methods():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def competition_key(self, ctx, iteration):
+                self.last_key = iteration
+                return (iteration, ctx.node)
+        """
+    )
+    assert rules_of(findings) == ["R1"]
+
+
+# -- R2 locality -------------------------------------------------------------
+
+
+def test_r2_flags_private_context_access():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx._outbox.clear()
+        """
+    )
+    assert rules_of(findings) == ["R2"]
+    assert "ctx._outbox" in findings[0].message
+
+
+def test_r2_flags_nonpublic_surface():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.simulator_backdoor()
+        """
+    )
+    assert rules_of(findings) == ["R2"]
+
+
+def test_r2_public_surface_is_quiet():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                if ctx.round_index > ctx.n or ctx.halted:
+                    ctx.halt(("done", ctx.node, ctx.seed))
+                for u in ctx.neighbors:
+                    ctx.send(u, ctx.degree())
+                ctx.broadcast(ctx.state.get("x"))
+        """
+    )
+    assert findings == []
+
+
+def test_r2_flags_simulator_reference_inside_node_method():
+    findings = findings_for(
+        """
+        from repro.congest.simulator import SynchronousSimulator
+
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                return SynchronousSimulator
+        """
+    )
+    assert rules_of(findings) == ["R2"]
+
+
+def test_r2_allows_module_level_simulator_driver():
+    # Algorithm modules legitimately contain driver functions that run
+    # the simulator *outside* the node program.
+    findings = findings_for(
+        """
+        from repro.congest.simulator import SynchronousSimulator
+
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt(None)
+
+        def drive(network):
+            return SynchronousSimulator(network).run(P())
+        """
+    )
+    assert findings == []
+
+
+def test_r2_flags_private_congest_import():
+    findings = findings_for(
+        """
+        from repro.congest.simulator import _secret_hook
+
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt(None)
+        """
+    )
+    assert any(f.rule == "R2" and "_secret_hook" in f.message for f in findings)
+
+
+# -- R3 determinism ----------------------------------------------------------
+
+
+def test_r3_flags_ambient_rng_and_clock_imports():
+    findings = findings_for(
+        """
+        import random
+        import time
+        from datetime import datetime
+        """
+    )
+    assert rules_of(findings) == ["R3", "R3", "R3"]
+
+
+def test_r3_flags_numpy_module_rng():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng().random()
+        """
+    )
+    assert any(f.rule == "R3" and "default_rng" in f.message for f in findings)
+
+
+def test_r3_allows_keyed_generators_and_scoping():
+    source = """
+        import numpy as np
+
+        def stream(key):
+            return np.random.Generator(np.random.Philox(key=key))
+        """
+    assert findings_for(source) == []
+    # Out of the configured package scope nothing fires at all.
+    out_of_scope = LintConfig(determinism_packages=("repro.mis",))
+    assert (
+        lint_source(
+            HEADER + textwrap.dedent("import random\n"),
+            path="fixture.py",
+            config=out_of_scope,
+            module_name="somewhere.else",
+        )
+        == []
+    )
+
+
+# -- R4 bandwidth ------------------------------------------------------------
+
+
+def test_r4_flags_bytes_payload():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.send(0, b"raw")
+        """
+    )
+    assert rules_of(findings) == ["R4"]
+
+
+def test_r4_flags_neighbor_collection_payloads():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.broadcast(tuple(ctx.neighbors))
+                ctx.send(0, ("ids", *ctx.neighbors))
+                ctx.send(1, [u for u in ctx.neighbors])
+                ctx.send(2, list(range(ctx.n)))
+        """
+    )
+    assert rules_of(findings) == ["R4", "R4", "R4", "R4"]
+
+
+def test_r4_allows_scalar_payloads():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.send(0, ("key", ctx.node, len(ctx.neighbors)))
+                ctx.broadcast(("deg", ctx.degree(), ctx.n))
+                ctx.send(1, payload=("flag", True, 3.5, None))
+        """
+    )
+    assert findings == []
+
+
+def test_r4_flags_uncodable_constructors():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.send(0, ("blob", bytearray(8)))
+        """
+    )
+    assert rules_of(findings) == ["R4"]
+
+
+# -- R5 shared mutable defaults ---------------------------------------------
+
+
+def test_r5_flags_mutable_class_attribute_and_default_arg():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            cache = {}
+
+            def on_round(self, ctx, inbox, extras=[]):
+                ctx.halt(None)
+        """
+    )
+    assert rules_of(findings) == ["R5", "R5"]
+
+
+def test_r5_allows_immutable_class_attributes():
+    findings = findings_for(
+        """
+        class P(NodeAlgorithm):
+            name = "fixture"
+            LIMIT = 3
+            TAGS = ("a", "b")
+
+            def on_round(self, ctx, inbox, scale=2, label="x"):
+                ctx.halt(None)
+        """
+    )
+    assert findings == []
+
+
+def test_rules_ignore_non_algorithm_classes():
+    findings = findings_for(
+        """
+        class Helper:
+            cache = {}
+
+            def on_round(self, ctx, inbox):
+                self.count = 1
+                return ctx._outbox
+        """
+    )
+    assert findings == []
+
+
+def test_transitive_subclass_discovery():
+    findings = findings_for(
+        """
+        class Base(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt(None)
+
+        class Derived(Base):
+            def on_round(self, ctx, inbox):
+                self.cheat = True
+        """
+    )
+    assert rules_of(findings) == ["R1"]
+    assert "Derived" in findings[0].message
