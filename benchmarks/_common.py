@@ -28,8 +28,13 @@ SEEDS = [0, 1, 2]
 # touching any benchmark file:
 #   REPRO_SWEEP_WORKERS=8                 process-pool size (0 = serial path)
 #   REPRO_SWEEP_CACHE=results/sweep.jsonl resume/persist points across runs
+#   REPRO_OBS_DIR=results/obs             every sweep emits a run manifest +
+#                                         JSONL event stream under this root
+#                                         (inspect with `repro obs summary`;
+#                                         see docs/observability.md)
 _WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "-1"))
 SWEEP_CACHE = os.environ.get("REPRO_SWEEP_CACHE") or None
+OBS_DIR = os.environ.get("REPRO_OBS_DIR") or None
 
 
 def sweep_kwargs() -> dict:
@@ -45,10 +50,24 @@ def sweep_kwargs() -> dict:
 
 
 def emit(name: str, rows: Sequence[Mapping[str, object]], title: str) -> str:
-    """Render, print, and persist one experiment table."""
+    """Render, print, and persist one experiment table.
+
+    With ``REPRO_OBS_DIR`` set, the finished table is also recorded as a
+    telemetry artifact (a ``benchmark`` session holding one ``note`` event
+    per row) next to the sweep streams the run itself emitted, so a CI
+    artifact bundle is self-contained.
+    """
     text = render_rows(rows, title=title)
     print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    if OBS_DIR:
+        from repro.obs.session import ObsSession
+
+        with ObsSession.create(
+            OBS_DIR, kind="benchmark", name=name, params={"title": title}
+        ) as session:
+            for row in rows:
+                session.note("table-row", row=dict(row))
     return text

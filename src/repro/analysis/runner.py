@@ -10,7 +10,13 @@
   keyed by each unit's content fingerprint before executing anything, and
 * **observably**, reporting a :class:`SweepProgress` snapshot to a
   pluggable callback after every completed point (the ``repro sweep``
-  CLI's progress line is one such callback).
+  CLI's progress line is one such callback), and — when an
+  :class:`~repro.obs.session.ObsSession` is attached or
+  ``REPRO_OBS_DIR`` is set — emitting a manifest plus a JSONL event
+  stream (``sweep-start`` / ``sweep-point`` / ``sweep-end``) that
+  ``repro obs summary`` can reconstruct the sweep from after the fact.
+  Point events are emitted in canonical grid order regardless of
+  completion order, so same-seed streams are identical up to timestamps.
 
 Fanning the grid out is sound because the keyed splitmix64/Philox scheme
 of :mod:`repro.rng` makes every ``(seed, node, round, tag)`` draw
@@ -49,9 +55,12 @@ import networkx as nx
 
 from repro.analysis.cache import SweepCache, unit_fingerprint
 from repro.analysis.sweep import SweepPoint, SweepResult
+from repro.core.parameters import ROUNDS_PER_ITERATION
 from repro.graphs.generators import GraphSpec
 from repro.mis.engine import MISResult
 from repro.mis.validation import assert_valid_mis
+from repro.obs.events import EVENT_SWEEP_END, EVENT_SWEEP_POINT, EVENT_SWEEP_START
+from repro.obs.session import ObsSession, session_from_env
 
 __all__ = ["WorkUnit", "SweepProgress", "SweepRunner", "execute_unit"]
 
@@ -166,6 +175,12 @@ class SweepRunner:
     progress:
         Optional callback receiving a :class:`SweepProgress` after every
         completed (executed or cache-hit) point.
+    obs:
+        Optional :class:`~repro.obs.session.ObsSession` receiving the
+        sweep's telemetry events.  When None and ``REPRO_OBS_DIR`` is
+        set, the runner creates (and finishes) its own session per
+        ``run()`` call, so every benchmark/sweep emits artifacts without
+        call-site changes.
     """
 
     def __init__(
@@ -177,6 +192,7 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         cache: Union[SweepCache, str, Path, None] = None,
         progress: Optional[ProgressCallback] = None,
+        obs: Optional[ObsSession] = None,
     ):
         self.algorithms = dict(algorithms)
         self.algorithm_kwargs = {
@@ -189,6 +205,8 @@ class SweepRunner:
             cache = SweepCache(cache)
         self.cache = cache
         self.progress = progress
+        self.obs = obs
+        self._timings: Dict[int, float] = {}
 
     # -- grid enumeration ----------------------------------------------------
 
@@ -231,6 +249,31 @@ class SweepRunner:
         progress = SweepProgress(total=len(units))
         started = time.perf_counter()
         points: List[Optional[SweepPoint]] = [None] * len(units)
+        self._timings: Dict[int, float] = {}
+
+        obs = self.obs
+        owned_session = False
+        if obs is None:
+            obs = session_from_env(
+                "sweep",
+                params={
+                    "specs": [spec.label() for spec in specs],
+                    "sizes": list(sizes),
+                    "seeds": list(seeds),
+                    "algorithms": sorted(self.algorithms),
+                },
+            )
+            owned_session = obs is not None
+        if obs is not None:
+            obs.emit(
+                EVENT_SWEEP_START,
+                total=len(units),
+                specs=[spec.label() for spec in specs],
+                sizes=list(sizes),
+                seeds=list(seeds),
+                algorithms=sorted(self.algorithms),
+                workers=self.max_workers if self.parallel else 1,
+            )
 
         pending: List[int] = []
         for i, unit in enumerate(units):
@@ -242,11 +285,57 @@ class SweepRunner:
             else:
                 pending.append(i)
 
-        if self.parallel and self.max_workers > 1 and len(pending) > 1:
-            self._run_parallel(units, pending, points, progress, started)
-        else:
-            self._run_serial(units, pending, points, progress, started)
+        try:
+            if self.parallel and self.max_workers > 1 and len(pending) > 1:
+                self._run_parallel(units, pending, points, progress, started)
+            else:
+                self._run_serial(units, pending, points, progress, started)
+        finally:
+            if obs is not None:
+                self._emit_obs(obs, units, points, progress, owned_session)
         return SweepResult(points=[p for p in points if p is not None])
+
+    def _emit_obs(self, obs, units, points, progress, owned_session) -> None:
+        """Emit the sweep's telemetry in canonical grid order.
+
+        Emission happens after execution (not as points complete) so the
+        stream's order is independent of pool scheduling — the same-seed
+        determinism guarantee `repro obs diff` checks.
+        """
+        for i, unit in enumerate(units):
+            point = points[i]
+            if point is None:
+                continue
+            rounds = (
+                point.congest_rounds
+                if point.congest_rounds is not None
+                else ROUNDS_PER_ITERATION * point.iterations
+            )
+            obs.emit(
+                EVENT_SWEEP_POINT,
+                family=unit.spec.label(),
+                n=unit.n,
+                algorithm=unit.algorithm,
+                seed=unit.seed,
+                iterations=point.iterations,
+                rounds=rounds,
+                mis_size=point.mis_size,
+                cached=i not in self._timings,
+                dur_s=self._timings.get(i),
+            )
+        obs.emit(
+            EVENT_SWEEP_END,
+            total=progress.total,
+            executed=progress.executed,
+            cached=progress.cached,
+            dur_s=progress.elapsed,
+            seconds_by_algorithm={
+                name: round(seconds, 6)
+                for name, seconds in sorted(progress.algorithm_seconds.items())
+            },
+        )
+        if owned_session:
+            obs.finish()
 
     def _run_serial(self, units, pending, points, progress, started) -> None:
         # Consecutive units share (spec, n, seed) when they differ only by
@@ -309,6 +398,7 @@ class SweepRunner:
 
     def _complete(self, i, unit, point, seconds, points, progress, started) -> None:
         points[i] = point
+        self._timings[i] = seconds
         progress.executed += 1
         progress.algorithm_seconds[unit.algorithm] = (
             progress.algorithm_seconds.get(unit.algorithm, 0.0) + seconds

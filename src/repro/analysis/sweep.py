@@ -83,6 +83,7 @@ def run_sweep(
     max_workers: Optional[int] = None,
     cache: Union[str, Path, None] = None,
     progress: Optional[Callable] = None,
+    obs=None,
 ) -> SweepResult:
     """Run every algorithm on every (spec, n, seed) grid point.
 
@@ -95,6 +96,9 @@ def run_sweep(
     names a JSONL results store so interrupted or repeated sweeps resume
     instead of recomputing; ``progress`` receives a
     :class:`~repro.analysis.runner.SweepProgress` after every point.
+    ``obs`` attaches an :class:`~repro.obs.session.ObsSession` for
+    telemetry emission (with ``REPRO_OBS_DIR`` set, the runner creates
+    one itself, so every sweep leaves a manifest + event stream behind).
     """
     from repro.analysis.runner import SweepRunner  # runner imports this module
 
@@ -106,5 +110,6 @@ def run_sweep(
         max_workers=max_workers,
         cache=cache,
         progress=progress,
+        obs=obs,
     )
     return runner.run(specs, sizes, seeds)

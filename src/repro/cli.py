@@ -13,7 +13,15 @@ Commands
              (pseudoarboricity, Nash–Williams bound, forest partition);
 ``lint``     run the CONGEST model-compliance static analyzer (rules
              R1–R5, docs/model_compliance.md) over the source tree;
+``obs``      inspect recorded run telemetry (``tail`` / ``summary`` /
+             ``diff`` over manifest + JSONL artifacts,
+             docs/observability.md);
 ``list``     list registered algorithms and graph families.
+
+``run`` and ``sweep`` take ``--obs-dir`` (or honor ``REPRO_OBS_DIR``) to
+emit a run manifest plus a JSONL event stream that ``repro obs`` can
+reconstruct the run from afterwards.  All progress/telemetry chatter goes
+to stderr; stdout carries only the machine-readable result tables.
 
 Examples
 --------
@@ -22,6 +30,8 @@ Examples
     python -m repro run --family arb --alpha 3 --n 2000 --algorithm arb-mis
     python -m repro sweep --family tree --sizes 256,512,1024 --algorithms metivier,luby-b
     python -m repro sweep --family arb --sizes 4096,8192 --cache results/sweep.jsonl --progress
+    python -m repro sweep --family tree --sizes 512 --obs-dir results/obs
+    python -m repro obs summary results/obs
     python -m repro certify --family planar --n 500
     python -m repro lint --format json
     python -m repro list
@@ -73,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--p", type=float, default=0.05, help="edge probability for gnp")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_obs_args(p):
+        p.add_argument(
+            "--obs-dir",
+            default=None,
+            help="emit a run manifest + JSONL event stream under this "
+            "directory (default: $REPRO_OBS_DIR when set)",
+        )
+
     run = sub.add_parser("run", help="run one algorithm on one workload")
     add_workload_args(run)
     run.add_argument("--algorithm", default="arb-mis")
@@ -83,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--finishing", choices=("metivier", "linial"), default="metivier"
     )
     run.add_argument("--report", action="store_true", help="print the stage report")
+    add_obs_args(run)
 
     sweep = sub.add_parser("sweep", help="compare algorithms over an n-grid")
     add_workload_args(sweep)
@@ -99,8 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None, help="JSONL results store; reruns and interrupted sweeps resume from it"
     )
     sweep.add_argument(
-        "--progress", action="store_true", help="print live progress telemetry to stderr"
+        "--progress",
+        action="store_true",
+        help="print live progress telemetry to stderr (stdout stays "
+        "machine-readable)",
     )
+    add_obs_args(sweep)
 
     certify = sub.add_parser("certify", help="arboricity certificate of a workload")
     add_workload_args(certify)
@@ -128,6 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--config", default=None, metavar="PYPROJECT")
     lint.add_argument("--no-config", action="store_true")
 
+    obs = sub.add_parser(
+        "obs", help="inspect recorded run telemetry (tail/summary/diff)"
+    )
+    obs.add_argument(
+        "obs_args",
+        nargs=argparse.REMAINDER,
+        help="forwarded to the obs CLI, e.g. `summary results/obs`",
+    )
+
     sub.add_parser("list", help="list algorithms and graph families")
     return parser
 
@@ -136,7 +168,7 @@ def _build_graph(args):
     return _FAMILIES[args.family](args.n, args.seed, args)
 
 
-def _run_algorithm(name: str, graph, args):
+def _run_algorithm(name: str, graph, args, observer=None):
     from repro.mis.registry import get_algorithm
 
     fn = get_algorithm(name)
@@ -147,7 +179,21 @@ def _run_algorithm(name: str, graph, args):
             "profile": getattr(args, "profile", "practical"),
             "finishing_strategy": getattr(args, "finishing", "metivier"),
         }
+        if observer is not None:
+            kwargs["observer"] = observer
     return fn(graph, seed=args.seed, **kwargs)
+
+
+def _obs_session(args, kind: str, params):
+    """Session from ``--obs-dir`` or ``$REPRO_OBS_DIR``; None when off."""
+    from repro.obs.session import ObsSession, session_from_env
+
+    seed = getattr(args, "seed", None)
+    if getattr(args, "obs_dir", None):
+        return ObsSession.create(
+            args.obs_dir, kind=kind, seed=seed, params=params
+        )
+    return session_from_env(kind, seed=seed, params=params)
 
 
 def _cmd_run(args) -> int:
@@ -158,7 +204,39 @@ def _cmd_run(args) -> int:
         f"workload: {args.family} n={graph.number_of_nodes()} "
         f"m={graph.number_of_edges()} seed={args.seed}"
     )
-    result = _run_algorithm(args.algorithm, graph, args)
+    session = _obs_session(
+        args,
+        "run",
+        params={"family": args.family, "n": args.n, "algorithm": args.algorithm},
+    )
+    if session is None:
+        result = _run_algorithm(args.algorithm, graph, args)
+    else:
+        from repro.obs.events import EVENT_RUN_END, EVENT_RUN_START
+        from repro.obs.session import emit_run_metrics
+
+        session.emit(
+            EVENT_RUN_START,
+            nodes=graph.number_of_nodes(),
+            seed=args.seed,
+            algorithm=args.algorithm,
+        )
+        with session.phase("algorithm"):
+            result = _run_algorithm(args.algorithm, graph, args, observer=session)
+        if result.metrics is not None:
+            emit_run_metrics(session, result.metrics)
+        else:
+            # Fast-engine result: no per-round wire metrics, but the
+            # measured round count is still reconstructible.
+            session.emit(
+                EVENT_RUN_END,
+                rounds=result.congest_rounds or 0,
+                iterations=result.iterations,
+                mis_size=len(result.mis),
+                halted=True,
+            )
+        session.finish()
+        sys.stderr.write(f"[obs] wrote {session.directory}\n")
     assert_valid_mis(graph, result.mis)
     print(result.summary() + "  [validated]")
     if args.report and "report" in result.extra:
@@ -196,11 +274,22 @@ def _cmd_sweep(args) -> int:
 
     progress = None
     if args.progress:
-
+        # Progress is telemetry, not output: it goes to stderr so that
+        # piping stdout into a file yields only the result table.
         def progress(p):
             sys.stderr.write("\r[sweep] " + p.render())
             sys.stderr.flush()
 
+    session = _obs_session(
+        args,
+        "sweep",
+        params={
+            "family": args.family,
+            "sizes": sizes,
+            "algorithms": names,
+            "seeds": seeds,
+        },
+    )
     result = run_sweep(
         specs=[spec],
         sizes=sizes,
@@ -211,9 +300,13 @@ def _cmd_sweep(args) -> int:
         max_workers=args.workers,
         cache=args.cache,
         progress=progress,
+        obs=session,
     )
     if args.progress:
         sys.stderr.write("\n")
+    if session is not None:
+        session.finish()
+        sys.stderr.write(f"[obs] wrote {session.directory}\n")
 
     rows = []
     for n in sizes:
@@ -330,6 +423,12 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs.cli import main as obs_main
+
+    return obs_main(list(args.obs_args))
+
+
 def _cmd_list(args) -> int:
     from repro.mis.registry import available_algorithms
 
@@ -349,6 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "workload": _cmd_workload,
         "lint": _cmd_lint,
+        "obs": _cmd_obs,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -40,6 +40,7 @@ from repro.congest.algorithm import NodeAlgorithm, NodeContext
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.errors import SimulationError
+from repro.obs.hooks import RunObserver
 
 __all__ = ["AsynchronousNetwork", "AlphaSynchronizer", "AsyncRunResult"]
 
@@ -124,13 +125,28 @@ class AlphaSynchronizer:
     their last payload messages arrive first).
     """
 
-    def __init__(self, network: Network, seed: int = 0, delay_fn=None):
+    def __init__(
+        self,
+        network: Network,
+        seed: int = 0,
+        delay_fn=None,
+        observer: Optional[RunObserver] = None,
+    ):
         self.network = network
         self.async_net = AsynchronousNetwork(network, seed=seed, delay_fn=delay_fn)
         self.seed = seed
+        # Lifecycle/profiling hook (repro.obs); this module never reads a
+        # clock itself — the observer stamps wall time (lint rule R3).
+        self.observer = observer
 
     def run(self, algorithm: NodeAlgorithm, max_pulses: int = 100_000) -> AsyncRunResult:
         net = self.network
+        if self.observer is not None:
+            self.observer.on_run_start(
+                node_count=net.node_count,
+                seed=self.seed,
+                algorithm=getattr(algorithm, "name", type(algorithm).__name__),
+            )
         contexts: Dict[int, NodeContext] = {
             v: NodeContext(v, net.neighbors(v), net.node_count, self.seed)
             for v in net.nodes
@@ -245,9 +261,16 @@ class AlphaSynchronizer:
                 try_advance(v)
 
         outputs = {v: ctx.output for v, ctx in contexts.items() if ctx.halted}
+        all_halted = all(ctx.halted for ctx in contexts.values())
+        if self.observer is not None:
+            self.observer.on_async_run_end(
+                pulses=max_pulse_seen + 1,
+                events_processed=self.async_net.events_processed,
+                halted=all_halted,
+            )
         return AsyncRunResult(
             outputs=outputs,
             pulses=max_pulse_seen + 1,
             events_processed=self.async_net.events_processed,
-            halted=all(ctx.halted for ctx in contexts.values()),
+            halted=all_halted,
         )

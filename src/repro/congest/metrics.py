@@ -8,7 +8,7 @@ the CONGEST O(log n) compliance benchmark, E9 in DESIGN.md, checks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["RoundMetrics", "RunMetrics"]
 
@@ -42,6 +42,10 @@ class RunMetrics:
     per_round: List[RoundMetrics] = field(default_factory=list)
     congest_budget_bits: Optional[int] = None
     start_round: Optional[RoundMetrics] = None
+    #: Wall-clock seconds per pipeline phase (e.g. shattering/finishing),
+    #: filled by the observability layer (repro.obs) — this module never
+    #: reads a clock itself, so runs stay deterministic (lint rule R3).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def absorb(self, rm: RoundMetrics) -> None:
         """Fold one round's metrics into the aggregate."""
@@ -73,6 +77,10 @@ class RunMetrics:
             return None
         return self.max_message_bits <= self.congest_budget_bits
 
+    def note_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall time for a named phase (repeats add up)."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
     def messages_per_round(self) -> List[int]:
         return [rm.messages_sent for rm in self.per_round]
 
@@ -88,5 +96,14 @@ class RunMetrics:
             parts.append(
                 f"budget={self.congest_budget_bits} "
                 f"({'OK' if self.congest_compliant else 'EXCEEDED'})"
+            )
+        if self.phase_seconds:
+            parts.append(
+                "phases["
+                + " ".join(
+                    f"{name}={seconds:.3f}s"
+                    for name, seconds in sorted(self.phase_seconds.items())
+                )
+                + "]"
             )
         return " ".join(parts)

@@ -25,6 +25,7 @@ from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
 from repro.congest.tracing import TraceRecorder
 from repro.errors import SimulationError
+from repro.obs.hooks import RunObserver
 
 __all__ = ["SynchronousSimulator", "RunResult"]
 
@@ -65,6 +66,11 @@ class SynchronousSimulator:
         sends and halts are recorded.
     crash_schedule:
         Optional crash-stop fault injection.
+    observer:
+        Optional :class:`~repro.obs.hooks.RunObserver` receiving lifecycle
+        hooks (run start/end, per-round metrics, halts, crashes).  The
+        simulator itself never reads a clock; timestamping is the
+        observer's business (see :mod:`repro.obs.session`).
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class SynchronousSimulator:
         budget_constant: int = 32,
         trace: Optional[TraceRecorder] = None,
         crash_schedule: Optional[CrashSchedule] = None,
+        observer: Optional[RunObserver] = None,
     ):
         self.network = network
         self.seed = seed
@@ -82,6 +89,7 @@ class SynchronousSimulator:
         self.budget = congest_budget_bits(max(2, network.node_count), budget_constant)
         self.trace = trace
         self.crash_schedule = crash_schedule or CrashSchedule.none()
+        self.observer = observer
 
     def run(self, algorithm: NodeAlgorithm, max_rounds: int = 100_000) -> RunResult:
         """Execute ``algorithm`` to quiescence and return the result."""
@@ -91,6 +99,14 @@ class SynchronousSimulator:
             for v in net.nodes
         }
         crashed: set = set()
+
+        if self.observer is not None:
+            self.observer.on_run_start(
+                node_count=net.node_count,
+                seed=self.seed,
+                algorithm=getattr(algorithm, "name", type(algorithm).__name__),
+                budget_bits=self.budget,
+            )
 
         for ctx in contexts.values():
             algorithm.on_start(ctx)
@@ -104,6 +120,8 @@ class SynchronousSimulator:
         start_rm = RoundMetrics(round_index=-1)
         self._collect_outboxes(contexts, pending, start_rm, crashed)
         metrics.absorb_start(start_rm)
+        if self.observer is not None:
+            self.observer.on_start_round(start_rm)
 
         all_halted = self._all_halted(contexts, crashed)
         round_index = 0
@@ -114,6 +132,8 @@ class SynchronousSimulator:
                     crashed.add(v)
                     if self.trace is not None:
                         self.trace.record(round_index, "crash", node=v)
+                    if self.observer is not None:
+                        self.observer.on_crash(round_index, v)
 
             rm = RoundMetrics(round_index=round_index)
             inboxes = pending
@@ -132,11 +152,15 @@ class SynchronousSimulator:
                     algorithm.on_halt(ctx)
                     if self.trace is not None:
                         self.trace.record(round_index, "halt", node=v, output=ctx.output)
+                    if self.observer is not None:
+                        self.observer.on_halt(round_index, v, ctx.output)
 
             self._collect_outboxes(contexts, pending, rm, crashed)
             metrics.absorb(rm)
             if self.trace is not None:
                 self.trace.record(round_index, "round-end", messages=rm.messages_sent)
+            if self.observer is not None:
+                self.observer.on_round_end(rm)
 
             all_halted = self._all_halted(contexts, crashed)
             round_index += 1
@@ -147,6 +171,8 @@ class SynchronousSimulator:
         # (crashes are applied before the step), so ctx.halted already implies
         # the decision predates the crash.
         outputs = {v: ctx.output for v, ctx in contexts.items() if ctx.halted}
+        if self.observer is not None:
+            self.observer.on_run_end(metrics, all_halted)
         return RunResult(
             outputs=outputs,
             metrics=metrics,

@@ -6,12 +6,24 @@ joined the MIS in iteration 12 of scale 3").  The examples use it to print
 an annotated transcript; tests use it to assert protocol properties ("a
 halted node never sent afterwards") without reaching into simulator
 internals.
+
+Storage is pluggable (:mod:`repro.obs.sinks`): by default events land in
+an in-memory buffer exactly as before, but a ``sink`` — e.g. a streaming
+:class:`~repro.obs.sinks.JsonlSink` — receives every kept event too, and
+``buffer=False`` turns the memory buffer off entirely so full-message
+traces of large graphs stream to disk instead of growing without bound.
+Events forwarded to sinks carry no wall-clock timestamp, so a recorded
+trace is a pure function of the run (lint rule R3 holds; this module
+never reads a clock).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.obs.events import ObsEvent
+from repro.obs.sinks import EventSink
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
@@ -34,23 +46,44 @@ class TraceEvent:
         )
         return f"[r{self.round_index}] {self.kind}{node_part}{detail_part}"
 
+    def to_obs_event(self) -> ObsEvent:
+        """The :mod:`repro.obs` form of this event (no timestamp)."""
+        return ObsEvent(
+            kind=self.kind,
+            round=self.round_index,
+            node=self.node,
+            data=dict(self.detail),
+        )
+
 
 class TraceRecorder:
     """Collects :class:`TraceEvent` objects during a run.
 
     Recording every message on a large graph is expensive, so the recorder
     takes an optional ``predicate`` limiting which events are kept, and a
-    ``max_events`` cap as a safety valve.
+    ``max_events`` cap as a safety valve.  Truncation semantics: events the
+    predicate rejects never count toward the cap, and ``truncated`` is set
+    only when an event that *would* have been kept was dropped.
+
+    ``sink`` receives every kept event (cap applied) as an
+    :class:`~repro.obs.events.ObsEvent`; ``buffer=False`` disables the
+    in-memory list so the sink is the only destination (``events`` is then
+    empty while ``len`` still counts recorded events).
     """
 
     def __init__(
         self,
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
         max_events: int = 1_000_000,
+        sink: Optional[EventSink] = None,
+        buffer: bool = True,
     ):
         self._events: List[TraceEvent] = []
         self._predicate = predicate
         self._max_events = max_events
+        self._sink = sink
+        self._buffer = buffer
+        self._recorded = 0
         self.truncated = False
 
     def record(
@@ -60,12 +93,17 @@ class TraceRecorder:
         node: Optional[int] = None,
         **detail: Any,
     ) -> None:
-        if len(self._events) >= self._max_events:
+        event = TraceEvent(round_index, kind, node, detail)
+        if self._predicate is not None and not self._predicate(event):
+            return
+        if self._recorded >= self._max_events:
             self.truncated = True
             return
-        event = TraceEvent(round_index, kind, node, detail)
-        if self._predicate is None or self._predicate(event):
+        self._recorded += 1
+        if self._buffer:
             self._events.append(event)
+        if self._sink is not None:
+            self._sink.emit(event.to_obs_event())
 
     @property
     def events(self) -> List[TraceEvent]:
@@ -81,10 +119,15 @@ class TraceRecorder:
         return iter(self._events)
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._recorded
+
+    def close(self) -> None:
+        """Flush and close the attached sink, if any."""
+        if self._sink is not None:
+            self._sink.close()
 
     def render(self, limit: int = 200) -> str:
-        """Human-readable transcript (first ``limit`` events)."""
+        """Human-readable transcript (first ``limit`` buffered events)."""
         lines = [str(e) for e in self._events[:limit]]
         if len(self._events) > limit:
             lines.append(f"... {len(self._events) - limit} more events")

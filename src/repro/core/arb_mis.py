@@ -18,6 +18,7 @@ degree-reduction iterations — all measured per run, never modeled.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -35,7 +36,31 @@ from repro.errors import ConfigurationError
 from repro.graphs.properties import max_degree as graph_max_degree
 from repro.mis.engine import MISResult
 
-__all__ = ["ArbMISReport", "arb_mis"]
+__all__ = [
+    "ArbMISReport",
+    "arb_mis",
+    "PHASE_DEGREE_REDUCTION",
+    "PHASE_SHATTERING",
+    "PHASE_FINISHING",
+]
+
+#: Stage names the pipeline reports to an observer's phase timer — the
+#: split the paper's analysis argues about (shattering Lemma vs. the
+#: Lemma 3.8 finishing) plus the Theorem-7.2 preprocessing.
+PHASE_DEGREE_REDUCTION = "degree-reduction"
+PHASE_SHATTERING = "shattering"
+PHASE_FINISHING = "finishing"
+
+
+def _phase(observer, name: str):
+    """``observer.phase(name)`` or a no-op context.
+
+    The observer (duck-typed; see :class:`repro.obs.session.ObsSession`)
+    owns all wall clocks — this package never imports ``time`` (lint R3).
+    """
+    if observer is None:
+        return nullcontext()
+    return observer.phase(name)
 
 
 @dataclass
@@ -81,6 +106,7 @@ def arb_mis(
     validate: bool = True,
     finishing_strategy: str = "metivier",
     engine: str = "scalar",
+    observer=None,
 ) -> MISResult:
     """Compute an MIS of ``graph`` with the paper's full pipeline.
 
@@ -110,6 +136,11 @@ def arb_mis(
         ``"scalar"`` (default) or ``"bulk"`` — the numpy-vectorized
         Algorithm 1 engine, bit-identical to the scalar one (tested) and
         much faster at n ≥ 10⁴.
+    observer:
+        Optional phase-timer host (anything with an
+        ``ObsSession``-compatible ``phase(name)`` context manager); the
+        degree-reduction, shattering, and finishing stages report their
+        wall time through it.  Timing never affects the computation.
     """
     if alpha < 1:
         raise ConfigurationError(f"alpha must be >= 1, got {alpha}")
@@ -130,9 +161,12 @@ def arb_mis(
     if apply_degree_reduction:
         threshold = degree_reduction_threshold(graph.number_of_nodes(), alpha)
         if graph_max_degree(graph) > threshold:
-            reduction = reduce_max_degree(graph, alpha, seed=seed, threshold=threshold)
-            pre_selected = set(reduction.independent_set)
-            working = graph.subgraph(reduction.surviving).copy()
+            with _phase(observer, PHASE_DEGREE_REDUCTION):
+                reduction = reduce_max_degree(
+                    graph, alpha, seed=seed, threshold=threshold
+                )
+                pre_selected = set(reduction.independent_set)
+                working = graph.subgraph(reduction.surviving).copy()
 
     params = parameters or compute_parameters(
         alpha, graph_max_degree(working), profile=profile, p_constant=p_constant
@@ -145,13 +179,14 @@ def arb_mis(
         algorithm_1 = bounded_arb_independent_set
     else:
         raise ConfigurationError(f"unknown engine {engine!r}; use 'scalar' or 'bulk'")
-    partial = algorithm_1(
-        working,
-        alpha=alpha,
-        seed=seed,
-        parameters=params,
-        early_exit=early_exit,
-    )
+    with _phase(observer, PHASE_SHATTERING):
+        partial = algorithm_1(
+            working,
+            alpha=alpha,
+            seed=seed,
+            parameters=params,
+            early_exit=early_exit,
+        )
     # Fold the preprocessing's independent set in before finishing, so the
     # finishing stages treat its members and their neighbors as decided.
     partial_for_finish = BoundedArbResult(
@@ -163,14 +198,15 @@ def arb_mis(
         seed=partial.seed,
         scale_stats=partial.scale_stats,
     )
-    finishing = finish(
-        graph,
-        partial_for_finish,
-        alpha=alpha,
-        seed=seed,
-        validate=validate,
-        strategy=finishing_strategy,
-    )
+    with _phase(observer, PHASE_FINISHING):
+        finishing = finish(
+            graph,
+            partial_for_finish,
+            alpha=alpha,
+            seed=seed,
+            validate=validate,
+            strategy=finishing_strategy,
+        )
 
     reduction_iterations = reduction.iterations if reduction else 0
     congest_rounds = (

@@ -1,0 +1,78 @@
+"""repro.obs — the unified run-telemetry layer.
+
+One subsystem owns everything about observing a run (docs/observability.md):
+
+* :mod:`repro.obs.events` — the typed event schema (flat JSONL records,
+  deterministic up to the ``TIMESTAMP_FIELDS``);
+* :mod:`repro.obs.sinks` — pluggable sinks: in-memory, streaming JSONL
+  with deterministic sampling and backpressure caps, fan-out;
+* :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  (seed, git SHA, version, params, environment);
+* :mod:`repro.obs.session` — :class:`ObsSession` run directories, phase
+  timers, and the :class:`RunObserver` bridge the simulators call;
+* :mod:`repro.obs.summary` / :mod:`repro.obs.exporter` — reconstruct
+  metrics from recorded streams; Prometheus text export;
+* :mod:`repro.obs.cli` — the ``repro obs`` inspection commands.
+
+Wall clocks live only here: algorithm and simulator packages receive an
+observer and never import ``time`` (lint rule R3).  Setting
+``REPRO_OBS_DIR`` turns emission on for every CLI, sweep, and benchmark
+run without call-site changes.
+"""
+
+from repro.obs.events import (
+    ObsEvent,
+    SCHEMA_VERSION,
+    TIMESTAMP_FIELDS,
+    event_from_dict,
+    strip_timestamps,
+)
+from repro.obs.hooks import RunObserver
+from repro.obs.manifest import RunManifest, git_sha
+from repro.obs.session import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    OBS_DIR_ENV,
+    ObsSession,
+    SimulatorObserver,
+    emit_run_metrics,
+    session_from_env,
+)
+from repro.obs.sinks import EventSink, JsonlSink, MemorySink, MultiSink, NullSink
+from repro.obs.summary import (
+    ObsSummary,
+    diff_streams,
+    read_events,
+    resolve_streams,
+    summarize_events,
+    summarize_paths,
+)
+
+__all__ = [
+    "ObsEvent",
+    "SCHEMA_VERSION",
+    "TIMESTAMP_FIELDS",
+    "event_from_dict",
+    "strip_timestamps",
+    "RunObserver",
+    "RunManifest",
+    "git_sha",
+    "ObsSession",
+    "SimulatorObserver",
+    "emit_run_metrics",
+    "session_from_env",
+    "OBS_DIR_ENV",
+    "MANIFEST_FILENAME",
+    "EVENTS_FILENAME",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "MultiSink",
+    "NullSink",
+    "ObsSummary",
+    "diff_streams",
+    "read_events",
+    "resolve_streams",
+    "summarize_events",
+    "summarize_paths",
+]

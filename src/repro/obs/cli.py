@@ -1,0 +1,124 @@
+"""``repro obs`` — inspect recorded telemetry from past runs.
+
+Subcommands
+-----------
+``tail``     print the last events of one stream, human-formatted;
+``summary``  reconstruct rounds/messages/bits/phase-times from streams
+             (``--format text|json|prom``);
+``diff``     compare two streams up to timestamp fields (exit 0 when
+             identical — the reproducibility check two same-seed runs
+             must pass).
+
+Paths may be an ``events.jsonl`` file, a run directory, or an obs root
+holding many run directories (``summary`` aggregates across all of
+them; ``tail``/``diff`` resolve a root to its single stream and error
+when ambiguous).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.events import event_from_dict
+from repro.obs.exporter import summary_to_prometheus
+from repro.obs.summary import (
+    diff_streams,
+    read_events,
+    resolve_streams,
+    summarize_paths,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro obs`` argument parser (tail/summary/diff)."""
+    parser = argparse.ArgumentParser(
+        prog="repro obs", description="inspect recorded run telemetry"
+    )
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    tail = sub.add_parser("tail", help="print the last events of a stream")
+    tail.add_argument("path", help="events.jsonl, run dir, or obs root")
+    tail.add_argument("-n", "--lines", type=int, default=20)
+    tail.add_argument("--kind", default=None, help="only events of this kind")
+    tail.add_argument(
+        "--raw", action="store_true", help="print raw JSONL instead of formatted"
+    )
+
+    summary = sub.add_parser(
+        "summary", help="reconstruct run metrics from streams"
+    )
+    summary.add_argument("paths", nargs="+", help="streams, run dirs, or roots")
+    summary.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text"
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two streams up to timestamp fields"
+    )
+    diff.add_argument("a")
+    diff.add_argument("b")
+    return parser
+
+
+def _single_stream(path: str) -> Path:
+    streams = resolve_streams(path)
+    if not streams:
+        raise FileNotFoundError(f"no event stream under {path}")
+    if len(streams) > 1:
+        listing = "\n".join(f"  {s}" for s in streams)
+        raise ValueError(
+            f"{path} holds {len(streams)} streams; pick one:\n{listing}"
+        )
+    return streams[0]
+
+
+def _cmd_tail(args) -> int:
+    records = read_events(_single_stream(args.path))
+    if args.kind:
+        records = [r for r in records if r.get("kind") == args.kind]
+    for record in records[-args.lines :]:
+        if args.raw:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(str(event_from_dict(record)))
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    summary = summarize_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "prom":
+        sys.stdout.write(summary_to_prometheus(summary))
+    else:
+        print(summary.render())
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    result = diff_streams(
+        read_events(_single_stream(args.a)), read_events(_single_stream(args.b))
+    )
+    print(result.render())
+    return 0 if result.identical else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code (diff: 1 on mismatch)."""
+    args = build_parser().parse_args(argv)
+    handlers = {"tail": _cmd_tail, "summary": _cmd_summary, "diff": _cmd_diff}
+    try:
+        return handlers[args.obs_command](args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

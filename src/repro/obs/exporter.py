@@ -1,0 +1,132 @@
+"""Prometheus text-format exporter for reconstructed run metrics.
+
+Renders an :class:`~repro.obs.summary.ObsSummary` in the Prometheus
+exposition format (text/plain; version 0.0.4) so recorded runs can be
+scraped, pushed to a Pushgateway, or diffed with standard tooling::
+
+    repro obs summary results/obs --format prom > metrics.prom
+
+Only counters/gauges derivable from a finished stream are exported; this
+is an offline exporter, not a live endpoint (the simulator's hot loop
+stays free of network concerns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.summary import ObsSummary
+
+__all__ = ["summary_to_prometheus"]
+
+_PREFIX = "repro"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _labels(labels: Optional[Mapping[str, str]]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _metric(
+    lines: List[str],
+    name: str,
+    help_text: str,
+    metric_type: str,
+    value: float,
+    labels: Optional[Mapping[str, str]] = None,
+) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {metric_type}")
+    rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else str(value)
+    lines.append(f"{name}{_labels(labels)} {rendered}")
+
+
+def summary_to_prometheus(
+    summary: ObsSummary, labels: Optional[Mapping[str, str]] = None
+) -> str:
+    """Render ``summary`` in the Prometheus text exposition format."""
+    lines: List[str] = []
+    base: Dict[str, str] = dict(labels or {})
+    _metric(
+        lines,
+        f"{_PREFIX}_events_total",
+        "Telemetry events recorded.",
+        "counter",
+        summary.events,
+        base,
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_runs_total",
+        "Executions observed (run-start events).",
+        "counter",
+        summary.runs,
+        base,
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_rounds_total",
+        "CONGEST rounds across all observed runs.",
+        "counter",
+        summary.total_rounds,
+        base,
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_messages_total",
+        "Messages sent across all observed runs.",
+        "counter",
+        summary.total_messages,
+        base,
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_bits_total",
+        "Bits on the wire across all observed runs.",
+        "counter",
+        summary.total_bits,
+        base,
+    )
+    _metric(
+        lines,
+        f"{_PREFIX}_max_message_bits",
+        "Largest single message observed (the E9 compliance quantity).",
+        "gauge",
+        summary.max_message_bits,
+        base,
+    )
+    if summary.sweep_points:
+        _metric(
+            lines,
+            f"{_PREFIX}_sweep_points_total",
+            "Sweep grid points completed.",
+            "counter",
+            summary.sweep_points,
+            base,
+        )
+        _metric(
+            lines,
+            f"{_PREFIX}_sweep_cached_total",
+            "Sweep grid points served from the results store.",
+            "counter",
+            summary.sweep_cached,
+            base,
+        )
+    if summary.phase_seconds:
+        name = f"{_PREFIX}_phase_seconds_total"
+        lines.append(f"# HELP {name} Wall-clock seconds per pipeline phase.")
+        lines.append(f"# TYPE {name} counter")
+        for phase, seconds in sorted(summary.phase_seconds.items()):
+            phase_labels = dict(base)
+            phase_labels["phase"] = phase
+            lines.append(f"{name}{_labels(phase_labels)} {seconds:.6f}")
+    return "\n".join(lines) + "\n"

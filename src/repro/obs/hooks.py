@@ -1,0 +1,53 @@
+"""The observer interface the execution engines call into.
+
+:class:`RunObserver` is the no-op base both simulators and the sweep
+runner accept: subclass it (or duck-type it) to receive lifecycle hooks.
+It lives in its own module with **no repro imports** so that
+:mod:`repro.congest` can depend on it without cycles, and deliberately
+contains no clock — wall time enters only through concrete observers in
+:mod:`repro.obs.session`, keeping the algorithm/simulator packages clean
+under lint rule R3 (determinism).
+
+Hook arguments are duck-typed (``round_metrics`` is anything with the
+:class:`~repro.congest.metrics.RoundMetrics` attributes) so observers
+can be tested without constructing simulator state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["RunObserver"]
+
+
+class RunObserver:
+    """Receives execution lifecycle events.  Every hook is optional."""
+
+    def on_run_start(
+        self,
+        node_count: int,
+        seed: int,
+        algorithm: str,
+        budget_bits: Optional[int] = None,
+    ) -> None:
+        """A simulator is about to execute ``algorithm``."""
+
+    def on_start_round(self, round_metrics: Any) -> None:
+        """The synthetic ``on_start`` pre-round's sends were collected."""
+
+    def on_round_end(self, round_metrics: Any) -> None:
+        """One synchronous round completed (metrics are final for it)."""
+
+    def on_halt(self, round_index: int, node: int, output: Any) -> None:
+        """``node`` halted in ``round_index`` with ``output``."""
+
+    def on_crash(self, round_index: int, node: int) -> None:
+        """``node`` crash-stopped at the start of ``round_index``."""
+
+    def on_run_end(self, run_metrics: Any, halted: bool) -> None:
+        """The run finished (``halted`` False means max_rounds hit)."""
+
+    def on_async_run_end(
+        self, pulses: int, events_processed: int, halted: bool
+    ) -> None:
+        """An asynchronous (α-synchronizer) execution finished."""

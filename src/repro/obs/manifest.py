@@ -1,0 +1,129 @@
+"""Run manifests: the "what exactly produced these numbers" record.
+
+A :class:`RunManifest` is written next to every event stream and captures
+everything needed to audit or re-run the measurement: the seed(s) and
+workload/algorithm parameters, the package version, the git commit (best
+effort), the interpreter and platform, the invoking command line, and the
+``REPRO_*`` environment knobs that change runtime behavior.
+
+Two manifests from re-running the same command with the same seed differ
+only in :data:`VOLATILE_FIELDS` (clocks, pids, hosts); ``repro obs diff``
+compares them with those removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro._version import __version__
+
+__all__ = ["RunManifest", "MANIFEST_VERSION", "VOLATILE_FIELDS", "git_sha"]
+
+MANIFEST_VERSION = 1
+
+#: Fields expected to differ between re-runs of the identical command.
+VOLATILE_FIELDS = frozenset(
+    {"created_at", "run_id", "hostname", "pid", "argv", "git_sha"}
+)
+
+#: Environment variables worth recording because they change run behavior.
+_ENV_PREFIX = "REPRO_"
+
+
+def git_sha(cwd: Union[str, Path, None] = None) -> Optional[str]:
+    """Current commit hash, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one run, sweep, or benchmark."""
+
+    run_id: str
+    kind: str  # "run" | "sweep" | "benchmark" | ...
+    created_at: str  # ISO-8601, UTC
+    seed: Optional[int] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    package_version: str = __version__
+    git_sha: Optional[str] = None
+    python_version: str = ""
+    platform: str = ""
+    hostname: str = ""
+    pid: int = 0
+    argv: List[str] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=dict)
+    manifest_version: int = MANIFEST_VERSION
+
+    @classmethod
+    def capture(
+        cls,
+        run_id: str,
+        kind: str,
+        created_at: str,
+        seed: Optional[int] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "RunManifest":
+        """Build a manifest from the current process environment."""
+        return cls(
+            run_id=run_id,
+            kind=kind,
+            created_at=created_at,
+            seed=seed,
+            params=dict(params or {}),
+            git_sha=git_sha(),
+            python_version=platform.python_version(),
+            platform=platform.platform(),
+            hostname=platform.node(),
+            pid=os.getpid(),
+            argv=list(sys.argv),
+            env={
+                key: value
+                for key, value in sorted(os.environ.items())
+                if key.startswith(_ENV_PREFIX)
+            },
+        )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True, default=repr)
+            + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        record = json.loads(Path(path).read_text())
+        known = {f for f in cls.__dataclass_fields__}  # tolerate new fields
+        return cls(**{k: v for k, v in record.items() if k in known})
+
+    def stable_dict(self) -> Dict[str, Any]:
+        """The manifest minus :data:`VOLATILE_FIELDS` (re-run comparable)."""
+        return {
+            k: v for k, v in self.to_dict().items() if k not in VOLATILE_FIELDS
+        }

@@ -1,0 +1,322 @@
+"""Observability sessions: one run directory = manifest + event stream.
+
+:class:`ObsSession` is the producer-side entry point of the telemetry
+layer.  Creating one materializes a run directory::
+
+    <root>/<run_id>/
+        manifest.json   # RunManifest: seed, git SHA, version, params, env
+        events.jsonl    # the ObsEvent stream (streamed, sampled, bounded)
+
+and gives producers three things:
+
+* ``emit(kind, ...)`` — append a timestamped event;
+* ``phase(name)`` — a context manager emitting ``phase-start``/
+  ``phase-end`` pairs with wall durations, accumulated in
+  ``phase_seconds`` (and foldable into
+  :class:`~repro.congest.metrics.RunMetrics` via ``attach_metrics``);
+* ``observer()`` — a :class:`~repro.obs.hooks.RunObserver` bridging the
+  simulators' lifecycle hooks into the stream.
+
+This module is the designated home of wall clocks: the algorithm and
+simulator packages never import ``time`` (lint rule R3); they call hooks
+and the session stamps them.  ``clock`` is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
+
+from repro.obs.events import (
+    EVENT_ASYNC_RUN_END,
+    EVENT_HALT,
+    EVENT_NOTE,
+    EVENT_PHASE_END,
+    EVENT_PHASE_START,
+    EVENT_ROUND,
+    EVENT_RUN_END,
+    EVENT_RUN_START,
+    EVENT_START_ROUND,
+    ObsEvent,
+)
+from repro.obs.hooks import RunObserver
+from repro.obs.manifest import RunManifest
+from repro.obs.sinks import EventSink, JsonlSink
+
+__all__ = [
+    "ObsSession",
+    "SimulatorObserver",
+    "emit_run_metrics",
+    "session_from_env",
+    "OBS_DIR_ENV",
+    "MANIFEST_FILENAME",
+    "EVENTS_FILENAME",
+]
+
+#: Setting this environment variable turns telemetry on everywhere: the
+#: CLI, the sweep runner, and the benchmarks all create sessions under it.
+OBS_DIR_ENV = "REPRO_OBS_DIR"
+
+MANIFEST_FILENAME = "manifest.json"
+EVENTS_FILENAME = "events.jsonl"
+
+#: Distinguishes sessions created in the same second by the same process.
+_sequence = itertools.count()
+
+
+class ObsSession:
+    """One run's telemetry: a manifest plus an open event stream."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        manifest: RunManifest,
+        sink: EventSink,
+        clock: Callable[[], float] = time.perf_counter,
+        wall: Callable[[], float] = time.time,
+    ):
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.sink = sink
+        self.clock = clock
+        self.wall = wall
+        self.phase_seconds: Dict[str, float] = {}
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: Union[str, Path],
+        kind: str,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        sample_every: Optional[Mapping[str, int]] = None,
+        max_events: Optional[int] = None,
+    ) -> "ObsSession":
+        """Create ``<root>/<run_id>/`` with its manifest, ready to emit."""
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        label = f"-{name}" if name else ""
+        run_id = f"{kind}{label}-{stamp}-{os.getpid()}-{next(_sequence)}"
+        directory = Path(root) / run_id
+        manifest = RunManifest.capture(
+            run_id=run_id,
+            kind=kind,
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            seed=seed,
+            params=dict(params or {}),
+        )
+        manifest.write(directory / MANIFEST_FILENAME)
+        sink = JsonlSink(
+            directory / EVENTS_FILENAME,
+            sample_every=sample_every,
+            max_events=max_events,
+        )
+        return cls(directory, manifest, sink)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        round: Optional[int] = None,
+        node: Optional[int] = None,
+        phase: Optional[str] = None,
+        dur_s: Optional[float] = None,
+        **data: Any,
+    ) -> None:
+        """Append one timestamped event to the stream."""
+        self.sink.emit(
+            ObsEvent(
+                kind=kind,
+                ts=self.wall(),
+                round=round,
+                node=node,
+                phase=phase,
+                dur_s=dur_s,
+                data=data,
+            )
+        )
+
+    def note(self, message: str, **data: Any) -> None:
+        """Free-form annotation (``note`` event)."""
+        self.emit(EVENT_NOTE, message=message, **data)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named pipeline phase (e.g. ``shattering``).
+
+        Emits ``phase-start``/``phase-end`` and accumulates the wall
+        duration in :attr:`phase_seconds` (re-entering a name adds up).
+        """
+        self.emit(EVENT_PHASE_START, phase=name)
+        started = self.clock()
+        try:
+            yield
+        finally:
+            elapsed = self.clock() - started
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            self.emit(EVENT_PHASE_END, phase=name, dur_s=elapsed)
+
+    def observer(self) -> "SimulatorObserver":
+        """A :class:`RunObserver` that streams into this session."""
+        return SimulatorObserver(self)
+
+    def attach_metrics(self, metrics: Any) -> None:
+        """Fold this session's phase timings into a ``RunMetrics``."""
+        for name, seconds in self.phase_seconds.items():
+            metrics.note_phase(name, seconds)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self) -> Path:
+        """Flush and close the stream; returns the run directory."""
+        if not self._closed:
+            self.sink.close()
+            self._closed = True
+        return self.directory
+
+    def __enter__(self) -> "ObsSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+
+class SimulatorObserver(RunObserver):
+    """Bridges simulator lifecycle hooks into a session's event stream."""
+
+    def __init__(self, session: ObsSession):
+        self.session = session
+        self._started_at: Optional[float] = None
+
+    def on_run_start(self, node_count, seed, algorithm, budget_bits=None):
+        self._started_at = self.session.clock()
+        self.session.emit(
+            EVENT_RUN_START,
+            nodes=node_count,
+            seed=seed,
+            algorithm=algorithm,
+            budget_bits=budget_bits,
+        )
+
+    def on_start_round(self, rm):
+        self.session.emit(
+            EVENT_START_ROUND,
+            round=rm.round_index,
+            messages=rm.messages_sent,
+            bits=rm.bits_sent,
+            max_bits=rm.max_message_bits,
+        )
+
+    def on_round_end(self, rm):
+        self.session.emit(
+            EVENT_ROUND,
+            round=rm.round_index,
+            messages=rm.messages_sent,
+            bits=rm.bits_sent,
+            max_bits=rm.max_message_bits,
+            active=rm.active_nodes,
+            halted=rm.halted_this_round,
+        )
+
+    def on_halt(self, round_index, node, output):
+        self.session.emit(
+            EVENT_HALT,
+            round=round_index,
+            node=node,
+            output=list(output) if isinstance(output, tuple) else output,
+        )
+
+    def on_crash(self, round_index, node):
+        self.session.emit("crash", round=round_index, node=node)
+
+    def on_run_end(self, metrics, halted):
+        dur = (
+            self.session.clock() - self._started_at
+            if self._started_at is not None
+            else None
+        )
+        self.session.attach_metrics(metrics)
+        self.session.emit(
+            EVENT_RUN_END,
+            dur_s=dur,
+            rounds=metrics.rounds,
+            messages=metrics.total_messages,
+            bits=metrics.total_bits,
+            max_bits=metrics.max_message_bits,
+            halted=halted,
+        )
+
+    def on_async_run_end(self, pulses, events_processed, halted):
+        dur = (
+            self.session.clock() - self._started_at
+            if self._started_at is not None
+            else None
+        )
+        self.session.emit(
+            EVENT_ASYNC_RUN_END,
+            dur_s=dur,
+            pulses=pulses,
+            events_processed=events_processed,
+            halted=halted,
+        )
+
+
+def emit_run_metrics(session: ObsSession, metrics: Any) -> None:
+    """Replay a finished :class:`RunMetrics` into a session post-hoc.
+
+    For callers that only see a result object (e.g. ``repro run`` over a
+    registry algorithm that ran its simulator internally): emits the
+    per-round and ``run-end`` events the live observer would have.
+    """
+    if metrics.start_round is not None:
+        sr = metrics.start_round
+        session.emit(
+            EVENT_START_ROUND,
+            round=sr.round_index,
+            messages=sr.messages_sent,
+            bits=sr.bits_sent,
+            max_bits=sr.max_message_bits,
+        )
+    for rm in metrics.per_round:
+        session.emit(
+            EVENT_ROUND,
+            round=rm.round_index,
+            messages=rm.messages_sent,
+            bits=rm.bits_sent,
+            max_bits=rm.max_message_bits,
+            active=rm.active_nodes,
+            halted=rm.halted_this_round,
+        )
+    session.emit(
+        EVENT_RUN_END,
+        rounds=metrics.rounds,
+        messages=metrics.total_messages,
+        bits=metrics.total_bits,
+        max_bits=metrics.max_message_bits,
+        halted=True,
+    )
+
+
+def session_from_env(
+    kind: str,
+    name: Optional[str] = None,
+    seed: Optional[int] = None,
+    params: Optional[Mapping[str, Any]] = None,
+) -> Optional[ObsSession]:
+    """Create a session under ``$REPRO_OBS_DIR``, or None when unset.
+
+    This is the single switch that makes *every* benchmark, sweep, and CLI
+    run emit artifacts without call-site changes.
+    """
+    root = os.environ.get(OBS_DIR_ENV)
+    if not root:
+        return None
+    return ObsSession.create(root, kind=kind, name=name, seed=seed, params=params)

@@ -1,0 +1,212 @@
+"""Pluggable event sinks: where telemetry events go.
+
+A sink receives :class:`~repro.obs.events.ObsEvent` objects one at a time
+and owns the policy questions the producers must not care about —
+buffering, flushing, sampling, and memory bounds.  Producers (the
+simulators, :class:`~repro.congest.tracing.TraceRecorder`, the sweep
+runner) just call ``emit`` and ``close``.
+
+Sinks never consult a clock: flushing is count-based and sampling is
+modular (keep every k-th occurrence of a kind), so the event stream a
+producer generates is a pure function of the run — the property the
+same-seed determinism guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, TextIO, Union
+
+from repro.obs.events import EVENT_SINK_STATS, ObsEvent
+
+__all__ = ["EventSink", "NullSink", "MemorySink", "JsonlSink", "MultiSink"]
+
+
+class EventSink:
+    """Interface every sink implements.  Also usable as a context manager."""
+
+    def emit(self, event: ObsEvent) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        self.flush()
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Discards everything (the disabled-telemetry fast path)."""
+
+    def emit(self, event: ObsEvent) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Buffers events in a list, with an optional cap.
+
+    The in-memory face of the pipeline: tests and
+    :class:`~repro.congest.tracing.TraceRecorder` read ``events`` back.
+    ``truncated``/``dropped`` record whether the cap ever bit.
+    """
+
+    def __init__(self, max_events: Optional[int] = None):
+        self.max_events = max_events
+        self.events: List[ObsEvent] = []
+        self.truncated = False
+        self.dropped = 0
+
+    def emit(self, event: ObsEvent) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.truncated = True
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class _Sampler:
+    """Deterministic per-kind modular sampling (keep every k-th event)."""
+
+    def __init__(self, sample_every: Mapping[str, int]):
+        for kind, k in sample_every.items():
+            if k < 1:
+                raise ValueError(f"sample_every[{kind!r}] must be >= 1, got {k}")
+        self._every = dict(sample_every)
+        self._seen: Dict[str, int] = {}
+        self.dropped_by_kind: Dict[str, int] = {}
+
+    def keep(self, kind: str) -> bool:
+        k = self._every.get(kind)
+        if k is None or k == 1:
+            return True
+        index = self._seen.get(kind, 0)
+        self._seen[kind] = index + 1
+        if index % k == 0:
+            return True
+        self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
+        return False
+
+
+class JsonlSink(EventSink):
+    """Streams events to a JSONL file — the OOM-proof trace path.
+
+    Parameters
+    ----------
+    path:
+        Output file (parent directories are created).
+    flush_every:
+        Write-buffer bound: the sink holds at most this many serialized
+        lines before forcing them to the file, so a full-message trace of
+        a large run costs O(``flush_every``) memory, not O(events).
+    sample_every:
+        kind → k: keep every k-th event of that kind (deterministic
+        modular sampling), e.g. ``{"send": 100}`` to thin per-message
+        events by 100x.  Dropped counts are reported per kind in a final
+        ``sink-stats`` event on close.
+    max_events:
+        Hard backpressure valve: after this many *written* events the sink
+        drops the rest (counted, reported in ``sink-stats``), bounding
+        disk use the way ``TraceRecorder.max_events`` bounds memory.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        flush_every: int = 256,
+        sample_every: Optional[Mapping[str, int]] = None,
+        max_events: Optional[int] = None,
+    ):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.flush_every = flush_every
+        self.max_events = max_events
+        self.written = 0
+        self.dropped = 0
+        self.truncated = False
+        self._sampler = _Sampler(sample_every or {})
+        self._buffer: List[str] = []
+        self._handle: Optional[TextIO] = self.path.open("a")
+
+    def emit(self, event: ObsEvent) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        if not self._sampler.keep(event.kind):
+            return
+        if self.max_events is not None and self.written >= self.max_events:
+            self.truncated = True
+            self.dropped += 1
+            return
+        self._buffer.append(
+            json.dumps(event.to_dict(), sort_keys=True, default=repr)
+        )
+        self.written += 1
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._handle is None or not self._buffer:
+            return
+        self._handle.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        stats = self.stats()
+        if stats:
+            self._buffer.append(
+                json.dumps(
+                    ObsEvent(EVENT_SINK_STATS, data=stats).to_dict(),
+                    sort_keys=True,
+                )
+            )
+        self.flush()
+        self._handle.close()
+        self._handle = None
+
+    def stats(self) -> Dict[str, object]:
+        """Loss accounting (empty when nothing was dropped)."""
+        stats: Dict[str, object] = {}
+        if self._sampler.dropped_by_kind:
+            stats["sampled_out"] = dict(
+                sorted(self._sampler.dropped_by_kind.items())
+            )
+        if self.dropped:
+            stats["dropped"] = self.dropped
+            stats["truncated"] = True
+        return stats
+
+
+class MultiSink(EventSink):
+    """Fans every event out to several sinks (e.g. memory + JSONL)."""
+
+    def __init__(self, *sinks: EventSink):
+        self.sinks = list(sinks)
+
+    def emit(self, event: ObsEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

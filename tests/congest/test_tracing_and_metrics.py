@@ -7,6 +7,7 @@ import pytest
 from repro.congest.faults import CrashSchedule
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.tracing import TraceEvent, TraceRecorder
+from repro.obs.sinks import MemorySink
 
 
 class TestTraceEvent:
@@ -57,6 +58,71 @@ class TestTraceRecorder:
         assert len(recorder) == 1
 
 
+class TestTruncationSemantics:
+    def test_cap_sets_truncated_flag(self):
+        recorder = TraceRecorder(max_events=3)
+        for i in range(3):
+            recorder.record(0, "e", node=i)
+        assert not recorder.truncated  # exactly at the cap: nothing lost
+        recorder.record(0, "e", node=3)
+        assert recorder.truncated
+        assert len(recorder) == 3
+
+    def test_predicate_rejects_do_not_count_toward_cap(self):
+        recorder = TraceRecorder(
+            predicate=lambda e: e.kind == "keep", max_events=2
+        )
+        for _ in range(50):
+            recorder.record(0, "noise")
+        recorder.record(0, "keep", node=1)
+        recorder.record(0, "keep", node=2)
+        # 50 rejected events consumed none of the budget...
+        assert len(recorder) == 2
+        assert not recorder.truncated
+        # ... and only a *kept-worthy* drop flips the flag.
+        recorder.record(0, "keep", node=3)
+        assert recorder.truncated
+
+    def test_iteration_order_is_record_order(self):
+        recorder = TraceRecorder(max_events=4)
+        for i in range(9):
+            recorder.record(i, "e", node=i)
+        assert [e.node for e in recorder] == [0, 1, 2, 3]
+        assert [e.node for e in recorder.events] == [0, 1, 2, 3]
+
+
+class TestSinkForwarding:
+    def test_kept_events_reach_sink_without_timestamps(self):
+        sink = MemorySink()
+        recorder = TraceRecorder(
+            predicate=lambda e: e.kind == "send", sink=sink
+        )
+        recorder.record(0, "send", node=1, to=2, bits=8)
+        recorder.record(0, "halt", node=2)  # filtered: never reaches the sink
+        recorder.close()
+        (event,) = list(sink)
+        assert event.kind == "send"
+        assert event.round == 0 and event.node == 1
+        assert event.data == {"to": 2, "bits": 8}
+        assert event.ts is None  # traces stay bit-deterministic (R3)
+
+    def test_buffer_false_streams_only(self):
+        sink = MemorySink()
+        recorder = TraceRecorder(sink=sink, buffer=False)
+        for i in range(5):
+            recorder.record(0, "e", node=i)
+        assert recorder.events == []  # nothing retained in memory
+        assert len(recorder) == 5  # but the count is still truthful
+        assert len(sink) == 5
+
+    def test_cap_applies_before_sink(self):
+        sink = MemorySink()
+        recorder = TraceRecorder(sink=sink, max_events=2)
+        for i in range(5):
+            recorder.record(0, "e", node=i)
+        assert len(sink) == 2
+
+
 class TestMetrics:
     def test_round_metrics_accumulate(self):
         rm = RoundMetrics(round_index=0)
@@ -87,6 +153,40 @@ class TestMetrics:
         rm.record_message(100)
         run.absorb(rm)
         assert "OK" in run.summary()
+
+    def test_absorb_start_counts_once_and_only_in_totals(self):
+        # Regression pin for the synthetic pre-round: on_start sends enter
+        # total_messages/total_bits/max_message_bits exactly once, while
+        # rounds, per_round, and messages_per_round() stay untouched.
+        run = RunMetrics(congest_budget_bits=64)
+        start = RoundMetrics(round_index=-1)
+        start.record_message(48)
+        start.record_message(16)
+        run.absorb_start(start)
+        assert run.start_round is start
+        assert run.total_messages == 2
+        assert run.total_bits == 64
+        assert run.max_message_bits == 48
+        assert run.rounds == 0
+        assert run.per_round == []
+        assert run.messages_per_round() == []
+        # A subsequent real round adds on top, without re-absorbing start.
+        rm = RoundMetrics(round_index=0)
+        rm.record_message(8)
+        run.absorb(rm)
+        assert run.total_messages == 3
+        assert run.total_bits == 72
+        assert run.rounds == 1
+        assert run.messages_per_round() == [1]
+
+    def test_note_phase_accumulates_and_renders(self):
+        run = RunMetrics()
+        run.note_phase("shattering", 0.5)
+        run.note_phase("shattering", 0.25)
+        run.note_phase("finishing", 0.1)
+        assert run.phase_seconds == {"shattering": 0.75, "finishing": 0.1}
+        assert "phases[" in run.summary()
+        assert "shattering=0.750s" in run.summary()
 
 
 class TestCrashSchedule:

@@ -1,0 +1,82 @@
+"""Tests for the ``repro obs`` inspection CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.cli import main
+from repro.obs.session import ObsSession
+
+
+def make_run(tmp_path, name, bits=10, ts=1.0):
+    """Write one tiny recorded run under ``tmp_path`` and return its dir."""
+    session = ObsSession.create(tmp_path, kind="run", name=name, seed=0)
+    session.emit("run-start", nodes=3, seed=0)
+    session.emit("round", round=0, messages=2, bits=bits, max_bits=bits)
+    session.emit(
+        "run-end", rounds=1, messages=2, bits=bits, max_bits=bits, halted=True
+    )
+    return session.finish()
+
+
+class TestTail:
+    def test_tail_formats_last_events(self, tmp_path, capsys):
+        run_dir = make_run(tmp_path, "a")
+        assert main(["tail", str(run_dir), "-n", "2"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 2
+        assert out[-1].startswith("[run-end]")
+
+    def test_tail_kind_filter_and_raw(self, tmp_path, capsys):
+        run_dir = make_run(tmp_path, "a")
+        assert main(["tail", str(run_dir), "--kind", "round", "--raw"]) == 0
+        (line,) = capsys.readouterr().out.splitlines()
+        assert json.loads(line)["kind"] == "round"
+
+    def test_tail_ambiguous_root_errors(self, tmp_path, capsys):
+        make_run(tmp_path, "a")
+        make_run(tmp_path, "b")
+        assert main(["tail", str(tmp_path)]) == 2
+        assert "2 streams" in capsys.readouterr().err
+
+
+class TestSummary:
+    def test_text_summary_aggregates_root(self, tmp_path, capsys):
+        make_run(tmp_path, "a", bits=10)
+        make_run(tmp_path, "b", bits=30)
+        assert main(["summary", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "runs:          2" in out
+        assert "total bits:    40" in out
+
+    def test_json_summary(self, tmp_path, capsys):
+        run_dir = make_run(tmp_path, "a", bits=10)
+        assert main(["summary", str(run_dir), "--format", "json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["total_bits"] == 10
+        assert record["by_kind"]["round"] == 1
+
+    def test_prom_summary(self, tmp_path, capsys):
+        run_dir = make_run(tmp_path, "a", bits=10)
+        assert main(["summary", str(run_dir), "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_bits_total 10" in out
+        assert out.endswith("\n")
+
+    def test_missing_path_is_exit_2(self, tmp_path, capsys):
+        assert main(["summary", str(tmp_path / "nope")]) == 2
+        assert "repro obs:" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_same_payload_different_clocks_exit_0(self, tmp_path, capsys):
+        a = make_run(tmp_path / "x", "a")
+        b = make_run(tmp_path / "y", "a")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_different_payload_exit_1(self, tmp_path, capsys):
+        a = make_run(tmp_path / "x", "a", bits=10)
+        b = make_run(tmp_path / "y", "a", bits=99)
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "differ" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Tests for the typed event schema (repro.obs.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_ROUND,
+    RESERVED_FIELDS,
+    TIMESTAMP_FIELDS,
+    ObsEvent,
+    event_from_dict,
+    strip_timestamps,
+)
+
+
+class TestObsEvent:
+    def test_to_dict_omits_none_reserved_keys(self):
+        event = ObsEvent(EVENT_ROUND, round=3, data={"bits": 64})
+        record = event.to_dict()
+        assert record == {"kind": "round", "round": 3, "bits": 64}
+        assert "ts" not in record and "node" not in record
+
+    def test_to_dict_keeps_timestamps_when_set(self):
+        record = ObsEvent("x", ts=12.5, dur_s=0.25).to_dict()
+        assert record["ts"] == 12.5
+        assert record["dur_s"] == 0.25
+
+    def test_data_may_not_shadow_reserved_keys(self):
+        for key in RESERVED_FIELDS:
+            with pytest.raises(ValueError):
+                ObsEvent("x", data={key: 1})
+
+    def test_roundtrip_through_dict(self):
+        event = ObsEvent("halt", ts=1.0, round=7, node=4, data={"output": [1]})
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_from_dict_tolerates_unknown_kind(self):
+        assert event_from_dict({"foo": 1}).kind == "note"
+
+    def test_str_is_compact(self):
+        text = str(ObsEvent("round", round=2, data={"bits": 8}))
+        assert "[round]" in text and "r2" in text and "bits=8" in text
+
+
+class TestStripTimestamps:
+    def test_removes_exactly_timestamp_fields(self):
+        record = {"kind": "round", "ts": 1.0, "dur_s": 2.0, "bits": 5}
+        (stripped,) = strip_timestamps([record])
+        assert stripped == {"kind": "round", "bits": 5}
+
+    def test_timestamp_fields_cover_all_wall_clock_keys(self):
+        # The determinism guarantee rests on this set: every wall-clock
+        # key a producer emits must be listed here.
+        assert {"ts", "dur_s", "seconds_by_algorithm"} <= set(TIMESTAMP_FIELDS)
+
+    def test_originals_unmodified(self):
+        record = {"kind": "x", "ts": 1.0}
+        strip_timestamps([record])
+        assert record == {"kind": "x", "ts": 1.0}

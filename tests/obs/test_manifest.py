@@ -1,0 +1,65 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+from __future__ import annotations
+
+import json
+
+from repro._version import __version__
+from repro.obs.manifest import VOLATILE_FIELDS, RunManifest, git_sha
+
+
+class TestCapture:
+    def test_records_provenance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        monkeypatch.setenv("UNRELATED_VAR", "ignored")
+        manifest = RunManifest.capture(
+            run_id="run-1",
+            kind="run",
+            created_at="2026-01-01T00:00:00Z",
+            seed=7,
+            params={"algorithm": "arb-mis"},
+        )
+        assert manifest.seed == 7
+        assert manifest.params == {"algorithm": "arb-mis"}
+        assert manifest.package_version == __version__
+        assert manifest.python_version
+        assert manifest.pid > 0
+        assert manifest.env["REPRO_SWEEP_WORKERS"] == "4"
+        assert "UNRELATED_VAR" not in manifest.env
+
+    def test_git_sha_best_effort(self, tmp_path):
+        # Inside this repo it resolves; in an empty directory it is None.
+        assert git_sha(tmp_path) is None
+
+
+class TestSerialization:
+    def test_write_load_roundtrip(self, tmp_path):
+        manifest = RunManifest.capture(
+            run_id="run-2", kind="sweep", created_at="t", seed=0, params={"n": 3}
+        )
+        path = manifest.write(tmp_path / "deep" / "manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded == manifest
+
+    def test_load_tolerates_unknown_fields(self, tmp_path):
+        manifest = RunManifest.capture(run_id="r", kind="run", created_at="t")
+        path = manifest.write(tmp_path / "manifest.json")
+        record = json.loads(path.read_text())
+        record["future_field"] = "from a newer schema"
+        path.write_text(json.dumps(record))
+        assert RunManifest.load(path).run_id == "r"
+
+
+class TestStableDict:
+    def test_rerun_manifests_agree_after_volatile_strip(self):
+        # The property `repro obs diff` relies on: two captures of the same
+        # command differ only in VOLATILE_FIELDS.
+        a = RunManifest.capture(
+            run_id="a", kind="run", created_at="t1", seed=5, params={"n": 8}
+        )
+        b = RunManifest.capture(
+            run_id="b", kind="run", created_at="t2", seed=5, params={"n": 8}
+        )
+        assert a.stable_dict() == b.stable_dict()
+        assert "created_at" not in a.stable_dict()
+        assert VOLATILE_FIELDS <= set(a.to_dict())

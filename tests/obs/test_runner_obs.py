@@ -1,0 +1,119 @@
+"""Tests for sweep telemetry: SweepRunner's obs event emission."""
+
+from __future__ import annotations
+
+from repro.analysis.cache import SweepCache
+from repro.analysis.runner import SweepRunner
+from repro.analysis.sweep import run_sweep
+from repro.core.parameters import ROUNDS_PER_ITERATION
+from repro.graphs.generators import GraphSpec
+from repro.mis.metivier import metivier_mis
+from repro.obs.events import strip_timestamps
+from repro.obs.manifest import RunManifest
+from repro.obs.session import EVENTS_FILENAME, OBS_DIR_ENV, ObsSession
+from repro.obs.sinks import MemorySink
+from repro.obs.summary import read_events, resolve_streams, summarize_events
+
+SPECS = [GraphSpec("tree")]
+SIZES = [16]
+SEEDS = [0, 1]
+ALGORITHMS = {"metivier": metivier_mis}
+
+
+def memory_obs_session():
+    manifest = RunManifest(run_id="t", kind="sweep", created_at="t")
+    return ObsSession("unused", manifest, MemorySink())
+
+
+def sweep_events(session, **runner_kwargs):
+    result = SweepRunner(ALGORITHMS, obs=session, **runner_kwargs).run(
+        SPECS, SIZES, SEEDS
+    )
+    return result, [e.to_dict() for e in session.sink]
+
+
+class TestSweepEvents:
+    def test_stream_shape_and_point_payload(self):
+        session = memory_obs_session()
+        result, events = sweep_events(session, parallel=False)
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "sweep-start"
+        assert kinds[-1] == "sweep-end"
+        assert kinds.count("sweep-point") == len(result.points) == 2
+        point = events[1]
+        assert point["family"] == "tree" and point["n"] == 16
+        assert point["algorithm"] == "metivier"
+        assert point["cached"] is False and point["dur_s"] > 0
+        # metivier_mis reports iterations; rounds use the standard mapping.
+        assert point["rounds"] == ROUNDS_PER_ITERATION * point["iterations"]
+
+    def test_sweep_end_aggregates(self):
+        session = memory_obs_session()
+        _, events = sweep_events(session, parallel=False)
+        end = events[-1]
+        assert end["total"] == 2 and end["executed"] == 2 and end["cached"] == 0
+        assert end["seconds_by_algorithm"]["metivier"] > 0
+
+    def test_points_in_canonical_order_even_when_parallel(self):
+        serial = memory_obs_session()
+        sweep_events(serial, parallel=False)
+        pooled = memory_obs_session()
+        sweep_events(pooled, parallel=True, max_workers=2)
+        stripped = [
+            strip_timestamps(e.to_dict() for e in s.sink)
+            for s in (serial, pooled)
+        ]
+        # Identical streams up to timestamps — pool scheduling is invisible
+        # (sweep-start differs only in its advertised worker count).
+        for left, right in zip(*stripped):
+            left.pop("workers", None), right.pop("workers", None)
+            assert left == right
+
+    def test_cached_points_flagged(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache.jsonl")
+        first = memory_obs_session()
+        SweepRunner(ALGORITHMS, cache=cache, obs=first, parallel=False).run(
+            SPECS, SIZES, SEEDS
+        )
+        second = memory_obs_session()
+        _, events = sweep_events(second, cache=cache, parallel=False)
+        points = [e for e in events if e["kind"] == "sweep-point"]
+        assert all(p["cached"] is True for p in points)
+        assert all("dur_s" not in p for p in points)  # no re-execution timing
+        assert events[-1]["cached"] == 2
+
+    def test_summary_reconstructs_sweep(self):
+        session = memory_obs_session()
+        result, events = sweep_events(session, parallel=False)
+        summary = summarize_events(events)
+        assert summary.sweep_points == len(result.points)
+        assert summary.total_rounds == sum(
+            ROUNDS_PER_ITERATION * p.iterations for p in result.points
+        )
+
+
+class TestEnvAutoSession:
+    def test_obs_dir_env_creates_run_dir(self, tmp_path, monkeypatch):
+        # The zero-call-site switch: REPRO_OBS_DIR alone makes any sweep
+        # (so any benchmark) emit a manifest + stream.
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "obs"))
+        run_sweep(
+            specs=SPECS, sizes=SIZES, algorithms=ALGORITHMS, seeds=[0],
+            parallel=False,
+        )
+        (stream,) = resolve_streams(tmp_path / "obs")
+        records = read_events(stream)
+        assert records[0]["kind"] == "sweep-start"
+        assert records[-1]["kind"] == "sweep-end"
+        manifest = RunManifest.load(stream.parent / "manifest.json")
+        assert manifest.kind == "sweep"
+        assert manifest.params["algorithms"] == ["metivier"]
+
+    def test_no_env_no_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(OBS_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        run_sweep(
+            specs=SPECS, sizes=SIZES, algorithms=ALGORITHMS, seeds=[0],
+            parallel=False,
+        )
+        assert list(tmp_path.iterdir()) == []

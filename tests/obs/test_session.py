@@ -1,0 +1,197 @@
+"""Tests for ObsSession: run directories, phase timers, simulator bridge,
+and the same-seed stream-determinism guarantee."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+from repro.obs.events import strip_timestamps
+from repro.obs.manifest import RunManifest
+from repro.obs.session import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    OBS_DIR_ENV,
+    ObsSession,
+    emit_run_metrics,
+    session_from_env,
+)
+from repro.obs.sinks import MemorySink
+from repro.obs.summary import read_events, summarize_events
+
+
+class EchoOnce(NodeAlgorithm):
+    """Round 0: broadcast own id.  Round 1: halt with the senders seen."""
+
+    name = "echo-once"
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_index == 0:
+            ctx.broadcast(("id", ctx.node))
+        else:
+            ctx.halt(("saw", tuple(sorted(m.sender for m in inbox))))
+
+
+def memory_session(clock=None):
+    """A session writing to memory, optionally on a fake clock."""
+    manifest = RunManifest(run_id="t", kind="test", created_at="t")
+    kwargs = {}
+    if clock is not None:
+        kwargs = {"clock": clock, "wall": clock}
+    return ObsSession("unused", manifest, MemorySink(), **kwargs)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.5
+        return self.now
+
+
+class TestRunDirectory:
+    def test_create_materializes_manifest_and_stream(self, tmp_path):
+        session = ObsSession.create(
+            tmp_path, kind="run", name="smoke", seed=3, params={"n": 5}
+        )
+        session.emit("note", message="hello")
+        directory = session.finish()
+        assert directory.parent == tmp_path
+        assert directory.name.startswith("run-smoke-")
+        manifest = RunManifest.load(directory / MANIFEST_FILENAME)
+        assert (manifest.kind, manifest.seed) == ("run", 3)
+        assert manifest.params == {"n": 5}
+        records = read_events(directory / EVENTS_FILENAME)
+        assert records[0]["kind"] == "note" and "ts" in records[0]
+
+    def test_finish_is_idempotent_and_context_manager_closes(self, tmp_path):
+        with ObsSession.create(tmp_path, kind="run") as session:
+            session.note("x")
+        assert session.finish() == session.directory  # second finish: no-op
+        assert (session.directory / EVENTS_FILENAME).is_file()
+
+    def test_distinct_run_ids_same_second(self, tmp_path):
+        a = ObsSession.create(tmp_path, kind="run")
+        b = ObsSession.create(tmp_path, kind="run")
+        assert a.directory != b.directory
+        a.finish(), b.finish()
+
+
+class TestPhaseTimers:
+    def test_phase_emits_pair_and_accumulates(self):
+        session = memory_session(clock=FakeClock())
+        with session.phase("shattering"):
+            pass
+        with session.phase("shattering"):
+            pass
+        kinds = [e.kind for e in session.sink]
+        assert kinds == ["phase-start", "phase-end"] * 2
+        end = session.sink.events[1]
+        assert end.phase == "shattering" and end.dur_s > 0
+        # Two visits accumulate into one bucket.
+        assert session.phase_seconds == {"shattering": pytest.approx(2 * end.dur_s)}
+
+    def test_attach_metrics_folds_into_run_metrics(self):
+        session = memory_session(clock=FakeClock())
+        with session.phase("finishing"):
+            pass
+        metrics = RunMetrics(congest_budget_bits=64)
+        session.attach_metrics(metrics)
+        assert metrics.phase_seconds["finishing"] > 0
+        assert "finishing" in metrics.summary()
+
+    def test_phase_closes_on_exception(self):
+        session = memory_session(clock=FakeClock())
+        try:
+            with session.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert [e.kind for e in session.sink] == ["phase-start", "phase-end"]
+
+
+class TestSimulatorObserver:
+    def run_observed(self, sink=None):
+        session = memory_session()
+        if sink is not None:
+            session.sink = sink
+        net = Network(nx.path_graph(3))
+        result = SynchronousSimulator(net, seed=1, observer=session.observer()).run(
+            EchoOnce()
+        )
+        return result, list(session.sink)
+
+    def test_stream_covers_run_lifecycle(self):
+        result, events = self.run_observed()
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "run-start"
+        assert kinds[1] == "start-round"  # synthetic pre-round, always emitted
+        assert kinds[-1] == "run-end"
+        assert kinds.count("round") == result.metrics.rounds == 2
+        assert kinds.count("halt") == 3
+
+    def test_run_end_carries_authoritative_totals(self):
+        result, events = self.run_observed()
+        end = events[-1]
+        assert end.data["messages"] == result.metrics.total_messages == 4
+        assert end.data["bits"] == result.metrics.total_bits
+        assert end.data["halted"] is True
+        assert end.dur_s is not None
+
+    def test_summary_reconstructs_metrics_from_stream(self):
+        result, events = self.run_observed()
+        summary = summarize_events([e.to_dict() for e in events])
+        assert summary.runs == 1
+        assert summary.total_rounds == result.metrics.rounds
+        assert summary.total_messages == result.metrics.total_messages
+        assert summary.total_bits == result.metrics.total_bits
+        assert summary.max_message_bits == result.metrics.max_message_bits
+
+
+class TestSameSeedDeterminism:
+    def test_two_same_seed_runs_identical_up_to_timestamps(self, tmp_path):
+        # The PR's acceptance criterion: re-running with the same seed
+        # yields byte-identical streams once timestamp fields are removed.
+        streams = []
+        for label in ("a", "b"):
+            with ObsSession.create(tmp_path, kind="run", name=label) as session:
+                net = Network(nx.path_graph(4))
+                SynchronousSimulator(
+                    net, seed=7, observer=session.observer()
+                ).run(EchoOnce())
+            streams.append(read_events(session.directory / EVENTS_FILENAME))
+        assert strip_timestamps(streams[0]) == strip_timestamps(streams[1])
+        # ... and the raw streams really did carry differing wall stamps.
+        assert "ts" in streams[0][0]
+
+
+class TestReplayAndEnv:
+    def test_emit_run_metrics_matches_live_observer_totals(self):
+        net = Network(nx.path_graph(3))
+        result = SynchronousSimulator(net, seed=1).run(EchoOnce())
+        session = memory_session()
+        emit_run_metrics(session, result.metrics)
+        summary = summarize_events([e.to_dict() for e in session.sink])
+        assert summary.total_rounds == result.metrics.rounds
+        assert summary.total_bits == result.metrics.total_bits
+
+    def test_session_from_env_disabled_without_variable(self, monkeypatch):
+        monkeypatch.delenv(OBS_DIR_ENV, raising=False)
+        assert session_from_env("run") is None
+
+    def test_session_from_env_creates_under_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path / "obs"))
+        session = session_from_env("sweep", name="e2", seed=1)
+        assert session is not None
+        session.finish()
+        assert (session.directory / MANIFEST_FILENAME).is_file()
+        assert json.loads(
+            (session.directory / MANIFEST_FILENAME).read_text()
+        )["kind"] == "sweep"

@@ -1,0 +1,113 @@
+"""Tests for event sinks: buffering, streaming, sampling, backpressure."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import ObsEvent
+from repro.obs.sinks import JsonlSink, MemorySink, MultiSink, NullSink
+
+
+def _events(n, kind="e"):
+    return [ObsEvent(kind, data={"i": i}) for i in range(n)]
+
+
+class TestMemorySink:
+    def test_collects_in_order(self):
+        sink = MemorySink()
+        for event in _events(5):
+            sink.emit(event)
+        assert [e.data["i"] for e in sink] == [0, 1, 2, 3, 4]
+
+    def test_cap_sets_truncated_and_counts_drops(self):
+        sink = MemorySink(max_events=3)
+        for event in _events(10):
+            sink.emit(event)
+        assert len(sink) == 3
+        assert sink.truncated
+        assert sink.dropped == 7
+
+
+class TestJsonlSink:
+    def test_streams_and_flushes_on_close(self, tmp_path):
+        path = tmp_path / "a" / "events.jsonl"  # parent created on demand
+        sink = JsonlSink(path)
+        for event in _events(10):
+            sink.emit(event)
+        sink.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["i"] for r in records] == list(range(10))
+
+    def test_bounded_write_buffer(self, tmp_path):
+        # flush_every bounds memory: after k emits the lines are on disk
+        # even without close().
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=4)
+        for event in _events(4):
+            sink.emit(event)
+        assert len(path.read_text().splitlines()) == 4
+        sink.close()
+
+    def test_deterministic_sampling_keeps_every_kth(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, sample_every={"send": 3})
+        for event in _events(9, kind="send"):
+            sink.emit(event)
+        sink.emit(ObsEvent("round"))  # other kinds unaffected
+        sink.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        sends = [r["i"] for r in records if r["kind"] == "send"]
+        assert sends == [0, 3, 6]
+        assert any(r["kind"] == "round" for r in records)
+        # Loss is accounted: the final sink-stats event reports the drop.
+        (stats,) = [r for r in records if r["kind"] == "sink-stats"]
+        assert stats["sampled_out"] == {"send": 6}
+
+    def test_max_events_backpressure(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_events=5)
+        for event in _events(20):
+            sink.emit(event)
+        sink.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert sink.truncated
+        payload = [r for r in records if r["kind"] == "e"]
+        assert len(payload) == 5
+        (stats,) = [r for r in records if r["kind"] == "sink-stats"]
+        assert stats["dropped"] == 15 and stats["truncated"] is True
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit(ObsEvent("e"))
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(path)
+            sink.emit(ObsEvent("e"))
+            sink.close()
+        kinds = [
+            json.loads(line)["kind"] for line in path.read_text().splitlines()
+        ]
+        assert kinds.count("e") == 2
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", flush_every=0)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "y.jsonl", sample_every={"send": 0})
+
+
+class TestMultiSink:
+    def test_fans_out_and_closes_all(self, tmp_path):
+        memory = MemorySink()
+        jsonl = JsonlSink(tmp_path / "events.jsonl")
+        multi = MultiSink(memory, jsonl, NullSink())
+        multi.emit(ObsEvent("e", data={"i": 1}))
+        multi.close()
+        assert len(memory) == 1
+        assert json.loads((tmp_path / "events.jsonl").read_text())["i"] == 1

@@ -1,0 +1,149 @@
+"""Tests for stream summarization, diffing, and the Prometheus exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import ObsEvent
+from repro.obs.exporter import summary_to_prometheus
+from repro.obs.session import EVENTS_FILENAME
+from repro.obs.summary import (
+    ObsSummary,
+    diff_streams,
+    read_events,
+    resolve_streams,
+    summarize_events,
+    summarize_paths,
+)
+
+
+def run_records(rounds=3, bits_per_round=10, with_aggregate=True):
+    """A synthetic single-run stream."""
+    records = [{"kind": "run-start", "nodes": 4, "seed": 0}]
+    for i in range(rounds):
+        records.append(
+            {"kind": "round", "round": i, "messages": 2, "bits": bits_per_round,
+             "max_bits": bits_per_round}
+        )
+    if with_aggregate:
+        records.append(
+            {"kind": "run-end", "rounds": rounds, "messages": 2 * rounds,
+             "bits": bits_per_round * rounds, "max_bits": bits_per_round,
+             "halted": True}
+        )
+    return records
+
+
+class TestSummarizeEvents:
+    def test_prefers_run_end_aggregate(self):
+        # A stream holding both per-round events and their run-end
+        # aggregate must not double count.
+        summary = summarize_events(run_records(rounds=3, bits_per_round=10))
+        assert summary.runs == 1
+        assert summary.total_rounds == 3
+        assert summary.total_messages == 6
+        assert summary.total_bits == 30
+
+    def test_falls_back_to_per_round_sums(self):
+        # A truncated stream (run killed before run-end) still summarizes.
+        summary = summarize_events(
+            run_records(rounds=3, bits_per_round=10, with_aggregate=False)
+        )
+        assert summary.total_rounds == 3
+        assert summary.total_bits == 30
+
+    def test_sampled_rounds_do_not_undercount_with_aggregate(self):
+        # Sampling may drop round events; the aggregate keeps totals right.
+        records = run_records(rounds=5, bits_per_round=8)
+        thinned = [r for r in records if r.get("round") not in (1, 3)]
+        assert summarize_events(thinned).total_bits == 40
+
+    def test_phase_and_sweep_accounting(self):
+        records = [
+            {"kind": "phase-end", "phase": "shattering", "dur_s": 0.25},
+            {"kind": "phase-end", "phase": "shattering", "dur_s": 0.75},
+            {"kind": "sweep-point", "n": 64, "rounds": 12, "cached": False},
+            {"kind": "sweep-point", "n": 128, "rounds": 14, "cached": True},
+        ]
+        summary = summarize_events(records)
+        assert summary.phase_seconds == {"shattering": 1.0}
+        assert summary.sweep_points == 2
+        assert summary.sweep_cached == 1
+        assert summary.total_rounds == 26
+
+    def test_render_mentions_core_quantities(self):
+        text = summarize_events(run_records()).render()
+        assert "total rounds:" in text and "total bits:" in text
+
+
+class TestReadAndResolve:
+    def test_read_events_skips_torn_tail(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        path.write_text('{"kind": "note"}\n{"kind": "trunc')
+        assert read_events(path) == [{"kind": "note"}]
+
+    def test_resolve_file_run_dir_and_root(self, tmp_path):
+        run_dir = tmp_path / "run-1"
+        run_dir.mkdir()
+        stream = run_dir / EVENTS_FILENAME
+        stream.write_text('{"kind": "note"}\n')
+        assert resolve_streams(stream) == [stream]
+        assert resolve_streams(run_dir) == [stream]
+        assert resolve_streams(tmp_path) == [stream]
+
+    def test_resolve_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_streams(tmp_path / "nope")
+
+    def test_summarize_paths_merges_streams(self, tmp_path):
+        for name in ("run-a", "run-b"):
+            d = tmp_path / name
+            d.mkdir()
+            (d / EVENTS_FILENAME).write_text(
+                "\n".join(json.dumps(r) for r in run_records(rounds=2)) + "\n"
+            )
+        summary = summarize_paths([tmp_path])
+        assert summary.runs == 2
+        assert summary.total_rounds == 4
+
+
+class TestDiffStreams:
+    def test_identical_up_to_timestamps(self):
+        a = [{"kind": "round", "round": 0, "bits": 5, "ts": 1.0}]
+        b = [{"kind": "round", "round": 0, "bits": 5, "ts": 9.0}]
+        assert diff_streams(a, b).identical
+
+    def test_payload_difference_reported(self):
+        a = [{"kind": "round", "round": 0, "bits": 5}]
+        b = [{"kind": "round", "round": 0, "bits": 6}]
+        result = diff_streams(a, b)
+        assert not result.identical
+        assert "event 0" in result.differences[0]
+
+    def test_length_mismatch_reported(self):
+        result = diff_streams([{"kind": "a"}], [{"kind": "a"}, {"kind": "b"}])
+        assert not result.identical
+        assert any("length" in d for d in result.differences)
+
+
+class TestPrometheusExporter:
+    def test_core_series_present(self):
+        summary = summarize_events(run_records(rounds=3, bits_per_round=10))
+        text = summary_to_prometheus(summary)
+        assert "# TYPE repro_rounds_total counter" in text
+        assert "repro_rounds_total 3" in text
+        assert "repro_bits_total 30" in text
+
+    def test_phase_series_labelled_and_escaped(self):
+        summary = ObsSummary(phase_seconds={"finishing": 1.5})
+        text = summary_to_prometheus(summary, labels={"job": 'a"b\\c'})
+        assert 'phase="finishing"' in text
+        assert r'job="a\"b\\c"' in text
+
+    def test_sweep_series_only_when_present(self):
+        without = summary_to_prometheus(ObsSummary())
+        with_points = summary_to_prometheus(ObsSummary(sweep_points=2))
+        assert "sweep_points" not in without
+        assert "repro_sweep_points_total 2" in with_points

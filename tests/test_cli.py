@@ -163,6 +163,59 @@ class TestCommands:
         assert code == 0
 
 
+class TestObsIntegration:
+    def test_progress_and_telemetry_never_touch_stdout(self, tmp_path, capsys, monkeypatch):
+        # stdout is the machine-readable contract: with every telemetry
+        # channel on, it still carries only the result table.
+        monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+        argv = [
+            "sweep", "--family", "tree", "--sizes", "30",
+            "--algorithms", "metivier", "--seeds", "0",
+            "--serial", "--progress", "--obs-dir", str(tmp_path / "obs"),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[sweep]" not in captured.out
+        assert "pts/s" not in captured.out
+        assert "[obs]" not in captured.out
+        assert captured.out.lstrip().startswith("iterations over seeds")
+        assert "[sweep]" in captured.err and "[obs] wrote" in captured.err
+
+    def test_run_obs_dir_emits_reconstructible_artifacts(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest
+        from repro.obs.summary import read_events, resolve_streams, summarize_events
+
+        obs_root = tmp_path / "obs"
+        argv = [
+            "run", "--family", "arb", "--alpha", "2", "--n", "80",
+            "--algorithm", "arb-mis", "--obs-dir", str(obs_root),
+        ]
+        assert main(argv) == 0
+        (stream,) = resolve_streams(obs_root)
+        manifest = RunManifest.load(stream.parent / "manifest.json")
+        assert manifest.kind == "run"
+        assert manifest.params["algorithm"] == "arb-mis"
+        records = read_events(stream)
+        summary = summarize_events(records)
+        assert summary.runs == 1
+        # The stream alone reconstructs the measured round count...
+        (end,) = [r for r in records if r["kind"] == "run-end"]
+        assert summary.total_rounds == end["rounds"] > 0
+        # ... and arb-mis phases show up as wall-clock timers.
+        assert "shattering" in summary.phase_seconds
+        assert "finishing" in summary.phase_seconds
+
+    def test_obs_subcommand_forwards(self, tmp_path, capsys):
+        obs_root = tmp_path / "obs"
+        assert main(
+            ["run", "--family", "tree", "--n", "40",
+             "--algorithm", "metivier", "--obs-dir", str(obs_root)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "summary", str(obs_root)]) == 0
+        assert "runs:          1" in capsys.readouterr().out
+
+
 class TestExportCommands:
     def test_export_csv(self, tmp_path, capsys):
         out = tmp_path / "points.csv"
