@@ -98,6 +98,7 @@ class SweepProgress:
     done: int = 0
     executed: int = 0
     cached: int = 0
+    failed: int = 0
     elapsed: float = 0.0
     algorithm_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -110,6 +111,8 @@ class SweepProgress:
         parts = [f"{self.done}/{self.total} points"]
         if self.cached:
             parts.append(f"{self.cached} cached")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
         parts.append(f"{self.points_per_second:.1f} pts/s")
         return " | ".join(parts)
 
@@ -365,34 +368,46 @@ class SweepRunner:
             return
 
         workers = min(self.max_workers, len(remote))
+        # One cell's failure must not discard any other cell's work: every
+        # in-flight future is drained (and its point recorded + cached)
+        # before the first failure is re-raised, and nothing healthy is
+        # cancelled.  A worker exception therefore costs exactly one cell.
+        failures: List[Tuple[int, BaseException]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            try:
-                futures: Dict[Future, int] = {
-                    pool.submit(
-                        execute_unit,
-                        units[i],
-                        self.algorithms[units[i].algorithm],
-                        self.validate,
-                    ): i
-                    for i in remote
-                }
-                # Unpicklable callables run in the parent while the pool
-                # grinds through the rest.
-                self._run_serial(units, local, points, progress, started)
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
+            futures: Dict[Future, int] = {
+                pool.submit(
+                    execute_unit,
+                    units[i],
+                    self.algorithms[units[i].algorithm],
+                    self.validate,
+                ): i
+                for i in remote
+            }
+            # Unpicklable callables run in the parent while the pool
+            # grinds through the rest.
+            self._run_serial(units, local, points, progress, started)
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    i = futures[future]
+                    try:
+                        point, seconds = future.result()
+                    except BaseException as exc:  # worker error: isolate it
+                        failures.append((i, exc))
+                        progress.failed += 1
+                        self._tick(progress, started)
+                        continue
+                    self._complete(
+                        i, units[i], point, seconds, points, progress, started
                     )
-                    for future in finished:
-                        i = futures[future]
-                        point, seconds = future.result()  # re-raises worker errors
-                        self._complete(
-                            i, units[i], point, seconds, points, progress, started
-                        )
-            except BaseException:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+        if failures:
+            # Re-raise the first failure with its original type (callers and
+            # tests match on it); the cell is identified on stderr-bound
+            # progress telemetry via ``progress.failed``.
+            raise failures[0][1]
 
     # -- bookkeeping ---------------------------------------------------------
 

@@ -91,6 +91,34 @@ class TestParallelSerialIdentity:
                 [GraphSpec("tree")], [10, 12], [0]
             )
 
+    def test_one_failed_cell_does_not_discard_healthy_cells(self, tmp_path):
+        # One broken cell re-raises — but only after every healthy in-flight
+        # cell finished and landed in the cache, so a rerun resumes from the
+        # completed work instead of recomputing the whole grid.
+        cache_path = tmp_path / "sweep.jsonl"
+        algorithms = {"metivier": metivier_mis, "broken": broken_mis}
+        with pytest.raises(NotMaximalError):
+            SweepRunner(algorithms, parallel=True, max_workers=2, cache=cache_path).run(
+                [GraphSpec("tree")], SIZES, SEEDS
+            )
+        cache = SweepCache(cache_path)
+        healthy = len(SIZES) * len(SEEDS)
+        assert len(cache) == healthy  # every metivier cell was recorded
+
+    def test_failed_cells_counted_in_progress(self):
+        snapshots = []
+        algorithms = {"metivier": metivier_mis, "broken": broken_mis}
+        with pytest.raises(NotMaximalError):
+            SweepRunner(
+                algorithms,
+                parallel=True,
+                max_workers=2,
+                progress=lambda p: snapshots.append((p.done, p.failed)),
+            ).run([GraphSpec("tree")], [16], [0, 1])
+        assert snapshots[-1][1] == 2  # both broken cells surfaced
+        text = SweepProgress(total=4, done=2, executed=2, failed=2, elapsed=1.0).render()
+        assert "2 failed" in text
+
 
 class TestCacheResume:
     def test_warm_cache_rerun_executes_nothing(self, tmp_path):
