@@ -32,6 +32,15 @@ SEEDS = [0, 1, 2]
 #                                         JSONL event stream under this root
 #                                         (inspect with `repro obs summary`;
 #                                         see docs/observability.md)
+#   REPRO_SWEEP_ON_ERROR=continue         cell-failure endgame: fail-fast
+#                                         (default) | continue | retry; the
+#                                         runner reads these three directly
+#                                         (FailurePolicy.from_env), so they
+#                                         apply to every benchmark sweep
+#                                         without call-site changes
+#   REPRO_SWEEP_RETRIES=2                 extra attempts per failing cell
+#                                         (deterministic keyed backoff)
+#   REPRO_SWEEP_CELL_TIMEOUT=300          per-cell wall-clock budget, seconds
 _WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "-1"))
 SWEEP_CACHE = os.environ.get("REPRO_SWEEP_CACHE") or None
 OBS_DIR = os.environ.get("REPRO_OBS_DIR") or None

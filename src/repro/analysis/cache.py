@@ -19,13 +19,19 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.analysis.sweep import SweepPoint
 from repro.graphs.generators import GraphSpec
 
-__all__ = ["SweepCache", "unit_fingerprint", "CACHE_FORMAT_VERSION"]
+__all__ = [
+    "SweepCache",
+    "CellFailure",
+    "unit_fingerprint",
+    "CACHE_FORMAT_VERSION",
+]
 
 # Bumped whenever the fingerprint payload or the stored record shape
 # changes; old cache files then miss cleanly instead of mis-hitting.
@@ -60,6 +66,35 @@ def unit_fingerprint(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """A sweep cell that exhausted its attempts without producing a point.
+
+    Persisted to the same JSONL store as points (marked with a
+    ``"failure": true`` field), so a resumed sweep knows which cells are
+    known-bad and can skip or retry them per its
+    :class:`~repro.analysis.runner.FailurePolicy` instead of rediscovering
+    the failure the slow way.
+    """
+
+    key: str
+    family: str
+    n: int
+    algorithm: str
+    seed: int
+    error_type: str
+    error: str
+    attempts: int = 1
+    timed_out: bool = False
+
+    def describe(self) -> str:
+        cause = "timeout" if self.timed_out else self.error_type
+        return (
+            f"{self.family} n={self.n} {self.algorithm} seed={self.seed}: "
+            f"{cause} after {self.attempts} attempt(s): {self.error}"
+        )
+
+
 class SweepCache:
     """Append-only JSONL store of completed sweep points.
 
@@ -73,6 +108,7 @@ class SweepCache:
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._records: Dict[str, Dict[str, Any]] = {}
+        self._failures: Dict[str, Dict[str, Any]] = {}
         if self.path.exists():
             self._load()
 
@@ -86,8 +122,16 @@ class SweepCache:
             except json.JSONDecodeError:
                 continue  # torn tail line from an interrupted run
             key = record.get("key")
-            if isinstance(key, str) and "algorithm" in record:
+            if not isinstance(key, str) or "algorithm" not in record:
+                continue
+            # Later lines win either way: a point recorded after a failure
+            # (successful retry) clears the failure, and vice versa.
+            if record.get("failure"):
+                self._failures[key] = record
+                self._records.pop(key, None)
+            else:
                 self._records[key] = record
+                self._failures.pop(key, None)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -124,6 +168,55 @@ class SweepCache:
             "mis_size": point.mis_size,
         }
         self._records[key] = record
+        self._failures.pop(key, None)  # a successful retry clears known-bad
+        self._append(record)
+
+    # -- failure records -----------------------------------------------------
+
+    def get_failure(self, key: str) -> Optional[CellFailure]:
+        """Return the recorded failure for ``key``, or None.
+
+        A key never has both a point and a failure: whichever was recorded
+        last wins (a successful retry clears the failure and vice versa).
+        """
+        record = self._failures.get(key)
+        if record is None:
+            return None
+        return CellFailure(
+            key=key,
+            family=record.get("family", "?"),
+            n=record.get("n", 0),
+            algorithm=record.get("algorithm", "?"),
+            seed=record.get("seed", 0),
+            error_type=record.get("error_type", "?"),
+            error=record.get("error", ""),
+            attempts=record.get("attempts", 1),
+            timed_out=record.get("timed_out", False),
+        )
+
+    def put_failure(self, failure: CellFailure) -> None:
+        """Persist a known-bad cell (one appended JSONL line)."""
+        record = {
+            "key": failure.key,
+            "failure": True,
+            "family": failure.family,
+            "n": failure.n,
+            "algorithm": failure.algorithm,
+            "seed": failure.seed,
+            "error_type": failure.error_type,
+            "error": failure.error,
+            "attempts": failure.attempts,
+            "timed_out": failure.timed_out,
+        }
+        self._failures[failure.key] = record
+        self._records.pop(failure.key, None)
+        self._append(record)
+
+    @property
+    def failure_count(self) -> int:
+        return len(self._failures)
+
+    def _append(self, record: Dict[str, Any]) -> None:
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:

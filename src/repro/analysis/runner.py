@@ -36,6 +36,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,16 +54,29 @@ from typing import (
 
 import networkx as nx
 
-from repro.analysis.cache import SweepCache, unit_fingerprint
+from repro.analysis.cache import CellFailure, SweepCache, unit_fingerprint
 from repro.analysis.sweep import SweepPoint, SweepResult
 from repro.core.parameters import ROUNDS_PER_ITERATION
+from repro.errors import ConfigurationError
 from repro.graphs.generators import GraphSpec
 from repro.mis.engine import MISResult
 from repro.mis.validation import assert_valid_mis
-from repro.obs.events import EVENT_SWEEP_END, EVENT_SWEEP_POINT, EVENT_SWEEP_START
+from repro.obs.events import (
+    EVENT_SWEEP_END,
+    EVENT_SWEEP_FAILURE,
+    EVENT_SWEEP_POINT,
+    EVENT_SWEEP_START,
+)
 from repro.obs.session import ObsSession, session_from_env
+from repro.rng import derive_seed, uniform_draw
 
-__all__ = ["WorkUnit", "SweepProgress", "SweepRunner", "execute_unit"]
+__all__ = [
+    "WorkUnit",
+    "SweepProgress",
+    "SweepRunner",
+    "FailurePolicy",
+    "execute_unit",
+]
 
 AlgorithmFn = Callable[..., MISResult]
 ProgressCallback = Callable[["SweepProgress"], None]
@@ -115,6 +129,89 @@ class SweepProgress:
             parts.append(f"{self.failed} failed")
         parts.append(f"{self.points_per_second:.1f} pts/s")
         return " | ".join(parts)
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How a sweep responds when a cell errors or overruns its budget.
+
+    ``on_error`` decides the endgame once a cell exhausts its attempts:
+
+    * ``"fail-fast"`` (default, the historical behavior) — the failure is
+      recorded, then the original exception is re-raised (after every
+      healthy in-flight cell has been drained and cached);
+    * ``"continue"`` — the failure is recorded (in the result, the cache,
+      and the obs stream) and the sweep moves on; a *resumed* sweep skips
+      cells the cache already knows to be bad;
+    * ``"retry"`` — like ``"continue"``, but known-bad cells are
+      re-attempted on resume instead of skipped.
+
+    ``retries`` grants every cell that many extra attempts before the
+    endgame, with exponential backoff whose jitter is keyed off the cell
+    fingerprint (:mod:`repro.rng`), so two sweeps of the same grid back
+    off identically.  ``on_error="retry"`` with ``retries=0`` defaults to
+    2 extra attempts.  ``cell_timeout`` bounds one attempt's wall-clock
+    seconds: parallel cells are abandoned at the deadline (the worker is
+    written off), serial cells are checked post-hoc.
+
+    Environment knobs (read by :meth:`from_env`, which every
+    :class:`SweepRunner` without an explicit policy uses):
+    ``REPRO_SWEEP_ON_ERROR``, ``REPRO_SWEEP_RETRIES``,
+    ``REPRO_SWEEP_CELL_TIMEOUT``.
+    """
+
+    on_error: str = "fail-fast"
+    retries: int = 0
+    cell_timeout: Optional[float] = None
+    backoff_base: float = 0.25
+    backoff_cap: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("fail-fast", "continue", "retry"):
+            raise ConfigurationError(
+                f"on_error must be fail-fast, continue, or retry; "
+                f"got {self.on_error!r}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ConfigurationError(
+                f"cell_timeout must be positive, got {self.cell_timeout}"
+            )
+        if self.on_error == "retry" and self.retries == 0:
+            object.__setattr__(self, "retries", 2)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "FailurePolicy":
+        """Build a policy from the ``REPRO_SWEEP_*`` environment knobs."""
+        env = os.environ if environ is None else environ
+        timeout_raw = env.get("REPRO_SWEEP_CELL_TIMEOUT", "")
+        return cls(
+            on_error=env.get("REPRO_SWEEP_ON_ERROR", "fail-fast"),
+            retries=int(env.get("REPRO_SWEEP_RETRIES", "0") or 0),
+            cell_timeout=float(timeout_raw) if timeout_raw else None,
+        )
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.retries
+
+    @property
+    def retry_known_bad(self) -> bool:
+        """Whether a resumed sweep re-attempts cached known-bad cells."""
+        return self.on_error != "continue"
+
+    def backoff_seconds(self, fingerprint: str, attempt: int) -> float:
+        """Deterministic exponential backoff with keyed jitter.
+
+        ``attempt`` counts completed attempts (1 after the first failure).
+        Jitter multiplies the capped exponential base by [0.5, 1.0),
+        derived from the cell fingerprint — no ambient randomness, so
+        reruns back off identically.
+        """
+        base = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        jitter = uniform_draw(derive_seed(int(fingerprint[:16], 16)), 0, attempt)
+        return base * (0.5 + 0.5 * jitter)
 
 
 def execute_unit(
@@ -196,6 +293,7 @@ class SweepRunner:
         cache: Union[SweepCache, str, Path, None] = None,
         progress: Optional[ProgressCallback] = None,
         obs: Optional[ObsSession] = None,
+        failure_policy: Optional[FailurePolicy] = None,
     ):
         self.algorithms = dict(algorithms)
         self.algorithm_kwargs = {
@@ -209,6 +307,9 @@ class SweepRunner:
         self.cache = cache
         self.progress = progress
         self.obs = obs
+        # No explicit policy → the REPRO_SWEEP_* env knobs apply, so every
+        # benchmark/sweep call site picks fault tolerance up for free.
+        self.failure_policy = failure_policy or FailurePolicy.from_env()
         self._timings: Dict[int, float] = {}
 
     # -- grid enumeration ----------------------------------------------------
@@ -278,27 +379,58 @@ class SweepRunner:
                 workers=self.max_workers if self.parallel else 1,
             )
 
+        failures: List[CellFailure] = []
+        errors: List[BaseException] = []
         pending: List[int] = []
         for i, unit in enumerate(units):
-            hit = self.cache.get_point(unit.fingerprint) if self.cache else None
+            # NB: SweepCache.__len__ counts points only, so a cache holding
+            # nothing but failure records is falsy — test identity, not truth.
+            hit = (
+                self.cache.get_point(unit.fingerprint)
+                if self.cache is not None
+                else None
+            )
             if hit is not None:
                 points[i] = hit
                 progress.cached += 1
                 self._tick(progress, started)
-            else:
-                pending.append(i)
+                continue
+            known_bad = (
+                self.cache.get_failure(unit.fingerprint)
+                if self.cache is not None
+                else None
+            )
+            if known_bad is not None and not self.failure_policy.retry_known_bad:
+                # on_error="continue": a resumed sweep skips cells the cache
+                # already knows to be bad instead of rediscovering them.
+                failures.append(known_bad)
+                progress.failed += 1
+                self._tick(progress, started)
+                continue
+            pending.append(i)
 
         try:
             if self.parallel and self.max_workers > 1 and len(pending) > 1:
-                self._run_parallel(units, pending, points, progress, started)
+                self._run_parallel(
+                    units, pending, points, progress, started, failures, errors
+                )
             else:
-                self._run_serial(units, pending, points, progress, started)
+                self._run_serial(
+                    units, pending, points, progress, started, failures, errors
+                )
         finally:
             if obs is not None:
-                self._emit_obs(obs, units, points, progress, owned_session)
-        return SweepResult(points=[p for p in points if p is not None])
+                self._emit_obs(obs, units, points, progress, owned_session, failures)
+        if errors and self.failure_policy.on_error == "fail-fast":
+            # Re-raise the first failure with its original type (callers and
+            # tests match on it) after every healthy cell has been drained
+            # and cached — a worker exception costs exactly one cell.
+            raise errors[0]
+        return SweepResult(
+            points=[p for p in points if p is not None], failures=failures
+        )
 
-    def _emit_obs(self, obs, units, points, progress, owned_session) -> None:
+    def _emit_obs(self, obs, units, points, progress, owned_session, failures) -> None:
         """Emit the sweep's telemetry in canonical grid order.
 
         Emission happens after execution (not as points complete) so the
@@ -326,11 +458,26 @@ class SweepRunner:
                 cached=i not in self._timings,
                 dur_s=self._timings.get(i),
             )
+        for failure in sorted(
+            failures, key=lambda f: (f.family, f.n, f.algorithm, f.seed)
+        ):
+            obs.emit(
+                EVENT_SWEEP_FAILURE,
+                family=failure.family,
+                n=failure.n,
+                algorithm=failure.algorithm,
+                seed=failure.seed,
+                error_type=failure.error_type,
+                error=failure.error,
+                attempts=failure.attempts,
+                timed_out=failure.timed_out,
+            )
         obs.emit(
             EVENT_SWEEP_END,
             total=progress.total,
             executed=progress.executed,
             cached=progress.cached,
+            failed=progress.failed,
             dur_s=progress.elapsed,
             seconds_by_algorithm={
                 name: round(seconds, 6)
@@ -340,10 +487,13 @@ class SweepRunner:
         if owned_session:
             obs.finish()
 
-    def _run_serial(self, units, pending, points, progress, started) -> None:
+    def _run_serial(
+        self, units, pending, points, progress, started, failures, errors
+    ) -> None:
         # Consecutive units share (spec, n, seed) when they differ only by
         # algorithm; memoize the last graph so the serial path builds each
         # graph once, exactly like the historical nested loop.
+        policy = self.failure_policy
         memo_key = None
         memo_graph = None
         for i in pending:
@@ -352,64 +502,244 @@ class SweepRunner:
             if key != memo_key:
                 memo_graph = unit.spec.build(unit.n, seed=unit.seed)
                 memo_key = key
-            point, seconds = execute_unit(
-                unit, self.algorithms[unit.algorithm], self.validate, graph=memo_graph
-            )
-            self._complete(i, unit, point, seconds, points, progress, started)
+            for attempt in range(1, policy.max_attempts + 1):
+                try:
+                    point, seconds = execute_unit(
+                        unit,
+                        self.algorithms[unit.algorithm],
+                        self.validate,
+                        graph=memo_graph,
+                    )
+                except Exception as exc:
+                    if attempt < policy.max_attempts:
+                        time.sleep(policy.backoff_seconds(unit.fingerprint, attempt))
+                        continue
+                    self._record_failure(
+                        unit, exc, attempt, False, failures, errors, progress, started
+                    )
+                    break
+                if (
+                    policy.cell_timeout is not None
+                    and seconds > policy.cell_timeout
+                ):
+                    # Serial cells can't be interrupted mid-run; enforce the
+                    # budget post-hoc by discarding the overdue point.
+                    exc = TimeoutError(
+                        f"cell exceeded cell_timeout "
+                        f"({policy.cell_timeout}s): took {seconds:.3f}s"
+                    )
+                    if attempt < policy.max_attempts:
+                        time.sleep(policy.backoff_seconds(unit.fingerprint, attempt))
+                        continue
+                    self._record_failure(
+                        unit, exc, attempt, True, failures, errors, progress, started
+                    )
+                    break
+                self._complete(i, unit, point, seconds, points, progress, started)
+                break
+            if errors and policy.on_error == "fail-fast":
+                return
 
-    def _run_parallel(self, units, pending, points, progress, started) -> None:
+    def _run_parallel(
+        self, units, pending, points, progress, started, failures, errors
+    ) -> None:
+        policy = self.failure_policy
         picklable: Dict[str, bool] = {
             name: _is_picklable(fn) for name, fn in self.algorithms.items()
         }
         remote = [i for i in pending if picklable[units[i].algorithm]]
         local = [i for i in pending if not picklable[units[i].algorithm]]
         if not remote:
-            self._run_serial(units, pending, points, progress, started)
+            self._run_serial(
+                units, pending, points, progress, started, failures, errors
+            )
             return
 
         workers = min(self.max_workers, len(remote))
         # One cell's failure must not discard any other cell's work: every
         # in-flight future is drained (and its point recorded + cached)
-        # before the first failure is re-raised, and nothing healthy is
-        # cancelled.  A worker exception therefore costs exactly one cell.
-        failures: List[Tuple[int, BaseException]] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures: Dict[Future, int] = {
-                pool.submit(
-                    execute_unit,
-                    units[i],
-                    self.algorithms[units[i].algorithm],
-                    self.validate,
-                ): i
-                for i in remote
-            }
+        # before run() re-raises the first error under fail-fast, and
+        # nothing healthy is cancelled.
+        queue = deque(remote)
+        attempts: Dict[int, int] = {}
+        not_before: Dict[int, float] = {}
+        running: Dict[Future, Tuple[int, float]] = {}
+        # Futures written off at their deadline.  Their workers stay wedged
+        # until the underlying call returns, so each zombie subtracts one
+        # worker from capacity — and gives it back if it ever resolves.
+        zombies: set = set()
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             # Unpicklable callables run in the parent while the pool
             # grinds through the rest.
-            self._run_serial(units, local, points, progress, started)
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
+            self._run_serial(
+                units, local, points, progress, started, failures, errors
+            )
+            while queue or running:
+                zombies -= {z for z in zombies if z.done()}
+                capacity = workers - len(zombies) - len(running)
+                if workers - len(zombies) <= 0:
+                    # Every worker is wedged on a timed-out cell.  Grant a
+                    # generous grace period for a zombie to resolve; if none
+                    # does, write the remainder off rather than hang forever.
+                    grace = 4.0 * (policy.cell_timeout or 1.0)
+                    finished_zombies, _ = wait(
+                        set(zombies), timeout=grace, return_when=FIRST_COMPLETED
+                    )
+                    if finished_zombies:
+                        zombies -= finished_zombies
+                        continue
+                    while queue:
+                        i = queue.popleft()
+                        self._record_failure(
+                            units[i],
+                            TimeoutError(
+                                "worker pool exhausted by timed-out cells"
+                            ),
+                            attempts.get(i, 0) + 1,
+                            True,
+                            failures,
+                            errors,
+                            progress,
+                            started,
+                        )
+                    break
+                now = time.perf_counter()
+                deferred = []
+                while queue and capacity > 0:
+                    i = queue.popleft()
+                    if not_before.get(i, 0.0) > now:
+                        deferred.append(i)
+                        continue
+                    future = pool.submit(
+                        execute_unit,
+                        units[i],
+                        self.algorithms[units[i].algorithm],
+                        self.validate,
+                    )
+                    running[future] = (i, now)
+                    capacity -= 1
+                queue.extendleft(reversed(deferred))  # preserve order
+                if not running:
+                    if not queue:
+                        break
+                    # Everything is backing off; sleep until the earliest
+                    # cell becomes eligible again.
+                    wake = min(not_before.get(i, 0.0) for i in queue)
+                    time.sleep(max(0.0, wake - time.perf_counter()))
+                    continue
+
+                timeout = None
+                if policy.cell_timeout is not None:
+                    now = time.perf_counter()
+                    timeout = max(
+                        0.0,
+                        min(
+                            start + policy.cell_timeout - now
+                            for _, start in running.values()
+                        ),
+                    )
+                elif any(not_before.get(i, 0.0) > time.perf_counter() for i in queue):
+                    timeout = 0.05
+                finished, _ = wait(
+                    set(running), timeout=timeout, return_when=FIRST_COMPLETED
                 )
                 for future in finished:
-                    i = futures[future]
+                    i, start = running.pop(future)
                     try:
                         point, seconds = future.result()
                     except BaseException as exc:  # worker error: isolate it
-                        failures.append((i, exc))
-                        progress.failed += 1
-                        self._tick(progress, started)
+                        self._dispose(
+                            i, units[i], exc, False, attempts, not_before,
+                            queue, failures, errors, progress, started,
+                        )
+                        continue
+                    if (
+                        policy.cell_timeout is not None
+                        and seconds > policy.cell_timeout
+                    ):
+                        self._dispose(
+                            i,
+                            units[i],
+                            TimeoutError(
+                                f"cell exceeded cell_timeout "
+                                f"({policy.cell_timeout}s): took {seconds:.3f}s"
+                            ),
+                            True, attempts, not_before,
+                            queue, failures, errors, progress, started,
+                        )
                         continue
                     self._complete(
                         i, units[i], point, seconds, points, progress, started
                     )
-        if failures:
-            # Re-raise the first failure with its original type (callers and
-            # tests match on it); the cell is identified on stderr-bound
-            # progress telemetry via ``progress.failed``.
-            raise failures[0][1]
+                if policy.cell_timeout is not None:
+                    now = time.perf_counter()
+                    for future in [
+                        f
+                        for f, (_, start) in running.items()
+                        if now - start > policy.cell_timeout
+                    ]:
+                        # The future can't be interrupted; abandon it and
+                        # write its worker off until the call resolves.
+                        i, start = running.pop(future)
+                        future.cancel()
+                        zombies.add(future)
+                        self._dispose(
+                            i,
+                            units[i],
+                            TimeoutError(
+                                f"cell exceeded cell_timeout "
+                                f"({policy.cell_timeout}s)"
+                            ),
+                            True, attempts, not_before,
+                            queue, failures, errors, progress, started,
+                        )
+        finally:
+            # Waiting on abandoned (timed-out, uninterruptible) workers
+            # would defeat the timeout; leak them instead of blocking.
+            zombies -= {z for z in zombies if z.done()}
+            pool.shutdown(wait=(not zombies), cancel_futures=True)
 
     # -- bookkeeping ---------------------------------------------------------
+
+    def _dispose(
+        self, i, unit, exc, timed_out, attempts, not_before,
+        queue, failures, errors, progress, started,
+    ) -> None:
+        """Route one failed parallel attempt: back off + requeue, or record."""
+        attempt = attempts.get(i, 0) + 1
+        attempts[i] = attempt
+        if attempt < self.failure_policy.max_attempts:
+            not_before[i] = time.perf_counter() + self.failure_policy.backoff_seconds(
+                unit.fingerprint, attempt
+            )
+            queue.append(i)
+            return
+        self._record_failure(
+            unit, exc, attempt, timed_out, failures, errors, progress, started
+        )
+
+    def _record_failure(
+        self, unit, exc, attempts, timed_out, failures, errors, progress, started
+    ) -> None:
+        """A cell exhausted its attempts: persist and count the failure."""
+        failure = CellFailure(
+            key=unit.fingerprint,
+            family=unit.spec.label(),
+            n=unit.n,
+            algorithm=unit.algorithm,
+            seed=unit.seed,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            attempts=attempts,
+            timed_out=timed_out,
+        )
+        failures.append(failure)
+        errors.append(exc)
+        progress.failed += 1
+        if self.cache is not None:
+            self.cache.put_failure(failure)
+        self._tick(progress, started)
 
     def _complete(self, i, unit, point, seconds, points, progress, started) -> None:
         points[i] = point

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.stats import Summary, summarize
 from repro.core.parameters import ROUNDS_PER_ITERATION
@@ -45,6 +45,10 @@ class SweepResult:
     """All points of a sweep plus aggregation helpers."""
 
     points: List[SweepPoint] = field(default_factory=list)
+    #: Cells that exhausted their attempts (``CellFailure`` records) under a
+    #: non-fail-fast :class:`~repro.analysis.runner.FailurePolicy`; empty on
+    #: a clean sweep.
+    failures: List[Any] = field(default_factory=list)
 
     def filter(self, **conditions) -> List[SweepPoint]:
         out = []
@@ -84,6 +88,7 @@ def run_sweep(
     cache: Union[str, Path, None] = None,
     progress: Optional[Callable] = None,
     obs=None,
+    failure_policy=None,
 ) -> SweepResult:
     """Run every algorithm on every (spec, n, seed) grid point.
 
@@ -111,5 +116,6 @@ def run_sweep(
         cache=cache,
         progress=progress,
         obs=obs,
+        failure_policy=failure_policy,
     )
     return runner.run(specs, sizes, seeds)

@@ -101,6 +101,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--finishing", choices=("metivier", "linial"), default="metivier"
     )
     run.add_argument("--report", action="store_true", help="print the stage report")
+    fault = run.add_argument_group(
+        "fault injection",
+        "any of these switches the run onto the CONGEST fault path "
+        "(docs/fault_model.md): the node program executes through the "
+        "synchronous simulator under the given crash schedule and message "
+        "adversary, and the output is validated (and repaired) as an MIS "
+        "of the surviving subgraph",
+    )
+    fault.add_argument(
+        "--crash",
+        action="append",
+        default=None,
+        metavar="ROUND:NODE[,NODE...]",
+        help="crash the listed nodes at the start of ROUND (repeatable)",
+    )
+    fault.add_argument(
+        "--recover",
+        action="append",
+        default=None,
+        metavar="ROUND:NODE[,NODE...]",
+        help="recover the listed crashed nodes (wiped state) at ROUND "
+        "(repeatable)",
+    )
+    fault.add_argument(
+        "--drop-rate", type=float, default=0.0, metavar="P",
+        help="drop each delivered message with probability P",
+    )
+    fault.add_argument(
+        "--dup-rate", type=float, default=0.0, metavar="P",
+        help="duplicate each delivered message with probability P",
+    )
+    fault.add_argument(
+        "--delay-rate", type=float, default=0.0, metavar="P",
+        help="defer each delivered message 1-2 rounds with probability P",
+    )
+    fault.add_argument(
+        "--corrupt-rate", type=float, default=0.0, metavar="P",
+        help="bit-flip each delivered payload with probability P",
+    )
+    fault.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="skip the self-healing repair pass (measure raw degradation)",
+    )
     add_obs_args(run)
 
     sweep = sub.add_parser("sweep", help="compare algorithms over an n-grid")
@@ -122,6 +166,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print live progress telemetry to stderr (stdout stays "
         "machine-readable)",
+    )
+    sweep.add_argument(
+        "--on-error",
+        choices=("fail-fast", "continue", "retry"),
+        default=None,
+        help="what to do when a cell errors out: re-raise after draining "
+        "(fail-fast, the default), record + move on (continue), or record "
+        "+ re-attempt on resume (retry); default: $REPRO_SWEEP_ON_ERROR",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts per failing cell, with deterministic "
+        "exponential backoff; default: $REPRO_SWEEP_RETRIES",
+    )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; overrunning cells are abandoned "
+        "(parallel) or discarded (serial) and recorded as failures; "
+        "default: $REPRO_SWEEP_CELL_TIMEOUT",
     )
     add_obs_args(sweep)
 
@@ -196,8 +265,92 @@ def _obs_session(args, kind: str, params):
     return session_from_env(kind, seed=seed, params=params)
 
 
+def _fault_config(args):
+    """CrashSchedule + composed adversary from the CLI fault knobs.
+
+    Returns ``(None, None)`` when every knob is at its fault-free default,
+    which keeps ``repro run`` on the fast registry-engine path.
+    """
+    from repro.congest.faults import (
+        CorruptAdversary,
+        CrashSchedule,
+        DelayAdversary,
+        DropAdversary,
+        DuplicateAdversary,
+        compose,
+    )
+
+    schedule = None
+    if args.crash or args.recover:
+        schedule = CrashSchedule.parse(args.crash or (), args.recover or ())
+    adversaries = []
+    if args.drop_rate:
+        adversaries.append(DropAdversary(args.drop_rate))
+    if args.dup_rate:
+        adversaries.append(DuplicateAdversary(args.dup_rate))
+    if args.delay_rate:
+        adversaries.append(DelayAdversary(args.delay_rate))
+    if args.corrupt_rate:
+        adversaries.append(CorruptAdversary(args.corrupt_rate))
+    adversary = compose(*adversaries) if adversaries else None
+    return schedule, adversary
+
+
+def _cmd_run_faulted(args, schedule, adversary) -> int:
+    from repro.mis.faulted import run_under_faults
+
+    graph = _build_graph(args)
+    print(
+        f"workload: {args.family} n={graph.number_of_nodes()} "
+        f"m={graph.number_of_edges()} seed={args.seed}"
+    )
+    params = {"family": args.family, "n": args.n, "algorithm": args.algorithm}
+    if adversary is not None:
+        params["adversary"] = adversary.name
+    if schedule is not None:
+        # The sorted-items view makes the schedule reconstructible from the
+        # manifest alone (and canonical, so same-seed manifests diff clean).
+        params["crashes"] = [
+            [r, list(nodes)] for r, nodes in schedule.as_sorted_items()
+        ]
+        recoveries = schedule.recoveries_as_sorted_items()
+        if recoveries:
+            params["recoveries"] = [[r, list(nodes)] for r, nodes in recoveries]
+    session = _obs_session(args, "run", params=params)
+    observer = None
+    if session is not None:
+        from repro.obs.session import SimulatorObserver
+
+        observer = SimulatorObserver(session)
+    result = run_under_faults(
+        graph,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        adversary=adversary,
+        crash_schedule=schedule,
+        alpha=args.alpha,
+        repair_output=not args.no_repair,
+        observer=observer,
+    )
+    if session is not None:
+        session.finish()
+        sys.stderr.write(f"[obs] wrote {session.directory}\n")
+    print(result.summary())
+    if result.repair is not None:
+        print(
+            f"repair: evicted={len(result.repair.evicted)} "
+            f"added={len(result.repair.added)} "
+            f"rounds={result.repair.repair_rounds}"
+        )
+    return 0 if result.ok else 1
+
+
 def _cmd_run(args) -> int:
     from repro.mis.validation import assert_valid_mis
+
+    schedule, adversary = _fault_config(args)
+    if schedule is not None or adversary is not None:
+        return _cmd_run_faulted(args, schedule, adversary)
 
     graph = _build_graph(args)
     print(
@@ -259,6 +412,26 @@ def _sweep_spec(args):
     return GraphSpec(args.family)
 
 
+def _failure_policy(args):
+    """Explicit ``--on-error/--retries/--cell-timeout`` → FailurePolicy.
+
+    Returns None when none is given, letting the runner read the
+    ``REPRO_SWEEP_*`` environment knobs instead.
+    """
+    if args.on_error is None and args.retries is None and args.cell_timeout is None:
+        return None
+    from repro.analysis.runner import FailurePolicy
+
+    base = FailurePolicy.from_env()
+    return FailurePolicy(
+        on_error=args.on_error if args.on_error is not None else base.on_error,
+        retries=args.retries if args.retries is not None else base.retries,
+        cell_timeout=args.cell_timeout
+        if args.cell_timeout is not None
+        else base.cell_timeout,
+    )
+
+
 def _cmd_sweep(args) -> int:
     from repro.analysis.sweep import run_sweep
     from repro.mis.registry import get_algorithm
@@ -301,18 +474,25 @@ def _cmd_sweep(args) -> int:
         cache=args.cache,
         progress=progress,
         obs=session,
+        failure_policy=_failure_policy(args),
     )
     if args.progress:
         sys.stderr.write("\n")
     if session is not None:
         session.finish()
         sys.stderr.write(f"[obs] wrote {session.directory}\n")
+    for failure in result.failures:
+        sys.stderr.write(f"[sweep] FAILED {failure.describe()}\n")
 
     rows = []
     for n in sizes:
         row = {"family": spec.label(), "n": n}
         for name in names:
-            row[name] = str(result.iterations_summary(spec, n, name))
+            # Under --on-error continue a cell can have no surviving points.
+            if result.filter(spec=spec, n=n, algorithm=name):
+                row[name] = str(result.iterations_summary(spec, n, name))
+            else:
+                row[name] = "failed"
         rows.append(row)
     print(render_rows(rows, title=f"iterations over seeds {seeds}"))
     return 0

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.faults import MessageAdversary
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.errors import SimulationError
@@ -62,6 +63,8 @@ class AsyncRunResult:
     pulses: int
     events_processed: int
     halted: bool
+    faults_injected: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
 
 class AsynchronousNetwork:
@@ -88,11 +91,13 @@ class AsynchronousNetwork:
         self._last_delivery: Dict[Tuple[int, int], float] = {}
         self.events_processed = 0
 
-    def send(self, sender: int, receiver: int, payload: Any) -> None:
+    def send(
+        self, sender: int, receiver: int, payload: Any, extra_delay: float = 0.0
+    ) -> None:
         delay = self._delay_fn(sender, receiver, self._rng)
         if delay <= 0:
             raise SimulationError("link delays must be positive")
-        deliver_at = self._clock + delay
+        deliver_at = self._clock + delay + max(0.0, extra_delay)
         link = (sender, receiver)
         deliver_at = max(deliver_at, self._last_delivery.get(link, 0.0) + 1e-9)
         self._last_delivery[link] = deliver_at
@@ -130,11 +135,22 @@ class AlphaSynchronizer:
         network: Network,
         seed: int = 0,
         delay_fn=None,
+        adversary: Optional[MessageAdversary] = None,
         observer: Optional[RunObserver] = None,
     ):
         self.network = network
         self.async_net = AsynchronousNetwork(network, seed=seed, delay_fn=delay_fn)
         self.seed = seed
+        # Message adversary, applied to payload ("msg") traffic only — the
+        # synchronizer's own ack/safe/done control plane is assumed
+        # reliable, mirroring how synchronizers are deployed over a
+        # reliable transport.  Drops/duplicates/corruptions happen at
+        # delivery time *after* the ack (so the safety accounting stays
+        # balanced and the synchronizer cannot deadlock); delay adversaries
+        # manifest as extra link latency, which the α-synchronizer provably
+        # absorbs — pulse-space deferral would be a synchronizer violation,
+        # not a fault.
+        self.adversary = adversary
         # Lifecycle/profiling hook (repro.obs); this module never reads a
         # clock itself — the observer stamps wall time (lint rule R3).
         self.observer = observer
@@ -160,12 +176,27 @@ class AlphaSynchronizer:
         }
         done_neighbors: Dict[int, Set[int]] = {v: set() for v in net.nodes}
         max_pulse_seen = 0
+        faults_injected = 0
+        fault_counts: Dict[str, int] = {}
+        # Per (sender, receiver, delivery pulse) message index, so fault
+        # coins match the synchronous engine's per-round per-edge indexing.
+        delivery_index: Dict[Tuple[int, int, int], int] = {}
 
         def ship_outbox(v: int) -> None:
             for message in contexts[v]._drain_outbox():
                 unacked[v] += 1
+                extra = 0.0
+                if self.adversary is not None:
+                    # Keyed off the delivery pulse (= stamp + 1), matching
+                    # the delivery-round coin of the synchronous engine.
+                    extra = self.adversary.extra_latency(
+                        self.seed, v, message.receiver, pulse[v] + 1
+                    )
                 self.async_net.send(
-                    v, message.receiver, ("msg", pulse[v], message.payload)
+                    v,
+                    message.receiver,
+                    ("msg", pulse[v], message.payload),
+                    extra_delay=extra,
                 )
 
         def announce_done(v: int) -> None:
@@ -237,9 +268,28 @@ class AlphaSynchronizer:
                         f"synchronizer violation: stamp-{stamp} message reached "
                         f"node {v} already at pulse {pulse[v]}"
                     )
-                buffers[v].setdefault(delivery_pulse, []).append(
-                    Message(event.sender, v, payload)
-                )
+                arriving = [Message(event.sender, v, payload)]
+                if self.adversary is not None:
+                    # Perturb after acking: the ack balance (and thus the
+                    # synchronizer's progress) never depends on the
+                    # adversary.  Delays already happened as link latency,
+                    # so outcome deferrals are flattened to "now".
+                    slot = (event.sender, v, delivery_pulse)
+                    index = delivery_index.get(slot, 0)
+                    delivery_index[slot] = index + 1
+                    outcomes, faults = self.adversary.perturb(
+                        arriving[0], delivery_pulse, index, self.seed
+                    )
+                    arriving = [m for _, m in outcomes]
+                    for fault in faults:
+                        faults_injected += 1
+                        fault_counts[fault.kind] = (
+                            fault_counts.get(fault.kind, 0) + 1
+                        )
+                        if self.observer is not None:
+                            self.observer.on_fault(fault)
+                for message in arriving:
+                    buffers[v].setdefault(delivery_pulse, []).append(message)
             elif kind == "ack":
                 unacked[v] -= 1
                 if unacked[v] < 0:
@@ -267,10 +317,13 @@ class AlphaSynchronizer:
                 pulses=max_pulse_seen + 1,
                 events_processed=self.async_net.events_processed,
                 halted=all_halted,
+                faults=faults_injected,
             )
         return AsyncRunResult(
             outputs=outputs,
             pulses=max_pulse_seen + 1,
             events_processed=self.async_net.events_processed,
             halted=all_halted,
+            faults_injected=faults_injected,
+            fault_counts=fault_counts,
         )

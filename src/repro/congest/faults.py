@@ -1,20 +1,69 @@
-"""Crash-stop fault injection for robustness tests.
+"""Fault injection: crash-stop/crash-recovery schedules and message adversaries.
 
 The paper's algorithms are analyzed in a fault-free synchronous model, but a
-production library should demonstrate *graceful degradation*: an MIS
-algorithm restricted to the surviving subgraph should still output an MIS of
-that subgraph.  A :class:`CrashSchedule` tells the simulator which nodes
-crash at which round; a crashed node stops participating (sends nothing,
-receives nothing) and its pending messages are dropped, exactly the
-crash-stop failure model.
+production library should demonstrate *graceful degradation*.  This module
+provides the two fault axes the simulators understand:
+
+* **Process faults** — :class:`CrashSchedule` tells the simulator which
+  nodes crash at which round (crash-stop: the node stops participating and
+  its in-flight messages are dropped) and, optionally, which crashed nodes
+  *recover* at a later round (crash-recovery: the node rejoins with wiped
+  state, exactly as if its process restarted from ``on_start``).
+* **Message faults** — a :class:`MessageAdversary` perturbs messages at
+  delivery time.  The composable implementations cover the classic
+  adversary menu: :class:`DropAdversary` (per-edge/per-round loss),
+  :class:`DuplicateAdversary` (at-least-once delivery),
+  :class:`DelayAdversary` (bounded reorder), and :class:`CorruptAdversary`
+  (payload bit-flips that stay within the ``bits_of_payload`` typing rules,
+  so corrupted messages remain codable CONGEST messages).
+
+Every adversary decision is a pure function of ``(run seed, sender,
+receiver, delivery round, per-edge index, adversary tag)`` through the
+keyed splitmix64 scheme of :mod:`repro.rng` — no ambient randomness, no
+internal state.  Two runs with the same seed and the same adversary
+configuration therefore inject *identical* fault traces (lint rule R3
+holds for this module like any other), which is what makes fault sweeps
+reproducible and their telemetry diffable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["CrashSchedule"]
+from repro.congest.message import Message
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed, uniform_draw
+
+__all__ = [
+    "CrashSchedule",
+    "FaultEvent",
+    "MessageAdversary",
+    "DropAdversary",
+    "DuplicateAdversary",
+    "DelayAdversary",
+    "CorruptAdversary",
+    "ComposedAdversary",
+    "compose",
+    "FAULT_DROP",
+    "FAULT_DUPLICATE",
+    "FAULT_DELAY",
+    "FAULT_CORRUPT",
+]
+
+#: Canonical fault-kind names (also the ``fault=`` value of obs events).
+FAULT_DROP = "drop"
+FAULT_DUPLICATE = "duplicate"
+FAULT_DELAY = "delay"
+FAULT_CORRUPT = "corrupt"
+
+#: Salt separating adversary draws from every algorithm draw; each concrete
+#: adversary adds its own tag on top so composed adversaries are independent.
+_ADVERSARY_SALT = 0xFA_07
+_TAG_DROP = 1
+_TAG_DUPLICATE = 2
+_TAG_DELAY = 3
+_TAG_CORRUPT = 4
 
 
 @dataclass
@@ -26,9 +75,16 @@ class CrashSchedule:
     dropped at delivery time — the crash and the loss of its in-flight
     messages are atomic, the strictest crash-stop reading (receivers can
     never act on output from an already-dead peer).
+
+    ``recoveries`` upgrades the model to crash-*recovery*: a node listed
+    for round ``t`` rejoins at the start of ``t`` with wiped state — a
+    fresh context, ``on_start`` re-run, in-flight messages addressed to it
+    lost — as if its process restarted.  A recovery round for a node that
+    is alive at that round is a no-op.
     """
 
     crashes: Dict[int, Set[int]] = field(default_factory=dict)
+    recoveries: Dict[int, Set[int]] = field(default_factory=dict)
 
     @classmethod
     def single(cls, round_index: int, nodes: Iterable[int]) -> "CrashSchedule":
@@ -39,8 +95,42 @@ class CrashSchedule:
     def none(cls) -> "CrashSchedule":
         return cls({})
 
+    @classmethod
+    def parse(
+        cls,
+        crash_specs: Sequence[str],
+        recovery_specs: Sequence[str] = (),
+    ) -> "CrashSchedule":
+        """Build a schedule from ``ROUND:NODE[,NODE...]`` CLI specs.
+
+        >>> CrashSchedule.parse(["3:1,2", "5:7"]).as_sorted_items()
+        ((3, (1, 2)), (5, (7,)))
+        """
+        schedule = cls()
+        for kind, specs in (("crash", crash_specs), ("recover", recovery_specs)):
+            for spec in specs:
+                head, sep, tail = spec.partition(":")
+                try:
+                    round_index = int(head)
+                    nodes = [int(part) for part in tail.split(",") if part]
+                    if not sep or not nodes:
+                        raise ValueError(spec)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad {kind} spec {spec!r}; expected ROUND:NODE[,NODE...]"
+                    ) from None
+                for node in nodes:
+                    if kind == "crash":
+                        schedule.add(round_index, node)
+                    else:
+                        schedule.add_recovery(round_index, node)
+        return schedule
+
     def crashing_at(self, round_index: int) -> Set[int]:
         return self.crashes.get(round_index, set())
+
+    def recovering_at(self, round_index: int) -> Set[int]:
+        return self.recoveries.get(round_index, set())
 
     def all_crashed_by(self, round_index: int) -> Set[int]:
         """Every node crashed at or before ``round_index``."""
@@ -53,12 +143,301 @@ class CrashSchedule:
     def add(self, round_index: int, node: int) -> None:
         self.crashes.setdefault(round_index, set()).add(node)
 
+    def add_recovery(self, round_index: int, node: int) -> None:
+        self.recoveries.setdefault(round_index, set()).add(node)
+
     @property
     def is_empty(self) -> bool:
-        return not any(self.crashes.values())
+        return not any(self.crashes.values()) and not any(self.recoveries.values())
 
     def as_sorted_items(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
         """Deterministic view for logging: ((round, (nodes...)), ...)."""
         return tuple(
             (r, tuple(sorted(nodes))) for r, nodes in sorted(self.crashes.items())
         )
+
+    def recoveries_as_sorted_items(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        """Deterministic view of the recovery half of the schedule."""
+        return tuple(
+            (r, tuple(sorted(nodes))) for r, nodes in sorted(self.recoveries.items())
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected message fault, for metrics/tracing/telemetry.
+
+    ``detail`` carries the kind-specific magnitude: extra delivery rounds
+    for a delay, extra copies for a duplication, and is ``None`` for drops
+    and corruptions.
+    """
+
+    kind: str
+    round_index: int
+    sender: int
+    receiver: int
+    detail: Optional[int] = None
+
+
+#: One delivery outcome: (extra delivery rounds, the message to deliver).
+Delivery = Tuple[int, Message]
+
+
+def _coin(
+    seed: int, tag: int, message: Message, round_index: int, index: int, draw: int = 0
+) -> float:
+    """Uniform [0, 1) keyed by everything that identifies one delivery.
+
+    ``index`` counts messages on the same directed edge within the same
+    delivery round (0 for plain CONGEST traffic, where each edge carries
+    one message per direction per round); ``draw`` separates independent
+    coins for the same delivery (e.g. the delay coin vs. the delay length).
+    """
+    key = derive_seed(
+        _ADVERSARY_SALT, seed, message.sender, message.receiver, index, draw
+    )
+    return uniform_draw(key, message.sender, round_index, tag=tag)
+
+
+class MessageAdversary:
+    """Decides the fate of every message at delivery time.
+
+    Subclasses override :meth:`perturb` (synchronous delivery) and/or
+    :meth:`extra_latency` (asynchronous link latency).  Adversaries hold
+    configuration only — all randomness flows through the keyed streams of
+    :mod:`repro.rng` via the ``seed`` argument, so instances are stateless,
+    reusable across runs, and picklable for the sweep pool.
+    """
+
+    name = "null"
+
+    def perturb(
+        self, message: Message, round_index: int, index: int, seed: int
+    ) -> Tuple[List[Delivery], List[FaultEvent]]:
+        """Map one scheduled delivery to its (possibly empty) outcomes.
+
+        Returns ``(deliveries, faults)``: each delivery is ``(extra_rounds,
+        message)`` where ``extra_rounds == 0`` means deliver this round.
+        The default adversary is the identity.
+        """
+        return [(0, message)], []
+
+    def extra_latency(
+        self, seed: int, sender: int, receiver: int, round_index: int
+    ) -> float:
+        """Additional link latency in the asynchronous engine (default 0).
+
+        The α-synchronizer provably absorbs arbitrary finite delays, so
+        delay adversaries act on the asynchronous path through latency
+        rather than pulse-space deferral (which would be a synchronizer
+        violation, not a fault).
+        """
+        return 0.0
+
+
+@dataclass(frozen=True)
+class DropAdversary(MessageAdversary):
+    """Drops each delivery independently with probability ``rate``."""
+
+    rate: float
+    name: str = FAULT_DROP
+
+    def perturb(self, message, round_index, index, seed):
+        if _coin(seed, _TAG_DROP, message, round_index, index) < self.rate:
+            fault = FaultEvent(FAULT_DROP, round_index, message.sender, message.receiver)
+            return [], [fault]
+        return [(0, message)], []
+
+
+@dataclass(frozen=True)
+class DuplicateAdversary(MessageAdversary):
+    """Delivers ``1 + copies`` identical messages with probability ``rate``.
+
+    Models at-least-once transports; a CONGEST node program that is not
+    idempotent under re-delivery will misbehave, which is exactly what the
+    fault benchmarks probe.
+    """
+
+    rate: float
+    copies: int = 1
+    name: str = FAULT_DUPLICATE
+
+    def perturb(self, message, round_index, index, seed):
+        if _coin(seed, _TAG_DUPLICATE, message, round_index, index) < self.rate:
+            fault = FaultEvent(
+                FAULT_DUPLICATE,
+                round_index,
+                message.sender,
+                message.receiver,
+                detail=self.copies,
+            )
+            return [(0, message)] * (1 + self.copies), [fault]
+        return [(0, message)], []
+
+
+@dataclass(frozen=True)
+class DelayAdversary(MessageAdversary):
+    """Defers a delivery by 1..``max_delay`` rounds with probability ``rate``.
+
+    In the synchronous engine this is bounded reorder: a message sent in
+    round ``t`` arrives in round ``t + 1 + d`` instead of ``t + 1``.  In
+    the asynchronous engine the same keyed draw inflates the link latency
+    (scaled by ``latency_scale``), so the α-synchronizer demonstrably
+    re-synchronizes the run — outputs stay identical to the fault-free
+    synchronous execution, which ``tests/congest/test_faults.py`` pins.
+    """
+
+    rate: float
+    max_delay: int = 2
+    latency_scale: float = 1.0
+    name: str = FAULT_DELAY
+
+    def _delay_rounds(self, message, round_index, index, seed) -> int:
+        if _coin(seed, _TAG_DELAY, message, round_index, index) >= self.rate:
+            return 0
+        if self.max_delay <= 1:
+            return 1
+        span = _coin(seed, _TAG_DELAY, message, round_index, index, draw=1)
+        return 1 + int(span * self.max_delay) % self.max_delay
+
+    def perturb(self, message, round_index, index, seed):
+        delay = self._delay_rounds(message, round_index, index, seed)
+        if delay == 0:
+            return [(0, message)], []
+        fault = FaultEvent(
+            FAULT_DELAY, round_index, message.sender, message.receiver, detail=delay
+        )
+        return [(delay, message)], [fault]
+
+    def extra_latency(self, seed, sender, receiver, round_index):
+        probe = Message(sender, receiver, None)
+        return self.latency_scale * self._delay_rounds(probe, round_index, 0, seed)
+
+
+def _corrupt_value(payload: Any, key: int) -> Any:
+    """Deterministically flip bits of ``payload`` without leaving the
+    ``bits_of_payload`` type system (bools stay bools, ints keep — or
+    shrink — their width, containers keep their shape)."""
+    if payload is None:
+        return None
+    if isinstance(payload, bool):
+        return not payload
+    if isinstance(payload, int):
+        width = max(1, payload.bit_length())
+        return payload ^ (1 << (key % width))
+    if isinstance(payload, float):
+        return 1.0 if payload == 0.0 else -payload
+    if isinstance(payload, str):
+        if not payload:
+            return "\x01"
+        position = key % len(payload)
+        original = payload[position]
+        flipped = chr(33 + (ord(original) + 1 + key % 7) % 94)
+        if flipped == original:
+            flipped = chr(33 + (ord(original) + 2) % 94)
+        return payload[:position] + flipped + payload[position + 1 :]
+    if isinstance(payload, (tuple, list)):
+        if not payload:
+            return payload
+        position = key % len(payload)
+        items = list(payload)
+        items[position] = _corrupt_value(items[position], derive_seed(key, position))
+        return type(payload)(items)
+    if isinstance(payload, (set, frozenset)):
+        if not payload:
+            return payload
+        ordered = sorted(payload, key=repr)
+        position = key % len(ordered)
+        ordered[position] = _corrupt_value(
+            ordered[position], derive_seed(key, position)
+        )
+        return type(payload)(ordered)
+    if isinstance(payload, dict):
+        if not payload:
+            return payload
+        ordered_keys = sorted(payload, key=repr)
+        target = ordered_keys[key % len(ordered_keys)]
+        corrupted = dict(payload)
+        corrupted[target] = _corrupt_value(
+            payload[target], derive_seed(key, hash(repr(target)))
+        )
+        return corrupted
+    return payload  # uncodable types never reach the wire (R4/runtime meter)
+
+
+@dataclass(frozen=True)
+class CorruptAdversary(MessageAdversary):
+    """Flips payload bits with probability ``rate``, staying codable.
+
+    Corruption respects the R4 bandwidth typing rules: the perturbed
+    payload has the same shape and type skeleton, and its
+    ``bits_of_payload`` size never grows by more than one bit per flipped
+    integer, so a corrupted message is still a legal CONGEST message —
+    receivers must survive *wrong* data, not *malformed* data.
+    """
+
+    rate: float
+    name: str = FAULT_CORRUPT
+
+    def perturb(self, message, round_index, index, seed):
+        if _coin(seed, _TAG_CORRUPT, message, round_index, index) >= self.rate:
+            return [(0, message)], []
+        key = derive_seed(
+            _ADVERSARY_SALT,
+            seed,
+            message.sender,
+            message.receiver,
+            round_index,
+            index,
+            _TAG_CORRUPT,
+        )
+        corrupted = _corrupt_value(message.payload, key)
+        if corrupted == message.payload:
+            return [(0, message)], []  # nothing corruptible (e.g. empty tuple)
+        fault = FaultEvent(
+            FAULT_CORRUPT, round_index, message.sender, message.receiver
+        )
+        return [(0, Message(message.sender, message.receiver, corrupted))], [fault]
+
+
+@dataclass(frozen=True)
+class ComposedAdversary(MessageAdversary):
+    """Applies a pipeline of adversaries left to right.
+
+    Each stage perturbs every delivery the previous stage produced;
+    extra delays accumulate additively.  Duplicated copies share the
+    downstream coin of their original (they ride the same per-edge index),
+    which keeps the composition deterministic and order-stable.
+    """
+
+    adversaries: Tuple[MessageAdversary, ...]
+    name: str = "composed"
+
+    def perturb(self, message, round_index, index, seed):
+        deliveries: List[Delivery] = [(0, message)]
+        faults: List[FaultEvent] = []
+        for adversary in self.adversaries:
+            next_deliveries: List[Delivery] = []
+            for delay, msg in deliveries:
+                outcomes, injected = adversary.perturb(msg, round_index, index, seed)
+                faults.extend(injected)
+                next_deliveries.extend(
+                    (delay + extra, out) for extra, out in outcomes
+                )
+            deliveries = next_deliveries
+        return deliveries, faults
+
+    def extra_latency(self, seed, sender, receiver, round_index):
+        return sum(
+            adversary.extra_latency(seed, sender, receiver, round_index)
+            for adversary in self.adversaries
+        )
+
+
+def compose(*adversaries: MessageAdversary) -> MessageAdversary:
+    """Compose adversaries into one (identity for zero/one argument)."""
+    if not adversaries:
+        return MessageAdversary()
+    if len(adversaries) == 1:
+        return adversaries[0]
+    return ComposedAdversary(tuple(adversaries))

@@ -23,6 +23,7 @@ class RoundMetrics:
     max_message_bits: int = 0
     active_nodes: int = 0
     halted_this_round: int = 0
+    faults_injected: int = 0
 
     def record_message(self, bits: int) -> None:
         self.messages_sent += 1
@@ -46,6 +47,13 @@ class RunMetrics:
     #: filled by the observability layer (repro.obs) — this module never
     #: reads a clock itself, so runs stay deterministic (lint rule R3).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Adversary activity: total injected message faults and per-kind
+    #: breakdown (drop/duplicate/delay/corrupt).  Kept separate from the
+    #: wire counters above — ``total_messages``/``total_bits`` meter what
+    #: the *algorithm* sent, so E9-style compliance numbers stay comparable
+    #: between faulty and fault-free runs.
+    faults_injected: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     def absorb(self, rm: RoundMetrics) -> None:
         """Fold one round's metrics into the aggregate."""
@@ -77,6 +85,11 @@ class RunMetrics:
             return None
         return self.max_message_bits <= self.congest_budget_bits
 
+    def record_fault(self, kind: str) -> None:
+        """Count one injected message fault of ``kind``."""
+        self.faults_injected += 1
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
     def note_phase(self, name: str, seconds: float) -> None:
         """Accumulate wall time for a named phase (repeats add up)."""
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
@@ -97,6 +110,11 @@ class RunMetrics:
                 f"budget={self.congest_budget_bits} "
                 f"({'OK' if self.congest_compliant else 'EXCEEDED'})"
             )
+        if self.faults_injected:
+            breakdown = " ".join(
+                f"{kind}={count}" for kind, count in sorted(self.fault_counts.items())
+            )
+            parts.append(f"faults={self.faults_injected} [{breakdown}]")
         if self.phase_seconds:
             parts.append(
                 "phases["

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
-from repro.congest.faults import CrashSchedule
+from repro.congest.faults import CrashSchedule, MessageAdversary
 from repro.congest.message import Message, congest_budget_bits
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
@@ -39,6 +39,8 @@ class RunResult:
     halted: bool
     contexts: Dict[int, NodeContext] = field(repr=False, default_factory=dict)
     crashed: frozenset = frozenset()
+    #: Nodes that crashed and later rejoined (state wiped) at least once.
+    recovered: frozenset = frozenset()
 
     @property
     def rounds(self) -> int:
@@ -65,7 +67,18 @@ class SynchronousSimulator:
         Optional :class:`TraceRecorder`; when provided, round boundaries,
         sends and halts are recorded.
     crash_schedule:
-        Optional crash-stop fault injection.
+        Optional crash-stop / crash-recovery fault injection.  Recovering
+        nodes rejoin at the scheduled round with wiped state (fresh context,
+        ``on_start`` re-run); messages addressed to them while down are lost.
+    adversary:
+        Optional :class:`~repro.congest.faults.MessageAdversary` applied to
+        every message at delivery time.  Dropped/duplicated/corrupted
+        messages mutate the inbox; delayed messages are parked in a
+        deferred-delivery buffer and arrive ``detail`` rounds late.  Every
+        injected fault is counted in :class:`RunMetrics` and surfaced
+        through the trace/observer.  Adversary-injected copies are *not*
+        metered into ``messages_sent`` — wire metrics describe what the
+        algorithm transmitted.
     observer:
         Optional :class:`~repro.obs.hooks.RunObserver` receiving lifecycle
         hooks (run start/end, per-round metrics, halts, crashes).  The
@@ -81,6 +94,7 @@ class SynchronousSimulator:
         budget_constant: int = 32,
         trace: Optional[TraceRecorder] = None,
         crash_schedule: Optional[CrashSchedule] = None,
+        adversary: Optional[MessageAdversary] = None,
         observer: Optional[RunObserver] = None,
     ):
         self.network = network
@@ -89,6 +103,7 @@ class SynchronousSimulator:
         self.budget = congest_budget_bits(max(2, network.node_count), budget_constant)
         self.trace = trace
         self.crash_schedule = crash_schedule or CrashSchedule.none()
+        self.adversary = adversary
         self.observer = observer
 
     def run(self, algorithm: NodeAlgorithm, max_rounds: int = 100_000) -> RunResult:
@@ -99,6 +114,9 @@ class SynchronousSimulator:
             for v in net.nodes
         }
         crashed: set = set()
+        recovered: set = set()
+        # delivery round -> receiver -> messages the adversary held back.
+        deferred: Dict[int, Dict[int, List[Message]]] = {}
 
         if self.observer is not None:
             self.observer.on_run_start(
@@ -125,7 +143,12 @@ class SynchronousSimulator:
 
         all_halted = self._all_halted(contexts, crashed)
         round_index = 0
-        while not all_halted and round_index < max_rounds:
+        # A crashed node with a scheduled recovery keeps the run alive even
+        # if every live node has halted — the system idles (empty rounds)
+        # until the node rejoins, then runs it to quiescence.
+        while (
+            not all_halted or self._recovery_pending(round_index, crashed)
+        ) and round_index < max_rounds:
             newly_crashed = self.crash_schedule.crashing_at(round_index)
             for v in newly_crashed:
                 if v in contexts and v not in crashed:
@@ -135,9 +158,30 @@ class SynchronousSimulator:
                     if self.observer is not None:
                         self.observer.on_crash(round_index, v)
 
+            # Crash-recovery: the node rejoins with wiped state, exactly as
+            # if its process restarted — fresh context, on_start re-run (its
+            # start sends travel this round and land next round, like any
+            # round-``t`` send).  In-flight messages addressed to it while it
+            # was down are lost, which the delivery loop below enforces.
+            newly_recovered: set = set()
+            for v in sorted(self.crash_schedule.recovering_at(round_index)):
+                if v in contexts and v in crashed:
+                    crashed.discard(v)
+                    newly_recovered.add(v)
+                    recovered.add(v)
+                    ctx = NodeContext(v, net.neighbors(v), net.node_count, self.seed)
+                    ctx.round_index = round_index
+                    contexts[v] = ctx
+                    algorithm.on_start(ctx)
+                    if self.trace is not None:
+                        self.trace.record(round_index, "recover", node=v)
+                    if self.observer is not None:
+                        self.observer.on_recover(round_index, v)
+
             rm = RoundMetrics(round_index=round_index)
             inboxes = pending
             pending = {v: [] for v in net.nodes}
+            arrivals = deferred.pop(round_index, None)
 
             for v in net.nodes:
                 ctx = contexts[v]
@@ -145,7 +189,19 @@ class SynchronousSimulator:
                     continue
                 ctx.round_index = round_index
                 rm.active_nodes += 1
-                inbox = [m for m in inboxes[v] if m.sender not in crashed]
+                if v in newly_recovered:
+                    inbox: List[Message] = []  # lost while the node was down
+                else:
+                    inbox = self._deliver_inbox(
+                        v,
+                        inboxes[v],
+                        arrivals.get(v) if arrivals else None,
+                        crashed,
+                        deferred,
+                        round_index,
+                        metrics,
+                        rm,
+                    )
                 algorithm.on_round(ctx, inbox)
                 if ctx.halted:
                     rm.halted_this_round += 1
@@ -179,9 +235,68 @@ class SynchronousSimulator:
             halted=all_halted,
             contexts=contexts,
             crashed=frozenset(crashed),
+            recovered=frozenset(recovered),
         )
 
     # -- internals ----------------------------------------------------------
+
+    def _deliver_inbox(
+        self,
+        receiver: int,
+        raw: List[Message],
+        arrivals: Optional[List[Message]],
+        crashed: set,
+        deferred: Dict[int, Dict[int, List[Message]]],
+        round_index: int,
+        metrics: RunMetrics,
+        rm: RoundMetrics,
+    ) -> List[Message]:
+        """Build one node's inbox, applying the adversary at delivery time.
+
+        Messages the adversary previously delayed (``arrivals``) land first
+        — they were sent earlier — and are not perturbed again: each send
+        faces the adversary exactly once.  Per-edge delivery indices reset
+        every round, mirroring the one-message-per-edge-per-round CONGEST
+        discipline, so fault coins are a pure function of
+        ``(seed, sender, receiver, round, index)``.
+        """
+        inbox: List[Message] = []
+        if arrivals:
+            inbox.extend(m for m in arrivals if m.sender not in crashed)
+        if self.adversary is None:
+            inbox.extend(m for m in raw if m.sender not in crashed)
+            return inbox
+        counters: Dict[int, int] = {}
+        for message in raw:
+            if message.sender in crashed:
+                continue
+            index = counters.get(message.sender, 0)
+            counters[message.sender] = index + 1
+            outcomes, faults = self.adversary.perturb(
+                message, round_index, index, self.seed
+            )
+            for fault in faults:
+                metrics.record_fault(fault.kind)
+                rm.faults_injected += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        round_index,
+                        "fault",
+                        kind=fault.kind,
+                        node=fault.receiver,
+                        sender=fault.sender,
+                        detail=fault.detail,
+                    )
+                if self.observer is not None:
+                    self.observer.on_fault(fault)
+            for extra, msg in outcomes:
+                if extra <= 0:
+                    inbox.append(msg)
+                else:
+                    deferred.setdefault(round_index + extra, {}).setdefault(
+                        receiver, []
+                    ).append(msg)
+        return inbox
 
     def _collect_outboxes(
         self,
@@ -211,6 +326,15 @@ class SynchronousSimulator:
                         to=message.receiver,
                         bits=message.bits,
                     )
+
+    def _recovery_pending(self, round_index: int, crashed: set) -> bool:
+        """True while a currently-crashed node has a recovery still ahead."""
+        if not crashed:
+            return False
+        return any(
+            r >= round_index and nodes & crashed
+            for r, nodes in self.crash_schedule.recoveries.items()
+        )
 
     @staticmethod
     def _all_halted(contexts: Dict[int, NodeContext], crashed: set) -> bool:

@@ -1,0 +1,149 @@
+"""Run MIS node programs under adversarial faults, then validate + repair.
+
+This is the one-call orchestration the CLI (``repro run --crash/--drop-rate
+...``), the chaos-smoke CI job, and the E18 benchmark share:
+
+1. instantiate the named CONGEST node program
+   (:func:`repro.mis.registry.get_node_program`);
+2. execute it through :class:`~repro.congest.simulator.
+   SynchronousSimulator` with the given crash schedule and message
+   adversary;
+3. check the graceful-degradation contract
+   (:func:`repro.core.repair.validate_under_faults`);
+4. if violated, run the bounded :func:`repro.core.repair.repair` pass and
+   report its cost in CONGEST rounds.
+
+The module sits in the determinism scope (lint rule R3): no clocks, no
+ambient randomness — a :class:`FaultedRunResult` is a pure function of
+``(graph, algorithm, seed, adversary, crash schedule)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import networkx as nx
+
+from repro.congest.faults import CrashSchedule, MessageAdversary
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Network
+from repro.congest.simulator import SynchronousSimulator
+from repro.core.repair import (
+    FaultValidationReport,
+    RepairReport,
+    repair,
+    validate_under_faults,
+)
+from repro.mis.registry import get_node_program
+from repro.obs.hooks import RunObserver
+
+__all__ = ["FaultedRunResult", "run_under_faults"]
+
+
+@dataclass
+class FaultedRunResult:
+    """Outcome of one fault-injected MIS execution.
+
+    ``mis`` is the final (post-repair when repair ran) independent set
+    over the survivors; ``validation`` describes the raw output *before*
+    repair, so callers can measure how much damage the adversary did.
+    """
+
+    algorithm: str
+    mis: frozenset
+    outputs: Dict[int, Any]
+    metrics: RunMetrics
+    halted: bool
+    crashed: frozenset
+    recovered: frozenset
+    validation: FaultValidationReport
+    repair: Optional[RepairReport]
+
+    @property
+    def rounds(self) -> int:
+        """Rounds the algorithm itself ran."""
+        return self.metrics.rounds
+
+    @property
+    def repair_rounds(self) -> int:
+        return self.repair.repair_rounds if self.repair is not None else 0
+
+    @property
+    def total_rounds(self) -> int:
+        """Rounds to an MIS of the surviving subgraph (run + repair)."""
+        return self.rounds + self.repair_rounds
+
+    @property
+    def faults_injected(self) -> int:
+        return self.metrics.faults_injected
+
+    @property
+    def ok(self) -> bool:
+        """Final contract status: MIS of the surviving subgraph."""
+        report = self.repair.after if self.repair is not None else self.validation
+        return report.ok
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.algorithm}: rounds={self.rounds}",
+            f"repair_rounds={self.repair_rounds}",
+            f"faults={self.faults_injected}",
+            f"crashed={len(self.crashed)}",
+            f"mis={len(self.mis)}",
+            "OK" if self.ok else "VIOLATED",
+        ]
+        return " ".join(parts)
+
+
+def run_under_faults(
+    graph: nx.Graph,
+    algorithm: str = "metivier",
+    seed: int = 0,
+    adversary: Optional[MessageAdversary] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+    alpha: int = 2,
+    max_rounds: Optional[int] = None,
+    repair_output: bool = True,
+    enforce_congest: bool = False,
+    observer: Optional[RunObserver] = None,
+) -> FaultedRunResult:
+    """Execute ``algorithm`` under faults and return the repaired result.
+
+    ``repair_output=False`` skips the repair pass (the raw, possibly
+    violated output is still validated and reported) — useful when
+    measuring degradation rather than recovery.
+    """
+    program, schedule_rounds = get_node_program(algorithm, graph, alpha=alpha)
+    simulator = SynchronousSimulator(
+        Network(graph),
+        seed=seed,
+        enforce_congest=enforce_congest,
+        crash_schedule=crash_schedule,
+        adversary=adversary,
+        observer=observer,
+    )
+    if max_rounds is None:
+        max_rounds = schedule_rounds if schedule_rounds is not None else 100_000
+    run = simulator.run(program, max_rounds=max_rounds)
+
+    validation = validate_under_faults(graph, run.outputs, run.crashed)
+    repair_report: Optional[RepairReport] = None
+    final = set(validation.members)
+    if repair_output and not validation.ok:
+        repair_report = repair(
+            graph, run.outputs, run.crashed, seed=seed, report=validation
+        )
+        final = set(repair_report.mis)
+
+    return FaultedRunResult(
+        algorithm=algorithm,
+        mis=frozenset(final),
+        outputs=run.outputs,
+        metrics=run.metrics,
+        halted=run.halted,
+        crashed=run.crashed,
+        recovered=run.recovered,
+        validation=validation,
+        repair=repair_report,
+    )

@@ -14,7 +14,13 @@ import networkx as nx
 from repro.errors import ConfigurationError
 from repro.mis.engine import MISResult
 
-__all__ = ["available_algorithms", "get_algorithm", "register_algorithm"]
+__all__ = [
+    "available_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+    "available_node_programs",
+    "get_node_program",
+]
 
 AlgorithmFn = Callable[..., MISResult]
 
@@ -59,6 +65,49 @@ def available_algorithms() -> List[str]:
     """Sorted names of every registered MIS algorithm."""
     _bootstrap()
     return sorted(_REGISTRY)
+
+
+def available_node_programs() -> List[str]:
+    """Names accepted by :func:`get_node_program`."""
+    return ["metivier", "luby-a", "luby-b", "ghaffari", "arb-mis"]
+
+
+def get_node_program(name: str, graph: nx.Graph, alpha: int = 2):
+    """Instantiate the CONGEST node program registered under ``name``.
+
+    Returns ``(program, max_rounds)`` — ``max_rounds`` is the program's
+    fixed schedule length when it has one (BoundedArb), else None (run to
+    quiescence).  This is the lookup the fault-injection path uses: unlike
+    :func:`get_algorithm`'s fast engines, node programs execute through
+    :class:`~repro.congest.simulator.SynchronousSimulator` and therefore
+    honor crash schedules and message adversaries.
+    """
+    if name == "arb-mis":
+        from repro.core.bounded_arb import BoundedArbNodeProgram
+        from repro.core.parameters import compute_parameters
+        from repro.graphs.properties import max_degree
+
+        params = compute_parameters(alpha, max_degree(graph))
+        program = BoundedArbNodeProgram(params)
+        return program, program.total_rounds + 3
+
+    from repro.mis.ghaffari import GhaffariMIS
+    from repro.mis.luby import LubyAMIS, LubyBMIS
+    from repro.mis.metivier import MetivierMIS
+
+    phased = {
+        "metivier": MetivierMIS,
+        "luby-a": LubyAMIS,
+        "luby-b": LubyBMIS,
+        "ghaffari": GhaffariMIS,
+    }
+    try:
+        return phased[name](), None
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown node program {name!r}; available: "
+            f"{', '.join(available_node_programs())}"
+        ) from None
 
 
 def get_algorithm(name: str) -> AlgorithmFn:

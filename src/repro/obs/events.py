@@ -37,7 +37,10 @@ __all__ = [
     "EVENT_START_ROUND",
     "EVENT_HALT",
     "EVENT_CRASH",
+    "EVENT_RECOVER",
+    "EVENT_FAULT",
     "EVENT_SEND",
+    "EVENT_SWEEP_FAILURE",
     "EVENT_PHASE_START",
     "EVENT_PHASE_END",
     "EVENT_SWEEP_START",
@@ -59,7 +62,10 @@ EVENT_ROUND = "round"
 EVENT_START_ROUND = "start-round"  # the synthetic on_start pre-round
 EVENT_HALT = "halt"
 EVENT_CRASH = "crash"
+EVENT_RECOVER = "recover"  # crash-recovery: node rejoined with wiped state
+EVENT_FAULT = "fault"  # adversary injected a message fault (data: fault=kind)
 EVENT_SEND = "send"  # per-message; only via trace forwarding, always sampleable
+EVENT_SWEEP_FAILURE = "sweep-failure"  # one sweep cell errored/timed out
 EVENT_PHASE_START = "phase-start"
 EVENT_PHASE_END = "phase-end"
 EVENT_SWEEP_START = "sweep-start"

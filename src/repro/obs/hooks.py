@@ -44,10 +44,18 @@ class RunObserver:
     def on_crash(self, round_index: int, node: int) -> None:
         """``node`` crash-stopped at the start of ``round_index``."""
 
+    def on_recover(self, round_index: int, node: int) -> None:
+        """``node`` rejoined (state wiped) at the start of ``round_index``."""
+
+    def on_fault(self, fault: Any) -> None:
+        """The adversary injected one message fault (a
+        :class:`~repro.congest.faults.FaultEvent`-shaped object with
+        ``kind``, ``round_index``, ``sender``, ``receiver``, ``detail``)."""
+
     def on_run_end(self, run_metrics: Any, halted: bool) -> None:
         """The run finished (``halted`` False means max_rounds hit)."""
 
     def on_async_run_end(
-        self, pulses: int, events_processed: int, halted: bool
+        self, pulses: int, events_processed: int, halted: bool, faults: int = 0
     ) -> None:
         """An asynchronous (α-synchronizer) execution finished."""

@@ -33,10 +33,13 @@ from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
 
 from repro.obs.events import (
     EVENT_ASYNC_RUN_END,
+    EVENT_CRASH,
+    EVENT_FAULT,
     EVENT_HALT,
     EVENT_NOTE,
     EVENT_PHASE_END,
     EVENT_PHASE_START,
+    EVENT_RECOVER,
     EVENT_ROUND,
     EVENT_RUN_END,
     EVENT_RUN_START,
@@ -235,7 +238,18 @@ class SimulatorObserver(RunObserver):
         )
 
     def on_crash(self, round_index, node):
-        self.session.emit("crash", round=round_index, node=node)
+        self.session.emit(EVENT_CRASH, round=round_index, node=node)
+
+    def on_recover(self, round_index, node):
+        self.session.emit(EVENT_RECOVER, round=round_index, node=node)
+
+    def on_fault(self, fault):
+        data = {"fault": fault.kind, "sender": fault.sender}
+        if fault.detail is not None:
+            data["detail"] = fault.detail
+        self.session.emit(
+            EVENT_FAULT, round=fault.round_index, node=fault.receiver, **data
+        )
 
     def on_run_end(self, metrics, halted):
         dur = (
@@ -252,9 +266,10 @@ class SimulatorObserver(RunObserver):
             bits=metrics.total_bits,
             max_bits=metrics.max_message_bits,
             halted=halted,
+            faults=getattr(metrics, "faults_injected", 0),
         )
 
-    def on_async_run_end(self, pulses, events_processed, halted):
+    def on_async_run_end(self, pulses, events_processed, halted, faults=0):
         dur = (
             self.session.clock() - self._started_at
             if self._started_at is not None
@@ -266,6 +281,7 @@ class SimulatorObserver(RunObserver):
             pulses=pulses,
             events_processed=events_processed,
             halted=halted,
+            faults=faults,
         )
 
 
@@ -302,6 +318,7 @@ def emit_run_metrics(session: ObsSession, metrics: Any) -> None:
         bits=metrics.total_bits,
         max_bits=metrics.max_message_bits,
         halted=True,
+        faults=getattr(metrics, "faults_injected", 0),
     )
 
 

@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.events import (
     EVENT_ASYNC_RUN_END,
+    EVENT_FAULT,
     EVENT_PHASE_END,
     EVENT_ROUND,
     EVENT_RUN_END,
@@ -59,6 +60,11 @@ class ObsSummary:
     sweep_cached: int = 0
     pulses: int = 0
     async_events_processed: int = 0
+    #: Total injected message faults (run-end aggregate preferred) and the
+    #: per-kind breakdown from individual ``fault`` events (which may be
+    #: sampled, so the breakdown can undercount while the total is exact).
+    faults_injected: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "ObsSummary") -> None:
@@ -74,6 +80,9 @@ class ObsSummary:
         self.sweep_cached += other.sweep_cached
         self.pulses += other.pulses
         self.async_events_processed += other.async_events_processed
+        self.faults_injected += other.faults_injected
+        for kind, count in other.fault_counts.items():
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + count
         for kind, count in other.by_kind.items():
             self.by_kind[kind] = self.by_kind.get(kind, 0) + count
 
@@ -90,6 +99,8 @@ class ObsSummary:
             "sweep_cached": self.sweep_cached,
             "pulses": self.pulses,
             "async_events_processed": self.async_events_processed,
+            "faults_injected": self.faults_injected,
+            "fault_counts": dict(sorted(self.fault_counts.items())),
             "by_kind": dict(sorted(self.by_kind.items())),
         }
 
@@ -111,6 +122,14 @@ class ObsSummary:
             lines.append(
                 f"async:         {self.pulses} pulses, "
                 f"{self.async_events_processed} events"
+            )
+        if self.faults_injected:
+            breakdown = " ".join(
+                f"{kind}={count}" for kind, count in sorted(self.fault_counts.items())
+            )
+            lines.append(
+                f"faults:        {self.faults_injected}"
+                + (f" ({breakdown})" if breakdown else "")
             )
         if self.phase_seconds:
             lines.append("phase wall time:")
@@ -154,7 +173,7 @@ def summarize_events(records: Iterable[Dict[str, Any]]) -> ObsSummary:
     summary = ObsSummary()
     # Totals from per-round events, used only when no run-end aggregate
     # exists in the stream (e.g. a run cut short before on_run_end).
-    fine_rounds = fine_messages = fine_bits = 0
+    fine_rounds = fine_messages = fine_bits = fine_faults = 0
     saw_aggregate = False
 
     for record in records:
@@ -182,6 +201,11 @@ def summarize_events(records: Iterable[Dict[str, Any]]) -> ObsSummary:
             )
             summary.pulses += record.get("pulses", 0)
             summary.async_events_processed += record.get("events_processed", 0)
+            summary.faults_injected += record.get("faults", 0)
+        elif kind == EVENT_FAULT:
+            fine_faults += 1
+            name = record.get("fault", "?")
+            summary.fault_counts[name] = summary.fault_counts.get(name, 0) + 1
         elif kind == EVENT_PHASE_END:
             name = record.get("phase", "?")
             summary.phase_seconds[name] = summary.phase_seconds.get(
@@ -199,6 +223,7 @@ def summarize_events(records: Iterable[Dict[str, Any]]) -> ObsSummary:
         summary.total_rounds += fine_rounds
         summary.total_messages += fine_messages
         summary.total_bits += fine_bits
+        summary.faults_injected += fine_faults
     return summary
 
 

@@ -1,0 +1,136 @@
+"""Tests for the graceful-degradation contract: MIS-under-faults
+validation and the bounded self-healing repair pass."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.parameters import ROUNDS_PER_ITERATION
+from repro.core.repair import (
+    claimed_members,
+    repair,
+    validate_under_faults,
+)
+
+
+def path_outputs(graph, members):
+    """Synthesize phased-engine-style outputs claiming ``members``."""
+    return {
+        v: ("mis", 1) if v in members else ("not-mis", 1) for v in graph.nodes
+    }
+
+
+class TestClaimedMembers:
+    def test_understands_every_output_convention(self):
+        outputs = {
+            0: ("mis", 3),          # phased programs
+            1: ("mis", 2, 5),       # bounded arb (scale, iteration)
+            2: "mis",               # bare string
+            3: ("not-mis", 1),
+            4: None,
+        }
+        assert claimed_members(outputs, {0, 1, 2, 3, 4}) == {0, 1, 2}
+
+    def test_restricted_to_survivors(self):
+        outputs = {0: "mis", 1: "mis"}
+        assert claimed_members(outputs, {1}) == {1}
+
+
+class TestValidateUnderFaults:
+    def test_clean_mis_is_ok(self):
+        graph = nx.path_graph(5)
+        report = validate_under_faults(graph, path_outputs(graph, {0, 2, 4}))
+        assert report.ok
+        assert report.members == frozenset({0, 2, 4})
+        assert "OK" in report.summary()
+
+    def test_independence_violation_detected(self):
+        graph = nx.path_graph(4)
+        report = validate_under_faults(graph, path_outputs(graph, {0, 1, 3}))
+        assert not report.ok
+        assert report.violating_edges == ((0, 1),)
+
+    def test_undominated_node_detected(self):
+        graph = nx.path_graph(5)
+        report = validate_under_faults(graph, path_outputs(graph, {0}))
+        assert not report.ok
+        assert report.undominated == (2, 3, 4)
+
+    def test_crashed_dominator_leaves_neighbor_uncovered(self):
+        # Node 1 dominated node 0 and 2; node 1 crashed → 0 and 2 are
+        # undominated *survivors* even though the original set was an MIS.
+        graph = nx.path_graph(3)
+        outputs = {0: ("not-mis", 1), 1: ("mis", 1), 2: ("not-mis", 1)}
+        report = validate_under_faults(graph, outputs, crashed={1})
+        assert report.survivors == frozenset({0, 2})
+        assert report.members == frozenset()
+        assert report.undominated == (0, 2)
+
+    def test_undecided_nodes_reported(self):
+        graph = nx.path_graph(3)
+        outputs = {0: ("mis", 1), 1: ("not-mis", 1)}  # node 2 never halted
+        report = validate_under_faults(graph, outputs)
+        assert report.undecided == (2,)
+
+
+class TestRepair:
+    def test_repairs_independence_violation(self):
+        graph = nx.path_graph(4)
+        report = repair(graph, path_outputs(graph, {0, 1, 3}), seed=0)
+        assert report.repaired
+        assert report.after.ok
+        assert len(report.evicted) == 1
+        assert report.evicted <= {0, 1}
+
+    def test_repairs_coverage_hole(self):
+        graph = nx.path_graph(7)
+        report = repair(graph, path_outputs(graph, {0}), seed=0)
+        assert report.repaired
+        assert 0 in report.mis  # untouched healthy member
+        assert report.added  # competition filled the hole
+
+    def test_repair_is_local(self):
+        # A violation at one end of a long path must not disturb the
+        # healthy MIS at the other end.
+        graph = nx.path_graph(10)
+        members = {0, 1, 3, 5, 7, 9}
+        report = repair(graph, path_outputs(graph, members), seed=0)
+        assert report.repaired
+        assert {3, 5, 7, 9} <= report.mis
+
+    def test_repair_rounds_accounting(self):
+        graph = nx.path_graph(4)
+        report = repair(graph, path_outputs(graph, {0, 1, 3}), seed=0)
+        assert (
+            report.repair_rounds
+            == 1 + ROUNDS_PER_ITERATION * report.iterations
+        )
+        clean = repair(graph, path_outputs(graph, {0, 2}), seed=0)
+        # Nothing to evict, nothing uncovered → free.
+        assert clean.repair_rounds == 0
+        assert clean.mis == frozenset({0, 2})
+
+    def test_repair_respects_crashes(self):
+        graph = nx.path_graph(3)
+        outputs = {0: ("not-mis", 1), 1: ("mis", 1), 2: ("not-mis", 1)}
+        report = repair(graph, outputs, crashed={1}, seed=0)
+        assert report.repaired
+        assert report.mis == frozenset({0, 2})  # survivors' subgraph is edgeless
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_repair_is_deterministic(self, seed):
+        graph = nx.gnp_random_graph(30, 0.15, seed=5)
+        outputs = path_outputs(graph, set(range(0, 30, 3)))
+        first = repair(graph, outputs, seed=seed)
+        second = repair(graph, outputs, seed=seed)
+        assert first.mis == second.mis
+        assert first.repair_rounds == second.repair_rounds
+
+    def test_reuses_existing_report(self):
+        graph = nx.path_graph(4)
+        outputs = path_outputs(graph, {0, 1, 3})
+        before = validate_under_faults(graph, outputs)
+        report = repair(graph, outputs, seed=0, report=before)
+        assert report.before is before
+        assert report.repaired

@@ -59,3 +59,18 @@ def test_self_lint_actually_saw_the_node_programs():
         "LubyBMIS",
         "MetivierMIS",
     } <= algorithm_classes
+
+
+def test_fault_modules_are_in_determinism_scope():
+    # The fault-injection layer promises seed-deterministic fault traces,
+    # which only holds if R3 (no ambient randomness/clocks) is enforced on
+    # its modules the same as on the algorithms it perturbs.
+    config = load_config(PYPROJECT)
+    for module in (
+        "repro.congest.faults",
+        "repro.congest.simulator",
+        "repro.congest.asynchronous",
+        "repro.core.repair",
+        "repro.mis.faulted",
+    ):
+        assert config.in_determinism_scope(module), module

@@ -52,3 +52,34 @@ class TestRegistry:
         finally:
             unregister_algorithm("test-only-dummy")
         assert "test-only-dummy" not in available_algorithms()
+
+
+class TestNodeProgramRegistry:
+    def test_available_node_programs_instantiate(self):
+        import networkx as nx
+
+        from repro.mis.registry import available_node_programs, get_node_program
+
+        graph = nx.path_graph(10)
+        for name in available_node_programs():
+            program, max_rounds = get_node_program(name, graph, alpha=2)
+            assert hasattr(program, "on_round")
+            assert max_rounds is None or max_rounds > 0
+
+    def test_arb_mis_gets_a_fixed_schedule(self):
+        import networkx as nx
+
+        from repro.mis.registry import get_node_program
+
+        program, max_rounds = get_node_program("arb-mis", nx.path_graph(20))
+        assert max_rounds == program.total_rounds + 3
+
+    def test_unknown_node_program_lists_available(self):
+        import networkx as nx
+        import pytest
+
+        from repro.errors import ConfigurationError
+        from repro.mis.registry import get_node_program
+
+        with pytest.raises(ConfigurationError, match="metivier"):
+            get_node_program("nonsense", nx.path_graph(4))

@@ -301,3 +301,84 @@ class TestExportCommands:
         assert graph.number_of_nodes() == 50
         assert metadata["family"] == "arb"
         assert metadata["alpha"] == 2
+
+
+class TestFaultInjectionCLI:
+    def test_fault_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--crash", "2:0,1", "--crash", "5:7",
+             "--recover", "9:0", "--drop-rate", "0.1"]
+        )
+        assert args.crash == ["2:0,1", "5:7"]
+        assert args.recover == ["9:0"]
+        assert args.drop_rate == 0.1
+        assert args.no_repair is False
+
+    def test_faultfree_defaults_leave_fast_path(self):
+        args = build_parser().parse_args(["run"])
+        assert args.crash is None and args.recover is None
+        assert args.drop_rate == args.corrupt_rate == 0.0
+
+    def test_run_with_crash_and_drop(self, capsys):
+        code = main(
+            ["run", "--family", "tree", "--n", "60", "--algorithm", "metivier",
+             "--crash", "2:0,1", "--recover", "8:0", "--drop-rate", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crashed=1" in out
+        assert "OK" in out
+
+    def test_crash_schedule_echoed_into_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest
+        from repro.obs.summary import resolve_streams
+
+        obs_root = tmp_path / "obs"
+        assert main(
+            ["run", "--family", "tree", "--n", "50", "--algorithm", "metivier",
+             "--crash", "3:1,2", "--recover", "7:1",
+             "--drop-rate", "0.02", "--obs-dir", str(obs_root)]
+        ) == 0
+        (stream,) = resolve_streams(obs_root)
+        manifest = RunManifest.load(stream.parent / "manifest.json")
+        assert manifest.params["crashes"] == [[3, [1, 2]]]
+        assert manifest.params["recoveries"] == [[7, [1]]]
+        assert manifest.params["adversary"] == "drop"
+
+    def test_bad_crash_spec_raises_configuration_error(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "--family", "tree", "--n", "20", "--crash", "nope"])
+
+    def test_sweep_policy_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--on-error", "continue", "--retries", "2",
+             "--cell-timeout", "1.5"]
+        )
+        assert args.on_error == "continue"
+        assert args.retries == 2
+        assert args.cell_timeout == 1.5
+
+    def test_sweep_continues_past_failures(self, tmp_path, capsys, monkeypatch):
+        # A registered always-failing algorithm must not sink the sweep
+        # under --on-error continue; its cells surface on stderr.
+        from repro.mis import registry
+
+        def doomed(graph, seed=0, **kwargs):
+            raise RuntimeError("injected")
+
+        registry.register_algorithm("doomed", doomed)
+        try:
+            code = main(
+                ["sweep", "--family", "tree", "--sizes", "24",
+                 "--algorithms", "metivier,doomed", "--seeds", "0",
+                 "--serial", "--on-error", "continue",
+                 "--cache", str(tmp_path / "c.jsonl")]
+            )
+        finally:
+            registry.unregister_algorithm("doomed")
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "FAILED" in captured.err
+        assert "iterations over seeds" in captured.out
