@@ -16,19 +16,35 @@ rather than a practical speedup.
 from __future__ import annotations
 
 import math
+import os
+import time
 
+import numpy as np
 import pytest
 
 from _common import emit
 from repro.analysis.rounds import fit_growth_exponent
 from repro.analysis.stats import summarize
+from repro.graphs.csr import csr_bounded_arboricity
 from repro.graphs.generators import bounded_arboricity_graph
-from repro.mis.bulk import metivier_mis_bulk
+from repro.mis.bulk import (
+    ghaffari_mis_bulk,
+    luby_a_mis_bulk,
+    luby_b_mis_bulk,
+    metivier_mis_bulk,
+)
+from repro.mis.csr import validate_mis_csr
 from repro.mis.validation import assert_valid_mis
 
 SIZES = [2**12, 2**13, 2**14, 2**15, 2**16, 2**17]
 SEEDS = [0, 1, 2]
 ALPHA = 2
+
+# The 10⁶–10⁷ cells run entirely on the networkx-free CSR path (building an
+# nx.Graph at 10⁷ nodes is itself infeasible) and take minutes, so they are
+# opt-in: REPRO_E16_LARGE=1 pytest benchmarks/test_e16_large_scale.py
+LARGE_SIZES = [10**6, 10**7]
+LARGE_GATE = os.environ.get("REPRO_E16_LARGE", "") == "1"
 
 
 def test_e16_large_scale(benchmark):
@@ -65,3 +81,49 @@ def test_e16_large_scale(benchmark):
 
     graph = bounded_arboricity_graph(2**15, ALPHA, seed=0)
     benchmark.pedantic(lambda: metivier_mis_bulk(graph, seed=0), rounds=3, iterations=1)
+
+
+@pytest.mark.skipif(not LARGE_GATE, reason="set REPRO_E16_LARGE=1 to run the 10^6-10^7 cells")
+def test_e16_bulk_at_ten_million(benchmark):
+    """E16 at n up to 10⁷: all four bulk baselines on the CSR-native path.
+
+    The generator here is `csr_bounded_arboricity` (union of α uniform-
+    attachment trees, built without networkx) — a different tree
+    distribution than the Prüfer-based nx generator above, chosen because
+    the nx path cannot reach these sizes at all.  Outputs are validated
+    with the columnar checker.
+    """
+    algorithms = [
+        ("metivier", metivier_mis_bulk, LARGE_SIZES),
+        ("luby-a", luby_a_mis_bulk, LARGE_SIZES),
+        ("luby-b", luby_b_mis_bulk, LARGE_SIZES[:1]),
+        ("ghaffari", ghaffari_mis_bulk, LARGE_SIZES[:1]),
+    ]
+    rows = []
+    for name, fn, sizes in algorithms:
+        for n in sizes:
+            csr = csr_bounded_arboricity(n, ALPHA, seed=0)
+            start = time.perf_counter()
+            result = fn(csr, seed=0)
+            seconds = time.perf_counter() - start
+            assert result.extra["completed"]
+            members = np.zeros(csr.n, dtype=bool)
+            members[np.fromiter(result.mis, dtype=np.int64, count=len(result.mis))] = True
+            validate_mis_csr(csr, members)
+            rows.append(
+                {
+                    "algorithm": name,
+                    "n": n,
+                    "iterations": result.iterations,
+                    "|MIS|": len(result.mis),
+                    "wall s": round(seconds, 2),
+                    "nodes/s": f"{n / seconds:.2e}",
+                }
+            )
+    emit(
+        "e16_bulk_large",
+        rows,
+        f"E16: bulk engines at n up to 1e7 (alpha={ALPHA}, CSR-native path)",
+    )
+    csr = csr_bounded_arboricity(10**6, ALPHA, seed=0)
+    benchmark.pedantic(lambda: metivier_mis_bulk(csr, seed=0), rounds=2, iterations=1)

@@ -1,17 +1,19 @@
 """Bulk (numpy-vectorized) engine for BoundedArbIndependentSet.
 
-Same contract as :mod:`repro.mis.bulk`: identical control flow and keyed
-randomness as the scalar fast engine
+Same contract as the engines in :mod:`repro.mis.bulk`: identical control
+flow and keyed randomness as the scalar fast engine
 (:func:`repro.core.bounded_arb.bounded_arb_independent_set`), so outputs
 are **bit-identical** for equal seeds — verified by tests — while the
-per-iteration work becomes a handful of segment reductions over CSR
-arrays.  This is what lets the full pipeline run the paper's algorithm at
-n = 10⁵⁺ (benchmark E17).
+per-iteration work becomes a handful of segment reductions over the
+shared columnar substrate (:mod:`repro.mis.csr`).  This is what lets the
+paper's Algorithm 1 run at n = 10⁷ (benchmark E17): pass a prebuilt
+:class:`~repro.graphs.csr.CSRGraph` and no ``networkx`` object is ever
+materialized.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Union
 
 import networkx as nx
 import numpy as np
@@ -19,25 +21,19 @@ import numpy as np
 from repro.core.bounded_arb import BoundedArbResult, ScaleStats
 from repro.core.parameters import Parameters, compute_parameters
 from repro.errors import ConfigurationError
-from repro.graphs.properties import max_degree as graph_max_degree
-from repro.mis.bulk import csr_adjacency, _segment_max
-from repro.rng import priority_array
+from repro.graphs.csr import CSRGraph, csr_from_graph
+from repro.mis.csr import (
+    keyed_priorities,
+    masked_competition,
+    neighbor_count,
+    spread_to_neighbors,
+)
 
 __all__ = ["bounded_arb_independent_set_bulk"]
 
 
-def _segment_sum_bool(flags: np.ndarray, indices: np.ndarray, indptr: np.ndarray) -> np.ndarray:
-    """Per-node count of flagged neighbors (CSR segment sum)."""
-    values = flags[indices].astype(np.int64)
-    if values.size == 0:
-        return np.zeros(len(indptr) - 1, dtype=np.int64)
-    sums = np.add.reduceat(values, indptr[:-1].clip(max=values.size - 1))
-    sums[indptr[:-1] == indptr[1:]] = 0
-    return sums
-
-
 def bounded_arb_independent_set_bulk(
-    graph: nx.Graph,
+    graph: Union[nx.Graph, CSRGraph],
     alpha: int,
     seed: int = 0,
     profile: str = "practical",
@@ -48,11 +44,12 @@ def bounded_arb_independent_set_bulk(
     """Vectorized Algorithm 1, bit-identical to the scalar fast engine."""
     if alpha < 1:
         raise ConfigurationError(f"alpha must be >= 1, got {alpha}")
+    csr = graph if isinstance(graph, CSRGraph) else csr_from_graph(graph)
     params = parameters or compute_parameters(
-        alpha, graph_max_degree(graph), profile=profile, p_constant=p_constant
+        alpha, csr.max_degree(), profile=profile, p_constant=p_constant
     )
 
-    n = graph.number_of_nodes()
+    n = csr.n
     if n == 0:
         return BoundedArbResult(
             independent_set=set(),
@@ -63,7 +60,6 @@ def bounded_arb_independent_set_bulk(
             seed=seed,
         )
 
-    node_ids, indptr, indices = csr_adjacency(graph)
     active = np.ones(n, dtype=bool)
     in_mis = np.zeros(n, dtype=bool)
     bad = np.zeros(n, dtype=bool)
@@ -71,12 +67,12 @@ def bounded_arb_independent_set_bulk(
     iteration_counter = 0
 
     def active_degrees() -> np.ndarray:
-        return _segment_sum_bool(active, indices, indptr)
+        return neighbor_count(active, csr)
 
     def high_degree_counts(threshold: float) -> np.ndarray:
         degrees = active_degrees()
         high = active & (degrees > threshold)
-        return _segment_sum_bool(high, indices, indptr)
+        return neighbor_count(high, csr)
 
     for k in params.scales():
         rho_k = params.rho(k)
@@ -96,40 +92,24 @@ def bounded_arb_independent_set_bulk(
                     break
             degrees = active_degrees()
             competitive = active & (degrees <= rho_k)
-            priorities = priority_array(seed, node_ids, iteration_counter)
+            priorities = keyed_priorities(csr, seed, iteration_counter)
             masked = np.where(competitive, priorities, np.uint64(0))
-
-            comp_values = masked[competitive]
-            has_ties = (
-                len(np.unique(comp_values)) != int(competitive.sum())
-                or (comp_values == 0).any()
+            # Scalar rule: competitive nodes play (1, priority, id); active
+            # non-competitive neighbors play (0, 0, id) and can never block.
+            winners = masked_competition(
+                csr,
+                contenders=competitive,
+                keys=masked,
+                blockers=active,
+                exact_key=lambda i: (
+                    (1, int(masked[i]), csr.tiebreak_id(i))
+                    if competitive[i]
+                    else (0, 0, csr.tiebreak_id(i))
+                ),
             )
-            if not has_ties:
-                seg_max = _segment_max(masked[indices], indptr)
-                winners = competitive & (masked > seg_max)
-            else:  # scalar (flag, priority, id) rule on degenerate draws
-                winners = np.zeros(n, dtype=bool)
-                for i in np.nonzero(competitive)[0]:
-                    key = (1, int(masked[i]), int(node_ids[i]))
-                    beats = True
-                    for j in indices[indptr[i] : indptr[i + 1]]:
-                        if not active[j]:
-                            continue
-                        other = (
-                            (1, int(masked[j]), int(node_ids[j]))
-                            if competitive[j]
-                            else (0, 0, int(node_ids[j]))
-                        )
-                        if other >= key:
-                            beats = False
-                            break
-                    winners[i] = beats
 
             in_mis |= winners
-            eliminated = winners.copy()
-            for i in np.nonzero(winners)[0]:
-                eliminated[indices[indptr[i] : indptr[i + 1]]] = True
-            eliminated &= active
+            eliminated = (winners | spread_to_neighbors(winners, csr)) & active
             joined_this_scale += int(winners.sum())
             eliminated_this_scale += int(eliminated.sum()) - int(winners.sum())
             active &= ~eliminated
@@ -160,13 +140,10 @@ def bounded_arb_independent_set_bulk(
             )
         )
 
-    def labels(mask: np.ndarray) -> Set[int]:
-        return {int(node_ids[i]) for i in np.nonzero(mask)[0]}
-
     return BoundedArbResult(
-        independent_set=labels(in_mis),
-        bad_set=labels(bad),
-        residual=labels(active),
+        independent_set=csr.label_set(in_mis),
+        bad_set=csr.label_set(bad),
+        residual=csr.label_set(active),
         parameters=params,
         iterations=iteration_counter,
         seed=seed,

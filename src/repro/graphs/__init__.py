@@ -12,7 +12,9 @@ sides:
 * :mod:`~repro.graphs.orientation` — low-out-degree edge orientations (the
   analysis object: every node has ≤ α parents);
 * :mod:`~repro.graphs.forests` — forest partitions and validators;
-* :mod:`~repro.graphs.properties` — shared graph statistics.
+* :mod:`~repro.graphs.properties` — shared graph statistics;
+* :mod:`~repro.graphs.csr` — the columnar (CSR array) substrate behind the
+  bulk engines, with ``networkx``-free builders and generators for n ≥ 10⁶.
 """
 
 from repro.graphs.arboricity import (
@@ -41,6 +43,13 @@ from repro.graphs.generators import (
     random_tree,
     star_graph,
 )
+from repro.graphs.csr import (
+    CSRGraph,
+    bounded_arboricity_edges,
+    csr_bounded_arboricity,
+    csr_from_edges,
+    csr_from_graph,
+)
 from repro.graphs.orientation import (
     Orientation,
     bfs_forest_orientation,
@@ -66,6 +75,11 @@ __all__ = [
     "starry_arboricity_graph",
     "random_maximal_planar_graph",
     "barbell_of_trees",
+    "CSRGraph",
+    "csr_from_graph",
+    "csr_from_edges",
+    "bounded_arboricity_edges",
+    "csr_bounded_arboricity",
     "pseudoarboricity",
     "degeneracy",
     "arboricity_bounds",

@@ -15,9 +15,18 @@ from :mod:`repro.rng`, so their outputs are bit-identical for equal seeds.
   specialization the paper generalizes;
 * :mod:`~repro.mis.greedy` — sequential greedy baselines and the lexical
   MIS used as ground truth in tests;
-* :mod:`~repro.mis.validation` — independence/maximality checkers.
+* :mod:`~repro.mis.validation` — independence/maximality checkers;
+* :mod:`~repro.mis.csr` / :mod:`~repro.mis.bulk` — the columnar substrate
+  and the bulk (vectorized) third engine of each randomized algorithm,
+  bit-identical to the other two and built for n ≥ 10⁶.
 """
 
+from repro.mis.bulk import (
+    ghaffari_mis_bulk,
+    luby_a_mis_bulk,
+    luby_b_mis_bulk,
+    metivier_mis_bulk,
+)
 from repro.mis.engine import MISResult
 from repro.mis.ghaffari import GhaffariMIS, ghaffari_mis
 from repro.mis.greedy import greedy_mis, lexicographic_mis, random_order_mis
@@ -50,4 +59,8 @@ __all__ = [
     "assert_valid_mis",
     "available_algorithms",
     "get_algorithm",
+    "metivier_mis_bulk",
+    "luby_a_mis_bulk",
+    "luby_b_mis_bulk",
+    "ghaffari_mis_bulk",
 ]

@@ -1,73 +1,141 @@
-"""Bulk (numpy-vectorized) engines for large-n experiments.
+"""Bulk (numpy-vectorized) MIS engines for large-n experiments.
 
 The scalar fast engines (e.g. :func:`repro.mis.metivier.metivier_mis`)
 loop over nodes in Python — fine up to n ≈ 10⁴, painful beyond.  The bulk
-engine here runs the same Métivier process over CSR adjacency arrays with
-vectorized priority draws (:func:`repro.rng.priority_array` replicates the
-scalar splitmix64 chain bit for bit), so it is **bit-identical** to the
-scalar engine — including the astronomically-unlikely tie case, which is
-detected per iteration and resolved with the scalar ``(priority, id)``
-rule.
+engines here run the same processes as masked array operations over the
+shared columnar substrate (:mod:`repro.mis.csr` kernels over a
+:class:`repro.graphs.csr.CSRGraph`), drawing the same keyed randomness
+(:func:`repro.rng.priority_array` replicates the scalar splitmix64 chain
+bit for bit), so each is **bit-identical** to its scalar twin — including
+the astronomically-unlikely tie cases, which are detected per iteration
+and resolved with the exact scalar tuple rule.
 
-This is what powers the large-n scaling benchmark (E16): n = 2¹⁷ costs
-tens of milliseconds per iteration instead of tens of seconds.
+Four algorithms ride the substrate (all registered in
+:mod:`repro.mis.registry` under ``<name>-bulk`` and selectable through the
+``REPRO_MIS_ENGINE=bulk`` knob):
+
+* :func:`metivier_mis_bulk` — the Métivier et al. priority process;
+* :func:`luby_a_mis_bulk` — Luby's Algorithm A (``{1..n⁴}`` priorities);
+* :func:`luby_b_mis_bulk` — Luby's Algorithm B (degree-based marking);
+* :func:`ghaffari_mis_bulk` — Ghaffari's desire-level algorithm.
+
+Every engine accepts either a :class:`networkx.Graph` (any hashable node
+labels — labels are mapped to dense positions once and translated back in
+``MISResult.mis``) or a prebuilt :class:`~repro.graphs.csr.CSRGraph`,
+which is what powers the n = 10⁷ rows of E16/E17 without ever building a
+``networkx`` object.
 """
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+import math
+from typing import Tuple, Union
 
 import networkx as nx
 import numpy as np
 
+from repro.errors import AlgorithmError
+from repro.graphs.csr import CSRGraph, csr_from_graph
+from repro.mis.csr import (
+    eliminate_winners_bulk,
+    keyed_priorities,
+    keyed_uniforms,
+    masked_competition,
+    neighbor_any,
+    neighbor_count,
+    neighbor_sum,
+    segment_max as _segment_max,  # re-exported for backward compatibility
+)
 from repro.mis.engine import MISResult
-from repro.rng import priority_array
 
-__all__ = ["csr_adjacency", "metivier_mis_bulk"]
+# The rng tags are the algorithm definitions' — shared with the scalar and
+# CONGEST engines so all three draw from identical streams.
+from repro.mis.ghaffari import _MARK_TAG, _MIN_EXPONENT
+from repro.mis.luby import _LUBY_B_TAG
+
+__all__ = [
+    "csr_adjacency",
+    "metivier_mis_bulk",
+    "luby_a_mis_bulk",
+    "luby_b_mis_bulk",
+    "ghaffari_mis_bulk",
+]
+
+_UINT64_CARDINALITY = 1 << 64
+
+
+def _as_csr(graph: Union[nx.Graph, CSRGraph]) -> CSRGraph:
+    if isinstance(graph, CSRGraph):
+        return graph
+    return csr_from_graph(graph)
 
 
 def csr_adjacency(graph: nx.Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """CSR arrays (node_ids, indptr, indices) with nodes sorted ascending.
+    """CSR arrays ``(node_ids, indptr, indices)`` (legacy interface).
 
-    ``indices`` stores positions into ``node_ids`` (not raw labels), so
-    the engine never touches labels after this point.
+    ``indices`` stores positions into ``node_ids`` (not raw labels).  Kept
+    for callers of the original Métivier-only module; new code should use
+    :func:`repro.graphs.csr.csr_from_graph`, which this wraps.  Unlike the
+    original, it accepts arbitrary hashable node labels (``node_ids``
+    comes back as an object array when labels are not integers).
     """
-    node_ids = np.array(sorted(graph.nodes()), dtype=np.int64)
-    position = {int(v): i for i, v in enumerate(node_ids)}
-    indptr = np.zeros(len(node_ids) + 1, dtype=np.int64)
-    flat = []
-    for i, v in enumerate(node_ids):
-        neighbors = sorted(position[u] for u in graph.neighbors(int(v)))
-        flat.extend(neighbors)
-        indptr[i + 1] = len(flat)
-    return node_ids, indptr, np.array(flat, dtype=np.int64)
+    csr = csr_from_graph(graph)
+    if isinstance(csr.labels, np.ndarray):
+        node_ids = csr.labels
+    else:
+        node_ids = np.array(csr.labels, dtype=object)
+    return node_ids, csr.indptr, csr.indices
 
 
-def _segment_max(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
-    """Per-segment maximum; empty segments get 0."""
-    result = np.zeros(len(indptr) - 1, dtype=values.dtype)
-    nonempty = indptr[:-1] < indptr[1:]
-    if values.size:
-        maxima = np.maximum.reduceat(values, indptr[:-1].clip(max=values.size - 1))
-        result[nonempty] = maxima[nonempty]
-    return result
+def _empty_result(algorithm: str, seed: int) -> MISResult:
+    return MISResult(mis=set(), iterations=0, algorithm=algorithm, seed=seed)
+
+
+def _package(
+    csr: CSRGraph,
+    in_mis: np.ndarray,
+    iteration: int,
+    algorithm: str,
+    seed: int,
+    history,
+    active: np.ndarray,
+    extra=None,
+) -> MISResult:
+    payload = {"completed": not bool(active.any())}
+    if extra:
+        payload.update(extra)
+    return MISResult(
+        mis=csr.label_set(in_mis),
+        iterations=iteration,
+        algorithm=algorithm,
+        seed=seed,
+        active_history=history,
+        extra=payload,
+    )
 
 
 def metivier_mis_bulk(
-    graph: nx.Graph, seed: int = 0, max_iterations: int = 10_000
+    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 10_000
 ) -> MISResult:
     """Vectorized Métivier MIS, bit-identical to the scalar fast engine.
 
     Winner rule per iteration: active node wins iff its ``(priority, id)``
     exceeds every active neighbor's.  The vectorized path compares raw
-    priorities; iterations containing a duplicate active priority (a
-    ≤ n²/2⁶⁴ event) fall back to exact tuple comparison for correctness.
-    """
-    n = graph.number_of_nodes()
-    if n == 0:
-        return MISResult(mis=set(), iterations=0, algorithm="metivier-bulk", seed=seed)
+    priorities; iterations containing a duplicate or zero active priority
+    (a ≤ n²/2⁶⁴ event) fall back to exact tuple comparison.
 
-    node_ids, indptr, indices = csr_adjacency(graph)
+    Exhausting ``max_iterations`` returns the partial result with
+    ``extra["completed"] = False`` — the same contract as the scalar
+    engine.  An iteration that produces no winner while nodes remain
+    active is impossible for this process (the maximum active key always
+    wins) and raises :class:`~repro.errors.AlgorithmError` instead of
+    silently returning a non-maximal set.
+    """
+    csr = _as_csr(graph)
+    n = csr.n
+    if n == 0:
+        return _empty_result("metivier-bulk", seed)
+
     active = np.ones(n, dtype=bool)
     in_mis = np.zeros(n, dtype=bool)
     history = []
@@ -75,50 +143,194 @@ def metivier_mis_bulk(
     iteration = 0
     while active.any() and iteration < max_iterations:
         history.append(int(active.sum()))
-        priorities = priority_array(seed, node_ids, iteration)
-        # Inactive nodes play 0 so they never beat anyone; active
-        # priorities are >= 1 with overwhelming probability, but guard the
-        # p == 0 edge case via the tie fallback below.
+        priorities = keyed_priorities(csr, seed, iteration)
+        # Inactive nodes play 0 so they never beat anyone; a genuine zero
+        # priority is routed through the exact fallback.
         masked = np.where(active, priorities, np.uint64(0))
-
-        active_values = masked[active]
-        has_ties = (
-            len(np.unique(active_values)) != int(active.sum())
-            or (active_values == 0).any()
+        winners = masked_competition(
+            csr,
+            contenders=active,
+            keys=masked,
+            blockers=active,
+            exact_key=lambda i: (int(masked[i]), csr.tiebreak_id(i)),
         )
-        if not has_ties:
-            neighbor_vals = masked[indices]
-            seg_max = _segment_max(neighbor_vals, indptr)
-            winners = active & (masked > seg_max)
-        else:  # exact scalar rule on the rare degenerate iteration
-            winners = np.zeros(n, dtype=bool)
-            for i in np.nonzero(active)[0]:
-                key = (int(masked[i]), int(node_ids[i]))
-                beats_all = True
-                for j in indices[indptr[i] : indptr[i + 1]]:
-                    if active[j] and (int(masked[j]), int(node_ids[j])) >= key:
-                        beats_all = False
-                        break
-                winners[i] = beats_all
-
         if not winners.any():
-            # Cannot happen with unique priorities (a global max exists);
-            # break defensively rather than loop forever.
-            break
+            raise AlgorithmError(
+                "metivier-bulk made no progress with nodes still active "
+                f"(iteration {iteration}) — engine invariant violated"
+            )
         in_mis |= winners
-        # Eliminate winners and their neighbors.
-        eliminated = winners.copy()
-        winner_positions = np.nonzero(winners)[0]
-        for i in winner_positions:
-            eliminated[indices[indptr[i] : indptr[i + 1]]] = True
-        active &= ~eliminated
+        eliminate_winners_bulk(csr, active, winners)
         iteration += 1
 
-    return MISResult(
-        mis={int(node_ids[i]) for i in np.nonzero(in_mis)[0]},
-        iterations=iteration,
-        algorithm="metivier-bulk",
-        seed=seed,
-        active_history=history,
-        extra={"completed": not bool(active.any())},
+    return _package(csr, in_mis, iteration, "metivier-bulk", seed, history, active)
+
+
+def luby_a_mis_bulk(
+    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 10_000
+) -> MISResult:
+    """Vectorized Luby Algorithm A, bit-identical to the scalar engine.
+
+    Scalar priorities are ``1 + draw mod n⁴``.  For n⁴ < 2⁶⁴ the modulus
+    is computed in uint64; beyond that every 64-bit draw is below n⁴, so
+    the raw draw already has the scalar priority's order and serves as the
+    comparison key directly.  Ties (likelier than Métivier's since the
+    range is n⁴) fall back to the exact ``(priority, id)`` rule.
+    """
+    csr = _as_csr(graph)
+    n = csr.n
+    if n == 0:
+        return _empty_result("luby-a-bulk", seed)
+
+    range_size = max(1, n) ** 4
+    small_range = range_size < _UINT64_CARDINALITY
+    active = np.ones(n, dtype=bool)
+    in_mis = np.zeros(n, dtype=bool)
+    history = []
+
+    iteration = 0
+    while active.any() and iteration < max_iterations:
+        history.append(int(active.sum()))
+        raw = keyed_priorities(csr, seed, iteration)
+        if small_range:
+            keys = np.mod(raw, np.uint64(range_size)) + np.uint64(1)
+        else:
+            keys = raw  # same order as 1 + raw, and 1 + raw == scalar
+        masked = np.where(active, keys, np.uint64(0))
+        winners = masked_competition(
+            csr,
+            contenders=active,
+            keys=masked,
+            blockers=active,
+            exact_key=lambda i: (1 + int(raw[i]) % range_size, csr.tiebreak_id(i)),
+        )
+        if not winners.any():
+            raise AlgorithmError(
+                "luby-a-bulk made no progress with nodes still active "
+                f"(iteration {iteration}) — engine invariant violated"
+            )
+        in_mis |= winners
+        eliminate_winners_bulk(csr, active, winners)
+        iteration += 1
+
+    return _package(csr, in_mis, iteration, "luby-a-bulk", seed, history, active)
+
+
+def luby_b_mis_bulk(
+    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 10_000
+) -> MISResult:
+    """Vectorized Luby Algorithm B (degree-based marking).
+
+    The scalar key ``(marked, active_degree, id)`` is encoded into one
+    uint64 as ``degree·n + position + 1`` for marked nodes and 0 for
+    everyone else: positions are assigned in sorted-label order, so the
+    encoding's numeric order equals the tuple order, and embedding the
+    position makes keys unique — the fast path is always exact.  Marking
+    coins replicate the scalar float comparison bit for bit.
+
+    Iterations where no node marks itself legitimately select no winner
+    (the scalar engine idles the same way), so only ``max_iterations``
+    bounds the loop, with the scalar engine's partial-result contract.
+    """
+    csr = _as_csr(graph)
+    n = csr.n
+    if n == 0:
+        return _empty_result("luby-b-bulk", seed)
+
+    positions = np.arange(n, dtype=np.uint64)
+    active = np.ones(n, dtype=bool)
+    in_mis = np.zeros(n, dtype=bool)
+    history = []
+
+    iteration = 0
+    while active.any() and iteration < max_iterations:
+        history.append(int(active.sum()))
+        degrees = neighbor_count(active, csr)
+        degrees[~active] = 0
+        uniforms = keyed_uniforms(csr, seed, iteration, tag=_LUBY_B_TAG)
+        # Scalar coin: p = 1/(2d), or certainty when the active degree is 0.
+        thresholds = 1.0 / (2.0 * np.maximum(degrees, 1).astype(np.float64))
+        marked = active & ((degrees == 0) | (uniforms < thresholds))
+
+        keys = np.where(
+            marked,
+            degrees.astype(np.uint64) * np.uint64(n) + positions + np.uint64(1),
+            np.uint64(0),
+        )
+        winners = masked_competition(
+            csr,
+            contenders=marked,
+            keys=keys,
+            blockers=active,
+            exact_key=lambda i: (
+                (1, int(degrees[i]), csr.tiebreak_id(i))
+                if marked[i]
+                else (0, 0, csr.tiebreak_id(i))
+            ),
+        )
+        in_mis |= winners
+        eliminate_winners_bulk(csr, active, winners)
+        iteration += 1
+
+    return _package(csr, in_mis, iteration, "luby-b-bulk", seed, history, active)
+
+
+def ghaffari_mis_bulk(
+    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 20_000
+) -> MISResult:
+    """Vectorized Ghaffari desire-level MIS.
+
+    Desire levels stay in exponent form (p = 2⁻ʲ, j ∈ [1, 60]); marking
+    coins, the no-marked-neighbor join rule, and the effective-degree
+    update are all segment reductions.  Effective degrees are sums of
+    exact powers of two accumulated in ascending neighbor order — see
+    docs/columnar_substrate.md for why this matches the scalar engine.
+    """
+    csr = _as_csr(graph)
+    n = csr.n
+    if n == 0:
+        return _empty_result("ghaffari-bulk", seed)
+
+    active = np.ones(n, dtype=bool)
+    in_mis = np.zeros(n, dtype=bool)
+    exponents = np.ones(n, dtype=np.int64)
+    history = []
+    n_floor = max(2, n)
+    shatter_threshold = n_floor / max(1.0, math.log(n_floor) ** 2)
+    shatter_iteration = None
+
+    iteration = 0
+    while active.any() and iteration < max_iterations:
+        active_count = int(active.sum())
+        history.append(active_count)
+        if shatter_iteration is None and active_count <= shatter_threshold:
+            shatter_iteration = iteration
+
+        desires = np.ldexp(1.0, -exponents.astype(np.int32))  # exact 2^-j
+        uniforms = keyed_uniforms(csr, seed, iteration, tag=_MARK_TAG)
+        marked = active & (uniforms < desires)
+        winners = marked & ~neighbor_any(marked, csr)
+
+        # Desire update against the pre-elimination neighborhood, as in
+        # the paper: d_t(v) sums this iteration's p values.
+        effective = neighbor_sum(np.where(active, desires, 0.0), csr)
+        raised = np.minimum(_MIN_EXPONENT, exponents + 1)
+        lowered = np.maximum(1, exponents - 1)
+        exponents = np.where(
+            active, np.where(effective >= 2.0, raised, lowered), exponents
+        )
+
+        in_mis |= winners
+        eliminate_winners_bulk(csr, active, winners)
+        iteration += 1
+
+    return _package(
+        csr,
+        in_mis,
+        iteration,
+        "ghaffari-bulk",
+        seed,
+        history,
+        active,
+        extra={"iterations_to_shatter": shatter_iteration},
     )

@@ -3,11 +3,21 @@
 Keeping the lookup here (instead of ad-hoc dicts inside each benchmark)
 guarantees every table in EXPERIMENTS.md refers to the same implementations
 under the same names.
+
+Engines: every randomized algorithm registers its scalar fast engine under
+its plain name and, when one exists, its columnar bulk engine
+(:mod:`repro.mis.bulk`) under ``<name>-bulk``.  Since the engines are
+bit-identical for equal seeds (tier-1 tested), a caller may also ask for a
+name's bulk variant implicitly with ``REPRO_MIS_ENGINE=bulk`` (or
+``get_algorithm(name, engine="bulk")``) — algorithms without a bulk engine
+fall back to their scalar one, so the knob is safe to set globally for a
+sweep.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import os
+from typing import Callable, Dict, List, Optional
 
 import networkx as nx
 
@@ -41,6 +51,12 @@ def unregister_algorithm(name: str) -> None:
 
 def _bootstrap() -> None:
     from repro.core.arb_mis import arb_mis
+    from repro.mis.bulk import (
+        ghaffari_mis_bulk,
+        luby_a_mis_bulk,
+        luby_b_mis_bulk,
+        metivier_mis_bulk,
+    )
     from repro.mis.ghaffari import ghaffari_mis
     from repro.mis.lenzen_wattenhofer import lenzen_wattenhofer_tree_mis
     from repro.mis.luby import luby_a_mis, luby_b_mis
@@ -55,6 +71,10 @@ def _bootstrap() -> None:
         "tree-independent-set": tree_mis,
         "lenzen-wattenhofer": lenzen_wattenhofer_tree_mis,
         "arb-mis": arb_mis,
+        "luby-a-bulk": luby_a_mis_bulk,
+        "luby-b-bulk": luby_b_mis_bulk,
+        "metivier-bulk": metivier_mis_bulk,
+        "ghaffari-bulk": ghaffari_mis_bulk,
     }
     for name, fn in defaults.items():
         if name not in _REGISTRY:
@@ -110,8 +130,13 @@ def get_node_program(name: str, graph: nx.Graph, alpha: int = 2):
         ) from None
 
 
-def get_algorithm(name: str) -> AlgorithmFn:
+def get_algorithm(name: str, engine: Optional[str] = None) -> AlgorithmFn:
     """Look up an algorithm by registry name.
+
+    ``engine`` (default: the ``REPRO_MIS_ENGINE`` environment variable)
+    selects between the bit-identical engines of a name: ``"scalar"`` (the
+    plain registration) or ``"bulk"`` (the columnar ``<name>-bulk``
+    registration when present, scalar otherwise).
 
     >>> fn = get_algorithm("metivier")
     >>> import networkx as nx
@@ -120,6 +145,14 @@ def get_algorithm(name: str) -> AlgorithmFn:
     True
     """
     _bootstrap()
+    if engine is None:
+        engine = os.environ.get("REPRO_MIS_ENGINE", "").strip() or None
+    if engine not in (None, "scalar", "bulk"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; use 'scalar' or 'bulk'"
+        )
+    if engine == "bulk" and not name.endswith("-bulk") and f"{name}-bulk" in _REGISTRY:
+        name = f"{name}-bulk"
     try:
         return _REGISTRY[name]
     except KeyError:

@@ -139,10 +139,21 @@ def priority_array(seed: int, nodes: "np.ndarray", round_index: int, tag: int = 
 
 
 def priority_vector(seed: int, nodes: Iterable[int], round_index: int, tag: int = 0) -> dict:
-    """Vectorized convenience: priorities for many nodes in one call.
+    """Priorities for many nodes in one call, as a ``{node: priority}`` dict.
 
-    Semantically identical to ``{v: priority_draw(seed, v, round_index, tag)
-    for v in nodes}`` — each node still gets its own keyed stream, so the
-    result does not depend on the iteration order of ``nodes``.
+    Bit-identical to ``{v: priority_draw(seed, v, round_index, tag) for v
+    in nodes}`` — each node still gets its own keyed stream, so the result
+    does not depend on the iteration order of ``nodes`` — but computed
+    through one :func:`priority_array` call rather than a per-node Python
+    loop.  Node ids are folded into the 64-bit ring up front (``v & MASK``,
+    exactly what :func:`derive_seed` does), so negative ids and ids beyond
+    2⁶³ draw the same values on both paths.
     """
-    return {v: priority_draw(seed, v, round_index, tag) for v in nodes}
+    node_list = list(nodes)
+    if not node_list:
+        return {}
+    keys = np.fromiter(
+        ((int(v) & _MASK) for v in node_list), dtype=np.uint64, count=len(node_list)
+    )
+    values = priority_array(seed, keys, round_index, tag)
+    return {v: int(p) for v, p in zip(node_list, values)}

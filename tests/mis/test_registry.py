@@ -54,6 +54,56 @@ class TestRegistry:
         assert "test-only-dummy" not in available_algorithms()
 
 
+class TestEngineSelection:
+    def test_bulk_variants_registered(self):
+        names = available_algorithms()
+        for expected in ("metivier-bulk", "luby-a-bulk", "luby-b-bulk", "ghaffari-bulk"):
+            assert expected in names
+
+    def test_engine_argument_upgrades_to_bulk(self):
+        from repro.mis.bulk import metivier_mis_bulk
+        from repro.mis.metivier import metivier_mis
+
+        assert get_algorithm("metivier", engine="bulk") is metivier_mis_bulk
+        assert get_algorithm("metivier", engine="scalar") is metivier_mis
+        assert get_algorithm("metivier") is metivier_mis
+
+    def test_engine_env_knob(self, monkeypatch):
+        from repro.mis.bulk import luby_a_mis_bulk
+        from repro.mis.luby import luby_a_mis
+
+        monkeypatch.setenv("REPRO_MIS_ENGINE", "bulk")
+        assert get_algorithm("luby-a") is luby_a_mis_bulk
+        monkeypatch.setenv("REPRO_MIS_ENGINE", "scalar")
+        assert get_algorithm("luby-a") is luby_a_mis
+        monkeypatch.setenv("REPRO_MIS_ENGINE", "")
+        assert get_algorithm("luby-a") is luby_a_mis
+
+    def test_explicit_engine_beats_env(self, monkeypatch):
+        from repro.mis.metivier import metivier_mis
+
+        monkeypatch.setenv("REPRO_MIS_ENGINE", "bulk")
+        assert get_algorithm("metivier", engine="scalar") is metivier_mis
+
+    def test_bulk_falls_back_when_no_bulk_engine(self):
+        # tree-independent-set has no columnar twin; the knob must not
+        # break sweeps that include it.
+        scalar = get_algorithm("tree-independent-set")
+        assert get_algorithm("tree-independent-set", engine="bulk") is scalar
+
+    def test_bulk_name_stays_bulk(self):
+        from repro.mis.bulk import metivier_mis_bulk
+
+        assert get_algorithm("metivier-bulk", engine="bulk") is metivier_mis_bulk
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="engine"):
+            get_algorithm("metivier", engine="gpu")
+        monkeypatch.setenv("REPRO_MIS_ENGINE", "gpu")
+        with pytest.raises(ConfigurationError, match="engine"):
+            get_algorithm("metivier")
+
+
 class TestNodeProgramRegistry:
     def test_available_node_programs_instantiate(self):
         import networkx as nx

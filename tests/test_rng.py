@@ -113,6 +113,40 @@ class TestPriorityVector:
     def test_order_independent(self):
         assert rng.priority_vector(7, [1, 2, 3], 0) == rng.priority_vector(7, [3, 2, 1], 0)
 
+    def test_edge_case_ids_match_scalar_draws(self):
+        # Regression: the vectorized path must fold ids into the 64-bit
+        # ring exactly as derive_seed does.  Negative ids and ids >= 2^63
+        # are where a naive int64 -> uint64 astype diverges.
+        nodes = [-1, -(2**63), 2**63, 2**64 - 1, 0, 42, 2**62 + 7]
+        vector = rng.priority_vector(11, nodes, 3, tag=2)
+        for v in nodes:
+            assert vector[v] == rng.priority_draw(11, v, 3, tag=2)
+
+    def test_property_random_ids_match_scalar_draws(self):
+        import random
+
+        gen = random.Random(1234)
+        nodes = [gen.randint(-(2**64), 2**64) for _ in range(200)]
+        vector = rng.priority_vector(5, nodes, 1)
+        for v in nodes:
+            assert vector[v] == rng.priority_draw(5, v, 1)
+
+    def test_empty_iterable(self):
+        assert rng.priority_vector(7, [], 0) == {}
+
+    def test_single_numpy_call(self, monkeypatch):
+        # The docstring promises one vectorized draw, not a scalar loop.
+        calls = []
+        real = rng.priority_array
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(rng, "priority_array", counting)
+        rng.priority_vector(7, range(100), 0)
+        assert len(calls) == 1
+
 
 class TestPriorityArray:
     def test_matches_scalar_bit_for_bit(self):
