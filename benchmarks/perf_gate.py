@@ -1,8 +1,10 @@
-"""Performance gate for the bulk (columnar) engines — E16/E17 baselines.
+"""Performance gate for the bulk and sharded engines — E16/E17/E19 baselines.
 
-Runs a small, CI-sized grid of bulk-engine cells and compares throughput
-(nodes per second) against the committed baselines in
-``benchmarks/baselines/BENCH_e16_bulk.json`` / ``BENCH_e17_bulk.json``.
+Runs a small, CI-sized grid of bulk-engine (E16/E17) and sharded
+MPC-runtime (E19) cells and compares throughput (nodes per second)
+against the committed baselines in
+``benchmarks/baselines/BENCH_e16_bulk.json`` / ``BENCH_e17_bulk.json`` /
+``BENCH_e19_mpc.json``.
 
 Usage::
 
@@ -50,6 +52,7 @@ from repro.mis.bulk import (  # noqa: E402
     luby_b_mis_bulk,
     metivier_mis_bulk,
 )
+from repro.mpc import run_sharded  # noqa: E402
 
 BASELINE_DIR = os.path.join(_HERE, "baselines")
 RESULTS_DIR = os.path.join(_HERE, "results")
@@ -76,6 +79,19 @@ GRIDS: Dict[str, List[dict]] = {
         {"algorithm": "arb-alg1-bulk", "n": 300_000, "alpha": 2, "seed": 0},
         {"algorithm": "arb-alg1-bulk", "n": 1_000_000, "alpha": 2, "seed": 0},
     ],
+    # E19: the sharded MPC runtime (inline shard execution — pool startup
+    # noise has no place in a CI gate).  The shards axis is the point:
+    # iterations/mis_size must be identical down the column (the engines
+    # are bit-identical for every shard count) and throughput scales with
+    # the per-round frontier exchange overhead.
+    "e19": [
+        {"algorithm": "metivier-mpc", "n": 100_000, "alpha": 2, "seed": 0, "shards": 1},
+        {"algorithm": "metivier-mpc", "n": 100_000, "alpha": 2, "seed": 0, "shards": 4},
+        {"algorithm": "metivier-mpc", "n": 100_000, "alpha": 2, "seed": 0, "shards": 8},
+        {"algorithm": "luby-b-mpc", "n": 100_000, "alpha": 2, "seed": 0, "shards": 4},
+        {"algorithm": "ghaffari-mpc", "n": 100_000, "alpha": 2, "seed": 0, "shards": 4},
+        {"algorithm": "metivier-mpc", "n": 300_000, "alpha": 2, "seed": 0, "shards": 4},
+    ],
 }
 
 _CSR_CACHE: Dict[tuple, object] = {}
@@ -89,7 +105,10 @@ def _graph(n: int, alpha: int, seed: int):
 
 
 def _cell_id(cell: dict) -> str:
-    return "{algorithm}/n={n}/alpha={alpha}/seed={seed}".format(**cell)
+    base = "{algorithm}/n={n}/alpha={alpha}/seed={seed}".format(**cell)
+    if "shards" in cell:
+        base += "/shards={shards}".format(**cell)
+    return base
 
 
 def run_cell(cell: dict) -> dict:
@@ -106,6 +125,16 @@ def run_cell(cell: dict) -> dict:
             )
             iterations = result.iterations
             mis_size = len(result.independent_set)
+        elif cell["algorithm"].endswith("-mpc"):
+            result = run_sharded(
+                cell["algorithm"][: -len("-mpc")],
+                csr,
+                seed=cell["seed"],
+                shards=cell["shards"],
+                workers=0,
+            )
+            iterations = result.iterations
+            mis_size = len(result.mis)
         else:
             result = _MIS_ENGINES[cell["algorithm"]](csr, seed=cell["seed"])
             iterations = result.iterations
@@ -121,8 +150,12 @@ def run_cell(cell: dict) -> dict:
     }
 
 
+_BASELINE_SUFFIX = {"e16": "bulk", "e17": "bulk", "e19": "mpc"}
+
+
 def _baseline_path(experiment: str) -> str:
-    return os.path.join(BASELINE_DIR, f"BENCH_{experiment}_bulk.json")
+    suffix = _BASELINE_SUFFIX[experiment]
+    return os.path.join(BASELINE_DIR, f"BENCH_{experiment}_{suffix}.json")
 
 
 def _results_path(experiment: str) -> str:

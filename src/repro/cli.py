@@ -91,9 +91,28 @@ def build_parser() -> argparse.ArgumentParser:
             "directory (default: $REPRO_OBS_DIR when set)",
         )
 
+    def add_engine_args(p):
+        p.add_argument(
+            "--engine",
+            choices=("scalar", "bulk", "mpc"),
+            default=None,
+            help="engine variant for registered algorithms (bit-identical "
+            "results; default: $REPRO_MIS_ENGINE, else scalar); 'mpc' runs "
+            "the sharded runtime (docs/mpc_runtime.md)",
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            metavar="K",
+            help="shard count for --engine mpc "
+            "(default: $REPRO_MPC_SHARDS, else 4)",
+        )
+
     run = sub.add_parser("run", help="run one algorithm on one workload")
     add_workload_args(run)
     run.add_argument("--algorithm", default="arb-mis")
+    add_engine_args(run)
     run.add_argument(
         "--profile", choices=("practical", "paper"), default="practical"
     )
@@ -152,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sizes", default="256,512,1024")
     sweep.add_argument("--algorithms", default="metivier,luby-b,arb-mis")
     sweep.add_argument("--seeds", default="0,1,2")
+    add_engine_args(sweep)
     sweep.add_argument(
         "--workers", type=int, default=None, help="process-pool size (default: cpu count)"
     )
@@ -240,7 +260,7 @@ def _build_graph(args):
 def _run_algorithm(name: str, graph, args, observer=None):
     from repro.mis.registry import get_algorithm
 
-    fn = get_algorithm(name)
+    fn = get_algorithm(name, engine=getattr(args, "engine", None))
     kwargs = {}
     if name == "arb-mis":
         kwargs = {
@@ -250,6 +270,10 @@ def _run_algorithm(name: str, graph, args, observer=None):
         }
         if observer is not None:
             kwargs["observer"] = observer
+    # ``--shards`` only reaches engines that understand it (names without
+    # an mpc twin fall back to scalar and must not see the knob).
+    if getattr(args, "shards", None) and fn.__module__ == "repro.mpc.engines":
+        kwargs["shards"] = args.shards
     return fn(graph, seed=args.seed, **kwargs)
 
 
@@ -440,10 +464,16 @@ def _cmd_sweep(args) -> int:
     names = [a.strip() for a in args.algorithms.split(",") if a.strip()]
     seeds = [int(s) for s in args.seeds.split(",") if s]
     spec = _sweep_spec(args)
-    algorithms = {name: get_algorithm(name) for name in names}
+    algorithms = {
+        name: get_algorithm(name, engine=args.engine) for name in names
+    }
     algorithm_kwargs = {}
     if "arb-mis" in algorithms:
         algorithm_kwargs["arb-mis"] = {"alpha": args.alpha}
+    if args.shards:
+        for name, fn in algorithms.items():
+            if fn.__module__ == "repro.mpc.engines":
+                algorithm_kwargs.setdefault(name, {})["shards"] = args.shards
 
     progress = None
     if args.progress:

@@ -39,6 +39,29 @@ class MessageSizeExceededError(SimulationError):
         )
 
 
+class CommBudgetExceededError(SimulationError):
+    """A shard's per-round communication exceeded its hard byte cap.
+
+    Raised by the MPC runtime (:mod:`repro.mpc`) when even the
+    correctness-bearing (maximally sparsified) frontier traffic of one
+    shard in one round is larger than ``CommBudget.hard_capacity``.  The
+    runtime never truncates messages to fit — dropping correctness-bearing
+    updates would silently corrupt the MIS — so an undersized hard cap is
+    an error, not a degradation.
+    """
+
+    def __init__(self, shard: int, round_index: int, bytes_needed: int, limit: int):
+        self.shard = shard
+        self.round_index = round_index
+        self.bytes_needed = bytes_needed
+        self.limit = limit
+        super().__init__(
+            f"shard {shard} needs {bytes_needed} bytes of correctness-bearing "
+            f"traffic in round {round_index}, exceeding the hard cap of "
+            f"{limit} bytes"
+        )
+
+
 class AlgorithmError(ReproError):
     """A distributed algorithm violated its own protocol invariants."""
 

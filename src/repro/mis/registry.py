@@ -62,6 +62,12 @@ def _bootstrap() -> None:
     from repro.mis.luby import luby_a_mis, luby_b_mis
     from repro.mis.metivier import metivier_mis
     from repro.mis.tree import tree_mis
+    from repro.mpc.engines import (
+        ghaffari_mis_mpc,
+        luby_a_mis_mpc,
+        luby_b_mis_mpc,
+        metivier_mis_mpc,
+    )
 
     defaults: Dict[str, AlgorithmFn] = {
         "luby-a": luby_a_mis,
@@ -75,6 +81,10 @@ def _bootstrap() -> None:
         "luby-b-bulk": luby_b_mis_bulk,
         "metivier-bulk": metivier_mis_bulk,
         "ghaffari-bulk": ghaffari_mis_bulk,
+        "luby-a-mpc": luby_a_mis_mpc,
+        "luby-b-mpc": luby_b_mis_mpc,
+        "metivier-mpc": metivier_mis_mpc,
+        "ghaffari-mpc": ghaffari_mis_mpc,
     }
     for name, fn in defaults.items():
         if name not in _REGISTRY:
@@ -135,8 +145,11 @@ def get_algorithm(name: str, engine: Optional[str] = None) -> AlgorithmFn:
 
     ``engine`` (default: the ``REPRO_MIS_ENGINE`` environment variable)
     selects between the bit-identical engines of a name: ``"scalar"`` (the
-    plain registration) or ``"bulk"`` (the columnar ``<name>-bulk``
-    registration when present, scalar otherwise).
+    plain registration), ``"bulk"`` (the columnar ``<name>-bulk``
+    registration when present, scalar otherwise), or ``"mpc"`` (the
+    sharded ``<name>-mpc`` registration when present, scalar otherwise —
+    shard count and pool size come from ``REPRO_MPC_SHARDS`` and
+    ``REPRO_MPC_WORKERS``).
 
     >>> fn = get_algorithm("metivier")
     >>> import networkx as nx
@@ -147,12 +160,17 @@ def get_algorithm(name: str, engine: Optional[str] = None) -> AlgorithmFn:
     _bootstrap()
     if engine is None:
         engine = os.environ.get("REPRO_MIS_ENGINE", "").strip() or None
-    if engine not in (None, "scalar", "bulk"):
+    if engine not in (None, "scalar", "bulk", "mpc"):
         raise ConfigurationError(
-            f"unknown engine {engine!r}; use 'scalar' or 'bulk'"
+            f"unknown engine {engine!r}; use 'scalar', 'bulk', or 'mpc'"
         )
-    if engine == "bulk" and not name.endswith("-bulk") and f"{name}-bulk" in _REGISTRY:
-        name = f"{name}-bulk"
+    for suffix in ("bulk", "mpc"):
+        if (
+            engine == suffix
+            and not name.endswith(f"-{suffix}")
+            and f"{name}-{suffix}" in _REGISTRY
+        ):
+            name = f"{name}-{suffix}"
     try:
         return _REGISTRY[name]
     except KeyError:

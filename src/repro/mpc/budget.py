@@ -1,0 +1,194 @@
+"""Per-shard communication budgets for the MPC runtime.
+
+The MPC model grants each machine ``O(S)`` words of communication per
+round.  :class:`CommBudget` makes that limit configurable and
+:class:`ShardCommMeter` enforces it per shard:
+
+* every byte a shard ships between rounds is **metered** (``charge``);
+* a **peak-hold load estimator** tracks the shard's recent worst round
+  (decaying maximum, the classic VU-meter shape): sustained load holds
+  the peak up, a single quiet round does not reset it, so the
+  sparsification decision is stable instead of flapping;
+* when the peak approaches ``capacity`` the runtime switches that shard
+  to **delta encoding** — only frontier entries whose value changed since
+  the last push are shipped.  Unchanged-entry refreshes are the
+  low-priority traffic that gets dropped first; changed entries are
+  correctness-bearing and are never dropped;
+* ``hard_capacity`` is absolute: if even the correctness-bearing traffic
+  of one round exceeds it, the meter raises
+  :class:`~repro.errors.CommBudgetExceededError` instead of truncating.
+
+Everything here is a pure function of the byte sequence it observes — no
+clocks, no ambient randomness — so two same-seed runs meter identically
+and the obs streams they emit diff clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import CommBudgetExceededError, ConfigurationError
+
+__all__ = ["CommBudget", "ShardCommMeter", "CommReport"]
+
+
+@dataclass(frozen=True)
+class CommBudget:
+    """Byte budget applied independently to every shard.
+
+    ``capacity`` is the soft per-round target (the ``O(S)`` cap): the
+    peak-hold estimator reaching ``soft_fraction * capacity`` switches the
+    shard to sparsified (delta) pushes.  ``hard_capacity`` is the absolute
+    per-round limit correctness-bearing traffic may not exceed.  Either
+    may be None (unlimited).
+    """
+
+    capacity: Optional[int] = None
+    hard_capacity: Optional[int] = None
+    soft_fraction: float = 0.75
+    decay: float = 0.875
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {self.capacity}"
+            )
+        if self.hard_capacity is not None and self.hard_capacity <= 0:
+            raise ConfigurationError(
+                f"hard_capacity must be positive, got {self.hard_capacity}"
+            )
+        if (
+            self.capacity is not None
+            and self.hard_capacity is not None
+            and self.hard_capacity < self.capacity
+        ):
+            raise ConfigurationError(
+                "hard_capacity must be >= capacity "
+                f"({self.hard_capacity} < {self.capacity})"
+            )
+        if not 0.0 < self.soft_fraction <= 1.0:
+            raise ConfigurationError(
+                f"soft_fraction must be in (0, 1], got {self.soft_fraction}"
+            )
+        if not 0.0 <= self.decay < 1.0:
+            raise ConfigurationError(
+                f"decay must be in [0, 1), got {self.decay}"
+            )
+
+    @classmethod
+    def for_shard_size(cls, shard_nodes: int, words_per_node: int = 8) -> "CommBudget":
+        """An ``O(S)`` budget: ``words_per_node`` 8-byte words per owned node.
+
+        The hard cap is set at 4x the soft cap — generous enough that
+        correctness-bearing traffic fits on any workload whose cut is
+        within a constant factor of the shard size.
+        """
+        capacity = max(1, shard_nodes) * words_per_node * 8
+        return cls(capacity=capacity, hard_capacity=4 * capacity)
+
+
+class ShardCommMeter:
+    """Meters one shard's sent bytes and drives its sparsification mode."""
+
+    def __init__(self, shard: int, budget: CommBudget):
+        self.shard = shard
+        self.budget = budget
+        self.round_bytes = 0
+        self.total_bytes = 0
+        self.peak_hold = 0.0
+        self.max_round_bytes = 0
+        self.rounds = 0
+        self.sparsified_rounds = 0
+        self.round_history: List[int] = []
+        self._sparsified_this_round = False
+
+    @property
+    def sparsified_this_round(self) -> bool:
+        return self._sparsified_this_round
+
+    @property
+    def should_sparsify(self) -> bool:
+        """Peak-hold says the shard is approaching its soft cap."""
+        if self.budget.capacity is None:
+            return False
+        return self.peak_hold >= self.budget.soft_fraction * self.budget.capacity
+
+    def charge(self, nbytes: int, round_index: int) -> None:
+        """Account ``nbytes`` of correctness-relevant traffic this round.
+
+        Raises :class:`CommBudgetExceededError` the moment the round's
+        running total passes the hard cap — before anything downstream
+        could be tempted to truncate.
+        """
+        self.round_bytes += int(nbytes)
+        if (
+            self.budget.hard_capacity is not None
+            and self.round_bytes > self.budget.hard_capacity
+        ):
+            raise CommBudgetExceededError(
+                self.shard, round_index, self.round_bytes, self.budget.hard_capacity
+            )
+
+    def note_sparsified(self) -> None:
+        self._sparsified_this_round = True
+
+    def end_round(self) -> None:
+        """Fold the finished round into the totals and the peak-hold."""
+        self.rounds += 1
+        self.total_bytes += self.round_bytes
+        self.max_round_bytes = max(self.max_round_bytes, self.round_bytes)
+        self.round_history.append(self.round_bytes)
+        self.peak_hold = max(
+            float(self.round_bytes), self.peak_hold * self.budget.decay
+        )
+        if self._sparsified_this_round:
+            self.sparsified_rounds += 1
+        self.round_bytes = 0
+        self._sparsified_this_round = False
+
+
+@dataclass
+class CommReport:
+    """One run's communication accounting, per shard and in aggregate."""
+
+    shards: int
+    bytes_by_shard: List[int]
+    peak_hold_by_shard: List[float]
+    max_round_bytes_by_shard: List[int]
+    sparsified_rounds_by_shard: List[int]
+    comm_rounds: int
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_shard)
+
+    @property
+    def max_round_bytes(self) -> int:
+        return max(self.max_round_bytes_by_shard) if self.max_round_bytes_by_shard else 0
+
+    @property
+    def sparsified_rounds(self) -> int:
+        return sum(self.sparsified_rounds_by_shard)
+
+    @classmethod
+    def from_meters(cls, meters: List[ShardCommMeter]) -> "CommReport":
+        return cls(
+            shards=len(meters),
+            bytes_by_shard=[m.total_bytes for m in meters],
+            peak_hold_by_shard=[round(m.peak_hold, 3) for m in meters],
+            max_round_bytes_by_shard=[m.max_round_bytes for m in meters],
+            sparsified_rounds_by_shard=[m.sparsified_rounds for m in meters],
+            comm_rounds=max((m.rounds for m in meters), default=0),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "total_bytes": self.total_bytes,
+            "bytes_by_shard": list(self.bytes_by_shard),
+            "peak_hold_by_shard": list(self.peak_hold_by_shard),
+            "max_round_bytes_by_shard": list(self.max_round_bytes_by_shard),
+            "sparsified_rounds_by_shard": list(self.sparsified_rounds_by_shard),
+            "comm_rounds": self.comm_rounds,
+        }

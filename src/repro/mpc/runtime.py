@@ -1,0 +1,1022 @@
+"""Sharded MPC-style round runtime over the columnar substrate.
+
+The bulk engines (:mod:`repro.mis.bulk`) run each competition iteration
+as whole-graph array operations.  This module runs the *same* iterations
+sharded: a :class:`~repro.mpc.partition.ShardPlan` splits the
+:class:`~repro.graphs.csr.CSRGraph` into contiguous position-range
+shards, each shard executes the round kernels of :mod:`repro.mis.csr`
+restricted to its own rows, and between rounds shards exchange **only
+frontier node state** as batched numpy messages.
+
+Execution model (docs/mpc_runtime.md has the full walkthrough):
+
+* A coordinator owns the ground-truth state arrays (``active``, and the
+  per-algorithm extras: Ghaffari's ``exponent``, Luby B's ``degree``).
+* Each shard owns a *scratch mirror* indexed by its **support** (its own
+  positions plus the ghosts it is adjacent to).  Local entries are
+  refreshed from truth for free (local memory); ghost entries are updated
+  **only** through modeled messages, every byte of which is metered into
+  the shard's :class:`~repro.mpc.budget.ShardCommMeter`.
+* Because a ghost entry always equals the owner's truth (the push covers
+  every change — the ``last_sent`` invariant), the shard-restricted
+  segment reductions compute exactly the rows the bulk kernel would,
+  which is why the sharded engines are **bit-identical** to the bulk
+  (and hence scalar) engines for every seed and every shard count — the
+  four-way equivalence the tier-1 suite pins.
+* The astronomically-rare degenerate draws (duplicate/zero priorities,
+  Métivier and Luby A only) are detected by a coordinator-side audit that
+  replays the bulk engine's exact global check and, when triggered, its
+  exact tuple-rule fallback.  Luby B's id-embedded keys and Ghaffari's
+  key-free join rule never need it.
+
+Shard computations run either inline (``workers <= 1``) or on a
+``multiprocessing`` pool whose workers attach the static CSR arrays
+through :mod:`multiprocessing.shared_memory` — only the dynamic scratch
+(the modeled per-round messages plus the shard's own slice) travels with
+each task.  Worker crashes flow through the same
+:class:`~repro.analysis.runner.FailurePolicy` contract as sweep cells:
+retry with deterministic keyed backoff, then either re-raise
+(``fail-fast``) or degrade — the dead shard's still-active nodes are
+marked crashed, peers are notified control-plane, and the run completes
+an MIS of the surviving subgraph
+(:func:`repro.core.repair.validate_under_faults`).
+
+This module is intentionally *outside* the R3 determinism lint scope
+(like :mod:`repro.analysis`): the round math is pure, but retry backoff
+sleeps and pool management touch the clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.runner import FailurePolicy
+from repro.errors import AlgorithmError, ConfigurationError, SimulationError
+from repro.graphs.csr import CSRGraph, csr_from_graph
+from repro.mis.csr import (
+    eliminate_winners_bulk,
+    masked_competition,
+    segment_max,
+    segment_sum,
+)
+from repro.mis.engine import MISResult
+from repro.mis.ghaffari import _MARK_TAG, _MIN_EXPONENT
+from repro.mis.luby import _LUBY_B_TAG
+from repro.mpc.budget import CommBudget, CommReport, ShardCommMeter
+from repro.mpc.partition import ShardPlan, partition_csr
+from repro.obs.events import (
+    EVENT_MPC_ROUND,
+    EVENT_MPC_RUN_END,
+    EVENT_SWEEP_FAILURE,
+)
+from repro.obs.session import ObsSession, session_from_env
+from repro.rng import priority_array
+
+__all__ = [
+    "ShardCrash",
+    "InjectedShardCrash",
+    "run_sharded",
+    "SHARDS_ENV",
+    "WORKERS_ENV",
+    "DEFAULT_SHARDS",
+]
+
+#: Environment knobs mirroring ``REPRO_MIS_ENGINE``: default shard count
+#: and pool size for the ``<name>-mpc`` registry engines.
+SHARDS_ENV = "REPRO_MPC_SHARDS"
+WORKERS_ENV = "REPRO_MPC_WORKERS"
+DEFAULT_SHARDS = 4
+
+_UINT64_CARDINALITY = 1 << 64
+
+#: Wire encoding of each exchanged field.  ``active`` and ``exponent``
+#: (range [1, 60]) fit a byte; ``degree`` needs four.
+_WIRE_DTYPES = {
+    "active": np.uint8,
+    "exponent": np.int8,
+    "degree": np.int32,
+}
+#: Bytes to name a frontier index in a delta-encoded message.
+_INDEX_BYTES = 4
+
+#: State fields pushed at the top of every round, per algorithm.
+_STATE_FIELDS = {
+    "metivier": ("active",),
+    "luby-a": ("active",),
+    "luby-b": ("active",),
+    "ghaffari": ("active", "exponent"),
+}
+
+_DEFAULT_MAX_ITERATIONS = {
+    "metivier": 10_000,
+    "luby-a": 10_000,
+    "luby-b": 10_000,
+    "ghaffari": 20_000,
+}
+
+
+class InjectedShardCrash(SimulationError):
+    """A shard worker was deliberately killed mid-round (fault injection)."""
+
+    def __init__(self, shard: int, iteration: int, attempt: int):
+        self.shard = shard
+        self.iteration = iteration
+        self.attempt = attempt
+        super().__init__(
+            f"injected crash of shard {shard} worker in round {iteration} "
+            f"(attempt {attempt})"
+        )
+
+    def __reduce__(self):
+        # Keeps the exception picklable across the pool boundary (the
+        # default exception reduce replays ``args``, which here is the
+        # formatted message, not the three constructor arguments).
+        return (InjectedShardCrash, (self.shard, self.iteration, self.attempt))
+
+
+@dataclass(frozen=True)
+class ShardCrash:
+    """Deterministic crash injector: kill ``shard``'s worker in a round.
+
+    The worker raises on its first ``attempts`` attempts of the winners
+    phase of round ``iteration``; retried attempts beyond that succeed.
+    Attempt numbers are coordinator-tracked, so the schedule behaves
+    identically inline and on the pool.
+    """
+
+    iteration: int
+    shard: int
+    attempts: int = 1
+
+
+# -- per-shard static structures ---------------------------------------------
+
+
+@dataclass
+class _ShardStatic:
+    """Everything about a shard that never changes across rounds.
+
+    All dynamic arrays a shard touches are indexed by its ``support``
+    (sorted global positions: own range plus ghosts), so shard memory is
+    O(n_local + ghosts), not O(n).
+    """
+
+    index: int
+    start: int
+    stop: int
+    #: Sorted global positions this shard holds state for.
+    support: np.ndarray
+    #: Rows ``start..stop`` occupy this contiguous run of ``support``.
+    local_sel: slice
+    #: Row pointer over local rows, rebased to the local adjacency slice.
+    indptr_local: np.ndarray
+    #: Local adjacency remapped into ``support`` indices.
+    indices_sup: np.ndarray
+    #: Key ids (keyed-randomness identities) at ``support`` positions.
+    key_ids_sup: np.ndarray
+    #: peer -> indices into ``support`` of the ghosts owned by that peer.
+    ghost_sel: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: peer -> sorted own positions whose state ships to that peer.
+    frontier: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_local(self) -> int:
+        return self.stop - self.start
+
+
+def _build_statics(plan: ShardPlan) -> List[_ShardStatic]:
+    csr = plan.csr
+    statics = []
+    for shard in plan.shards:
+        local = np.arange(shard.start, shard.stop, dtype=np.int64)
+        ghost_parts = [shard.ghosts[t] for t in sorted(shard.ghosts)]
+        if ghost_parts:
+            support = np.union1d(local, np.concatenate(ghost_parts))
+        else:
+            support = local
+        lo = int(np.searchsorted(support, shard.start))
+        static = _ShardStatic(
+            index=shard.index,
+            start=shard.start,
+            stop=shard.stop,
+            support=support,
+            local_sel=slice(lo, lo + shard.n_local),
+            indptr_local=plan.local_indptr(shard),
+            indices_sup=np.searchsorted(support, plan.local_indices(shard)),
+            key_ids_sup=csr.key_ids[support],
+            ghost_sel={
+                t: np.searchsorted(support, ghosts)
+                for t, ghosts in shard.ghosts.items()
+            },
+            frontier=dict(shard.frontier),
+        )
+        statics.append(static)
+    return statics
+
+
+# -- the pure per-shard round computation ------------------------------------
+
+
+def _keyed_uniforms_sup(
+    key_ids_sup: np.ndarray, seed: int, iteration: int, tag: int
+) -> np.ndarray:
+    raw = priority_array(seed, key_ids_sup, iteration, tag)
+    return (raw >> np.uint64(11)).astype(np.float64) * (1.0 / (1 << 53))
+
+
+def _phase_compute(
+    static: _ShardStatic,
+    scratch: Dict[str, np.ndarray],
+    algorithm: str,
+    phase: str,
+    seed: int,
+    iteration: int,
+    n: int,
+) -> Dict[str, Optional[np.ndarray]]:
+    """One shard's share of one round, as the bulk kernels would compute it.
+
+    Pure function of its arguments; runs identically inline and in a pool
+    worker.  ``phase`` is ``"winners"`` for every algorithm, plus a
+    preceding ``"degrees"`` for Luby B (degrees must be exchanged before
+    keys can be compared across the cut).
+    """
+    loc = static.local_sel
+    active_sup = scratch["active"].astype(bool)
+    sup_values = active_sup[static.indices_sup]
+
+    if phase == "degrees":
+        degrees = segment_sum(sup_values.astype(np.int64), static.indptr_local)
+        degrees[~active_sup[loc]] = 0
+        return {"degrees": degrees}
+
+    if algorithm in ("metivier", "luby-a"):
+        raw = priority_array(seed, static.key_ids_sup, iteration)
+        if algorithm == "luby-a":
+            range_size = max(1, n) ** 4
+            if range_size < _UINT64_CARDINALITY:
+                keys = np.mod(raw, np.uint64(range_size)) + np.uint64(1)
+            else:
+                keys = raw  # same order as 1 + raw (the scalar priority)
+        else:
+            keys = raw
+        masked = np.where(active_sup, keys, np.uint64(0))
+        nmax = segment_max(masked[static.indices_sup], static.indptr_local)
+        winners = active_sup[loc] & (masked[loc] > nmax)
+        return {"winners": winners}
+
+    if algorithm == "luby-b":
+        degrees = scratch["degree"].astype(np.int64)
+        uniforms = _keyed_uniforms_sup(
+            static.key_ids_sup, seed, iteration, _LUBY_B_TAG
+        )
+        thresholds = 1.0 / (2.0 * np.maximum(degrees, 1).astype(np.float64))
+        marked = active_sup & ((degrees == 0) | (uniforms < thresholds))
+        keys = np.where(
+            marked,
+            degrees.astype(np.uint64) * np.uint64(n)
+            + static.support.astype(np.uint64)
+            + np.uint64(1),
+            np.uint64(0),
+        )
+        nmax = segment_max(keys[static.indices_sup], static.indptr_local)
+        winners = marked[loc] & (keys[loc] > nmax)
+        return {"winners": winners}
+
+    if algorithm == "ghaffari":
+        exponents = scratch["exponent"].astype(np.int64)
+        desires = np.ldexp(1.0, -exponents.astype(np.int32))  # exact 2^-j
+        uniforms = _keyed_uniforms_sup(
+            static.key_ids_sup, seed, iteration, _MARK_TAG
+        )
+        marked = active_sup & (uniforms < desires)
+        any_marked = segment_max(
+            marked[static.indices_sup].astype(np.uint8), static.indptr_local
+        ).astype(bool)
+        winners = marked[loc] & ~any_marked
+        # Effective degree against the pre-elimination neighborhood; the
+        # reduceat order over the local adjacency slice equals the bulk
+        # kernel's per-row order, so the float sums are bit-identical.
+        effective = segment_sum(
+            np.where(active_sup, desires, 0.0)[static.indices_sup],
+            static.indptr_local,
+        )
+        exp_loc = exponents[loc]
+        raised = np.minimum(_MIN_EXPONENT, exp_loc + 1)
+        lowered = np.maximum(1, exp_loc - 1)
+        new_exp = np.where(
+            active_sup[loc], np.where(effective >= 2.0, raised, lowered), exp_loc
+        )
+        return {"winners": winners, "exponents": new_exp.astype(np.int8)}
+
+    raise ConfigurationError(f"unknown sharded algorithm {algorithm!r}")
+
+
+# -- multiprocessing pool plumbing -------------------------------------------
+
+# Worker-global context: shared-memory attachments plus lazily built
+# shard statics, keyed by the coordinator's run id so a reused pool
+# never serves stale graph data.
+_WORKER: Dict[str, Any] = {}
+
+
+def _attach_shm(name: str):
+    import multiprocessing
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method() != "fork":
+        try:
+            # Attach-only segments must not be torn down when this worker
+            # exits; the coordinator owns their lifecycle.  Under fork the
+            # tracker process is shared with the coordinator, so the
+            # attach registration dedups away and unregistering here
+            # would cancel the coordinator's own registration instead.
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:
+            pass
+    return shm
+
+
+def _pool_init(run_id: str, names: Dict[str, str], n: int, nnz: int, k: int) -> None:
+    shms = {key: _attach_shm(name) for key, name in names.items()}
+    indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=shms["indptr"].buf)
+    indices = np.ndarray((nnz,), dtype=np.int64, buffer=shms["indices"].buf)
+    key_ids = np.ndarray((n,), dtype=np.uint64, buffer=shms["key_ids"].buf)
+    csr = CSRGraph(
+        labels=key_ids,  # labels are never read by the round math
+        key_ids=key_ids,
+        indptr=indptr,
+        indices=indices,
+        integer_labeled=True,
+    )
+    _WORKER.clear()
+    _WORKER.update(
+        {"run_id": run_id, "shms": shms, "csr": csr, "k": k, "statics": None}
+    )
+
+
+def _pool_task(
+    run_id: str,
+    shard_index: int,
+    algorithm: str,
+    phase: str,
+    seed: int,
+    iteration: int,
+    n: int,
+    scratch: Dict[str, np.ndarray],
+    crash: bool,
+    attempt: int,
+) -> Dict[str, Optional[np.ndarray]]:
+    if crash:
+        raise InjectedShardCrash(shard_index, iteration, attempt)
+    if _WORKER.get("run_id") != run_id:
+        raise SimulationError("pool worker initialized for a different run")
+    if _WORKER["statics"] is None:
+        plan = partition_csr(_WORKER["csr"], _WORKER["k"])
+        _WORKER["statics"] = _build_statics(plan)
+    static = _WORKER["statics"][shard_index]
+    return _phase_compute(static, scratch, algorithm, phase, seed, iteration, n)
+
+
+class _SharedStatics:
+    """Coordinator-side shared-memory blocks holding the static CSR."""
+
+    def __init__(self, csr: CSRGraph, run_id: str):
+        from multiprocessing import shared_memory
+
+        self.run_id = run_id
+        self._shms = {}
+        self.names = {}
+        for key, array in (
+            ("indptr", csr.indptr),
+            ("indices", csr.indices),
+            ("key_ids", csr.key_ids),
+        ):
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[:] = array
+            self._shms[key] = shm
+            self.names[key] = shm.name
+
+    def close(self) -> None:
+        for shm in self._shms.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+
+
+# -- degenerate-draw audit (control plane) -----------------------------------
+
+
+def _degenerate_winners(
+    csr: CSRGraph, active: np.ndarray, algorithm: str, seed: int, iteration: int
+) -> Optional[np.ndarray]:
+    """The bulk engines' global tie audit, run coordinator-side.
+
+    Shards recompute the shared keyed randomness locally (that *is* the
+    MPC randomness model), but "do two contenders anywhere hold equal
+    keys" is inherently global, so the coordinator replays the bulk
+    engine's exact check — and, on the ≤ n²/2⁶⁴ degenerate draw, its
+    exact tuple-rule fallback.  Returns the global winner mask when the
+    draw is degenerate, else None (the sharded fast path is exact).
+    """
+    n = csr.n
+    raw = priority_array(seed, csr.key_ids, iteration)
+    range_size = max(1, n) ** 4
+    if algorithm == "luby-a":
+        if range_size < _UINT64_CARDINALITY:
+            keys = np.mod(raw, np.uint64(range_size)) + np.uint64(1)
+        else:
+            keys = raw
+    else:
+        keys = raw
+    masked = np.where(active, keys, np.uint64(0))
+    contender_values = masked[active]
+    degenerate = bool((contender_values == 0).any()) or (
+        len(np.unique(contender_values)) != int(active.sum())
+    )
+    if not degenerate:
+        return None
+    if algorithm == "luby-a":
+        exact = lambda i: (1 + int(raw[i]) % range_size, csr.tiebreak_id(i))  # noqa: E731
+    else:
+        exact = lambda i: (int(masked[i]), csr.tiebreak_id(i))  # noqa: E731
+    return masked_competition(
+        csr, contenders=active, keys=masked, blockers=active, exact_key=exact
+    )
+
+
+# -- the coordinator ---------------------------------------------------------
+
+
+class _Coordinator:
+    """Runs one sharded execution: state, meters, pool, fault handling."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        csr: CSRGraph,
+        seed: int,
+        shards: int,
+        workers: int,
+        budget: Optional[CommBudget],
+        policy: FailurePolicy,
+        obs: Optional[ObsSession],
+        owns_obs: bool,
+        crashes: Sequence[ShardCrash],
+        max_iterations: int,
+    ):
+        self.algorithm = algorithm
+        self.csr = csr
+        self.n = csr.n
+        self.seed = seed
+        self.workers = workers
+        self.policy = policy
+        self.obs = obs
+        self.owns_obs = owns_obs
+        self.crashes = list(crashes)
+        self.max_iterations = max_iterations
+
+        self.plan = partition_csr(csr, shards)
+        self.statics = _build_statics(self.plan)
+        self.k = self.plan.k
+        budget = budget if budget is not None else CommBudget()
+        self.meters = [ShardCommMeter(s, budget) for s in range(self.k)]
+
+        # Ground truth (coordinator-owned).
+        self.active = np.ones(self.n, dtype=bool)
+        self.in_mis = np.zeros(self.n, dtype=bool)
+        self.crashed = np.zeros(self.n, dtype=bool)
+        self.mis_iter = np.full(self.n, -1, dtype=np.int64)
+        self.dominated_iter = np.full(self.n, -1, dtype=np.int64)
+        self.truth: Dict[str, np.ndarray] = {"active": self.active}
+        if algorithm == "ghaffari":
+            self.truth["exponent"] = np.ones(self.n, dtype=np.int64)
+        if algorithm == "luby-b":
+            self.truth["degree"] = np.zeros(self.n, dtype=np.int64)
+
+        # Per-shard scratch mirrors (support-indexed, wire dtypes) and the
+        # last value shipped per ordered pair — initialized to the same
+        # values as truth so the mirror invariant holds before round 0.
+        self.scratch: List[Dict[str, np.ndarray]] = []
+        for static in self.statics:
+            mirror = {"active": np.ones(static.support.size, dtype=np.uint8)}
+            if algorithm == "ghaffari":
+                mirror["exponent"] = np.ones(static.support.size, dtype=np.int8)
+            if algorithm == "luby-b":
+                mirror["degree"] = np.zeros(static.support.size, dtype=np.int32)
+            self.scratch.append(mirror)
+        self.last_sent: Dict[Tuple[int, int], Dict[str, np.ndarray]] = {}
+        for static in self.statics:
+            for t, positions in static.frontier.items():
+                pair: Dict[str, np.ndarray] = {
+                    "active": np.ones(positions.size, dtype=np.uint8)
+                }
+                if algorithm == "ghaffari":
+                    pair["exponent"] = np.ones(positions.size, dtype=np.int8)
+                if algorithm == "luby-b":
+                    pair["degree"] = np.zeros(positions.size, dtype=np.int32)
+                self.last_sent[(static.index, t)] = pair
+
+        self.dead_shards: set = set()
+        self._attempts: Dict[Tuple[int, str, int], int] = {}
+        self._pool = None
+        self._shared: Optional[_SharedStatics] = None
+        self._run_id = hashlib.sha1(
+            f"mpc:{algorithm}:{seed}:{self.n}:{self.k}:{os.getpid()}".encode()
+        ).hexdigest()[:12]
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._shared = _SharedStatics(self.csr, self._run_id)
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, self.k),
+                initializer=_pool_init,
+                initargs=(
+                    self._run_id,
+                    self._shared.names,
+                    self.n,
+                    int(self.csr.indices.size),
+                    self.k,
+                ),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    # -- metered message exchange --------------------------------------------
+
+    def _push_field(self, s: int, t: int, name: str, iteration: int) -> None:
+        """Ship field ``name`` for the ``s -> t`` frontier and meter it.
+
+        Dense mode refreshes the whole frontier slice (``size × itemsize``
+        bytes).  Sparsified (delta) mode ships only entries that changed
+        since the last push (``changed × (index + itemsize)`` bytes) —
+        the unchanged refreshes are the low-priority traffic dropped
+        under budget pressure; changed entries are correctness-bearing
+        and are never dropped.  Either way only changed entries need
+        applying, because unchanged ghosts already mirror truth.
+        """
+        static = self.statics[s]
+        positions = static.frontier[t]
+        wire = _WIRE_DTYPES[name]
+        payload = self.truth[name][positions].astype(wire)
+        last = self.last_sent[(s, t)][name]
+        changed = np.nonzero(payload != last)[0]
+
+        meter = self.meters[s]
+        dense_cost = int(payload.nbytes)
+        delta_cost = int(changed.size) * (_INDEX_BYTES + payload.itemsize)
+        over_hard = (
+            meter.budget.hard_capacity is not None
+            and meter.round_bytes + dense_cost > meter.budget.hard_capacity
+        )
+        if meter.should_sparsify or over_hard:
+            meter.note_sparsified()
+            meter.charge(min(delta_cost, dense_cost), iteration)
+        else:
+            meter.charge(dense_cost, iteration)
+
+        if changed.size:
+            values = payload[changed]
+            last[changed] = values
+            # The receiver's ghost slots for the sender's frontier: the
+            # partition invariant guarantees index parity (ghosts[t][s]
+            # is frontier[s][t]), so position i of the payload lands in
+            # ghost slot i.
+            self.scratch[t][name][self.statics[t].ghost_sel[s][changed]] = values
+
+    def _push_state(self, names: Sequence[str], iteration: int) -> None:
+        """One exchange wave: every live ordered shard pair, plus the free
+        local refresh of each shard's own slice."""
+        for static in self.statics:
+            s = static.index
+            if s in self.dead_shards:
+                continue
+            for t in sorted(static.frontier):
+                if t in self.dead_shards:
+                    continue
+                for name in names:
+                    self._push_field(s, t, name, iteration)
+        for static in self.statics:
+            if static.index in self.dead_shards:
+                continue
+            for name in names:
+                self.scratch[static.index][name][static.local_sel] = self.truth[
+                    name
+                ][static.start : static.stop].astype(_WIRE_DTYPES[name])
+
+    def _meter_winner_push(self, winners: np.ndarray, iteration: int) -> None:
+        """Winner announcements crossing the cut: 4 bytes per index,
+        always correctness-bearing (a peer must eliminate the neighbors
+        of a remote winner)."""
+        for static in self.statics:
+            s = static.index
+            if s in self.dead_shards:
+                continue
+            for t in sorted(static.frontier):
+                if t in self.dead_shards:
+                    continue
+                count = int(winners[static.frontier[t]].sum())
+                if count:
+                    self.meters[s].charge(count * _INDEX_BYTES, iteration)
+
+    # -- shard execution with the failure policy -----------------------------
+
+    def _fingerprint(self, shard: int) -> str:
+        return hashlib.sha256(
+            f"mpc:{self.algorithm}:{self.seed}:{self.n}:{self.k}:{shard}".encode()
+        ).hexdigest()
+
+    def _should_crash(self, shard: int, phase: str, iteration: int, attempt: int) -> bool:
+        if phase != "winners":
+            return False
+        return any(
+            c.shard == shard and c.iteration == iteration and attempt <= c.attempts
+            for c in self.crashes
+        )
+
+    def _emit_failure(self, shard: int, exc: BaseException, attempt: int) -> None:
+        if self.obs is None:
+            return
+        self.obs.emit(
+            EVENT_SWEEP_FAILURE,
+            family="mpc-shard",
+            n=self.n,
+            algorithm=f"{self.algorithm}-mpc",
+            seed=self.seed,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            attempts=attempt,
+            timed_out=False,
+            shard=shard,
+        )
+
+    def _submit(self, shard: int, phase: str, iteration: int, attempt: int):
+        crash = self._should_crash(shard, phase, iteration, attempt)
+        return self._pool.submit(
+            _pool_task,
+            self._run_id,
+            shard,
+            self.algorithm,
+            phase,
+            self.seed,
+            iteration,
+            self.n,
+            self.scratch[shard],
+            crash,
+            attempt,
+        )
+
+    def _execute_shard(
+        self, shard: int, phase: str, iteration: int, pending=None
+    ) -> Optional[Dict[str, Optional[np.ndarray]]]:
+        """Run one shard's phase under the failure policy.
+
+        ``pending`` is an already-submitted first-attempt future (the pool
+        wave); retries after a failure run synchronously.  Returns None
+        when the shard exhausted its attempts and the policy degrades
+        instead of raising (the caller retires the shard).
+        """
+        key = (iteration, phase, shard)
+        while True:
+            if pending is None:
+                attempt = self._attempts.get(key, 0) + 1
+                self._attempts[key] = attempt
+            else:
+                attempt = self._attempts[key]
+            try:
+                if pending is not None:
+                    future, pending = pending, None
+                    return future.result()
+                if self._pool is not None:
+                    return self._submit(shard, phase, iteration, attempt).result()
+                if self._should_crash(shard, phase, iteration, attempt):
+                    raise InjectedShardCrash(shard, iteration, attempt)
+                return _phase_compute(
+                    self.statics[shard],
+                    self.scratch[shard],
+                    self.algorithm,
+                    phase,
+                    self.seed,
+                    iteration,
+                    self.n,
+                )
+            except Exception as exc:
+                self._emit_failure(shard, exc, attempt)
+                if attempt < self.policy.max_attempts:
+                    time.sleep(
+                        self.policy.backoff_seconds(
+                            self._fingerprint(shard), attempt
+                        )
+                    )
+                    continue
+                if self.policy.on_error == "fail-fast":
+                    raise
+                self._retire_shard(shard)
+                return None
+
+    def _retire_shard(self, shard: int) -> None:
+        """Degrade: the shard's machine is gone.
+
+        Its still-active nodes are crashed (halted nodes keep their
+        outputs); the framework notifies peers control-plane (unmetered —
+        failure detection is the runtime's job, not the algorithm's).
+        """
+        self.dead_shards.add(shard)
+        static = self.statics[shard]
+        span = slice(static.start, static.stop)
+        self.crashed[span] |= self.active[span]
+        self.active[span] = False
+        for t in sorted(static.frontier):
+            if t in self.dead_shards:
+                continue
+            payload = self.active[static.frontier[t]].astype(np.uint8)
+            self.scratch[t]["active"][self.statics[t].ghost_sel[shard]] = payload
+            self.last_sent[(shard, t)]["active"][:] = payload
+
+    def _run_phase(
+        self, phase: str, iteration: int
+    ) -> Dict[int, Dict[str, Optional[np.ndarray]]]:
+        """Execute one phase on every live shard.
+
+        Pool mode submits the whole wave up front — every live shard's
+        first attempt is in flight concurrently — then gathers in shard
+        order; a failed gather drops into the synchronous retry loop.
+        """
+        live = [
+            s
+            for s in range(self.k)
+            if s not in self.dead_shards and self.statics[s].n_local
+        ]
+        if self.workers > 1 and len(live) > 1:
+            self._ensure_pool()
+        first = {}
+        if self._pool is not None:
+            for s in live:
+                self._attempts[(iteration, phase, s)] = 1
+                first[s] = self._submit(s, phase, iteration, 1)
+        results: Dict[int, Dict[str, Optional[np.ndarray]]] = {}
+        for s in live:
+            outcome = self._execute_shard(s, phase, iteration, first.get(s))
+            if outcome is not None:
+                results[s] = outcome
+        return results
+
+    # -- the round loop ------------------------------------------------------
+
+    def run(self) -> MISResult:
+        algorithm = self.algorithm
+        history: List[int] = []
+        iteration = 0
+        shatter_iteration: Optional[int] = None
+        if algorithm == "ghaffari":
+            n_floor = max(2, self.n)
+            shatter_threshold = n_floor / max(1.0, math.log(n_floor) ** 2)
+
+        while self.active.any() and iteration < self.max_iterations:
+            active_count = int(self.active.sum())
+            history.append(active_count)
+            if algorithm == "ghaffari" and shatter_iteration is None:
+                if active_count <= shatter_threshold:
+                    shatter_iteration = iteration
+
+            self._push_state(_STATE_FIELDS[algorithm], iteration)
+
+            fallback = None
+            if algorithm in ("metivier", "luby-a"):
+                fallback = _degenerate_winners(
+                    self.csr, self.active, algorithm, self.seed, iteration
+                )
+
+            if algorithm == "luby-b":
+                shards_before = set(self.dead_shards)
+                for s, outcome in self._run_phase("degrees", iteration).items():
+                    static = self.statics[s]
+                    self.truth["degree"][static.start : static.stop] = outcome[
+                        "degrees"
+                    ]
+                died_in_degrees = self.dead_shards - shards_before
+                self._push_state(("degree",), iteration)
+            else:
+                died_in_degrees = set()
+
+            winners = np.zeros(self.n, dtype=bool)
+            died_this_round = set(died_in_degrees)
+            if fallback is not None:
+                winners = fallback
+            else:
+                shards_before = set(self.dead_shards)
+                for s, outcome in self._run_phase("winners", iteration).items():
+                    static = self.statics[s]
+                    winners[static.start : static.stop] = outcome["winners"]
+                    if algorithm == "ghaffari":
+                        self.truth["exponent"][
+                            static.start : static.stop
+                        ] = outcome["exponents"]
+                died_this_round |= self.dead_shards - shards_before
+                # A retired shard's nodes crashed mid-round: anything it
+                # might have decided is lost with the machine.
+                winners &= self.active
+
+            if (
+                algorithm in ("metivier", "luby-a")
+                and not winners.any()
+                and self.active.any()
+                and not died_this_round
+            ):
+                raise AlgorithmError(
+                    f"{algorithm}-mpc made no progress with nodes still active "
+                    f"(iteration {iteration}) — engine invariant violated"
+                )
+
+            self._meter_winner_push(winners, iteration)
+
+            self.in_mis |= winners
+            self.mis_iter[winners] = iteration
+            eliminated = eliminate_winners_bulk(self.csr, self.active, winners)
+            self.dominated_iter[eliminated & ~winners] = iteration
+
+            round_bytes = sum(m.round_bytes for m in self.meters)
+            sparsified = sum(1 for m in self.meters if m.sparsified_this_round)
+            for meter in self.meters:
+                meter.end_round()
+            if self.obs is not None:
+                self.obs.emit(
+                    EVENT_MPC_ROUND,
+                    round=iteration,
+                    active=active_count,
+                    winners=int(winners.sum()),
+                    bytes=round_bytes,
+                    sparsified_shards=sparsified,
+                    degenerate=fallback is not None,
+                )
+            iteration += 1
+
+        report = CommReport.from_meters(self.meters)
+        extra: Dict[str, Any] = {
+            "completed": not bool(self.active.any()),
+            "shards": self.k,
+            "workers": self.workers,
+            "comm": report.to_dict(),
+        }
+        if algorithm == "ghaffari":
+            extra["iterations_to_shatter"] = shatter_iteration
+        if self.crashed.any():
+            extra["crashed"] = sorted(self.csr.label_set(self.crashed))
+            extra["dead_shards"] = sorted(self.dead_shards)
+            extra["outputs"] = self._outputs()
+        if self.obs is not None:
+            self.obs.emit(
+                EVENT_MPC_RUN_END,
+                rounds=iteration,
+                algorithm=f"{algorithm}-mpc",
+                mis_size=int(self.in_mis.sum()),
+                shards=self.k,
+                comm_bytes=report.total_bytes,
+                bytes_by_shard=report.bytes_by_shard,
+                max_round_bytes=report.max_round_bytes,
+                sparsified_rounds=report.sparsified_rounds,
+                crashed=int(self.crashed.sum()),
+            )
+
+        return MISResult(
+            mis=self.csr.label_set(self.in_mis),
+            iterations=iteration,
+            algorithm=f"{algorithm}-mpc",
+            seed=self.seed,
+            active_history=history,
+            extra=extra,
+        )
+
+    def _outputs(self) -> Dict[Any, Any]:
+        """Per-node halt outputs in the CONGEST programs' convention, for
+        :func:`repro.core.repair.validate_under_faults`."""
+        outputs: Dict[Any, Any] = {}
+        for i in range(self.n):
+            label = (
+                int(self.csr.labels[i])
+                if self.csr.integer_labeled
+                else self.csr.labels[i]
+            )
+            if self.mis_iter[i] >= 0:
+                outputs[label] = ("mis", int(self.mis_iter[i]))
+            elif self.dominated_iter[i] >= 0:
+                outputs[label] = ("dominated", int(self.dominated_iter[i]))
+            else:
+                outputs[label] = None
+        return outputs
+
+
+# -- public entry point ------------------------------------------------------
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be an integer, got {raw!r}")
+
+
+def run_sharded(
+    algorithm: str,
+    graph: Union[Any, CSRGraph],
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    budget: Optional[CommBudget] = None,
+    failure_policy: Optional[FailurePolicy] = None,
+    obs: Optional[ObsSession] = None,
+    crashes: Sequence[ShardCrash] = (),
+) -> MISResult:
+    """Run one MIS algorithm on the sharded MPC runtime.
+
+    ``graph`` is a :class:`networkx.Graph` or prebuilt :class:`CSRGraph`.
+    ``shards`` defaults to ``$REPRO_MPC_SHARDS`` (else 4), ``workers`` to
+    ``$REPRO_MPC_WORKERS`` (else 0 = inline).  ``budget`` defaults to an
+    unlimited :class:`CommBudget` (metered, never sparsified);
+    ``failure_policy`` to :meth:`FailurePolicy.from_env`.  ``crashes``
+    injects deterministic shard-worker failures for fault testing.
+
+    The result is bit-identical to the bulk engine (same ``mis``, same
+    ``iterations``, same ``active_history``) for every shard count — the
+    tier-1 differential suite pins this four ways.
+    """
+    if algorithm not in _STATE_FIELDS:
+        raise ConfigurationError(
+            f"unknown sharded algorithm {algorithm!r}; available: "
+            f"{', '.join(sorted(_STATE_FIELDS))}"
+        )
+    csr = graph if isinstance(graph, CSRGraph) else csr_from_graph(graph)
+    if shards is None:
+        shards = _env_int(SHARDS_ENV, DEFAULT_SHARDS)
+    if workers is None:
+        workers = _env_int(WORKERS_ENV, 0)
+    if max_iterations is None:
+        max_iterations = _DEFAULT_MAX_ITERATIONS[algorithm]
+    policy = failure_policy if failure_policy is not None else FailurePolicy.from_env()
+
+    if csr.n == 0:
+        return MISResult(
+            mis=set(), iterations=0, algorithm=f"{algorithm}-mpc", seed=seed
+        )
+
+    owns_obs = False
+    if obs is None:
+        obs = session_from_env(
+            "mpc",
+            name=algorithm,
+            seed=seed,
+            params={
+                "algorithm": f"{algorithm}-mpc",
+                "n": csr.n,
+                "shards": shards,
+                "workers": workers,
+            },
+        )
+        owns_obs = obs is not None
+
+    coordinator = _Coordinator(
+        algorithm=algorithm,
+        csr=csr,
+        seed=seed,
+        shards=shards,
+        workers=workers,
+        budget=budget,
+        policy=policy,
+        obs=obs,
+        owns_obs=owns_obs,
+        crashes=crashes,
+        max_iterations=max_iterations,
+    )
+    try:
+        return coordinator.run()
+    finally:
+        coordinator.close()
+        if owns_obs and obs is not None:
+            obs.finish()

@@ -47,6 +47,8 @@ __all__ = [
     "EVENT_SWEEP_POINT",
     "EVENT_SWEEP_END",
     "EVENT_ASYNC_RUN_END",
+    "EVENT_MPC_ROUND",
+    "EVENT_MPC_RUN_END",
     "EVENT_NOTE",
     "EVENT_SINK_STATS",
 ]
@@ -72,6 +74,8 @@ EVENT_SWEEP_START = "sweep-start"
 EVENT_SWEEP_POINT = "sweep-point"
 EVENT_SWEEP_END = "sweep-end"
 EVENT_ASYNC_RUN_END = "async-run-end"
+EVENT_MPC_ROUND = "mpc-round"  # one sharded-runtime round: active, winners, comm bytes
+EVENT_MPC_RUN_END = "mpc-run-end"  # aggregate: rounds, per-shard comm bytes, sparsification
 EVENT_NOTE = "note"
 EVENT_SINK_STATS = "sink-stats"
 

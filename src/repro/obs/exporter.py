@@ -121,6 +121,31 @@ def summary_to_prometheus(
             summary.sweep_cached,
             base,
         )
+    if summary.mpc_runs:
+        _metric(
+            lines,
+            f"{_PREFIX}_mpc_runs_total",
+            "Sharded (MPC) runtime executions observed.",
+            "counter",
+            summary.mpc_runs,
+            base,
+        )
+        _metric(
+            lines,
+            f"{_PREFIX}_mpc_comm_bytes_total",
+            "Inter-shard bytes metered across all sharded runs.",
+            "counter",
+            summary.mpc_comm_bytes,
+            base,
+        )
+        _metric(
+            lines,
+            f"{_PREFIX}_mpc_sparsified_rounds_total",
+            "Shard-rounds that ran in sparsified (delta) mode.",
+            "counter",
+            summary.mpc_sparsified_rounds,
+            base,
+        )
     if summary.phase_seconds:
         name = f"{_PREFIX}_phase_seconds_total"
         lines.append(f"# HELP {name} Wall-clock seconds per pipeline phase.")

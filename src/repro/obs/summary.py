@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.obs.events import (
     EVENT_ASYNC_RUN_END,
     EVENT_FAULT,
+    EVENT_MPC_RUN_END,
     EVENT_PHASE_END,
     EVENT_ROUND,
     EVENT_RUN_END,
@@ -65,6 +66,12 @@ class ObsSummary:
     #: sampled, so the breakdown can undercount while the total is exact).
     faults_injected: int = 0
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Sharded (MPC) runtime aggregates, from ``mpc-run-end`` events only —
+    #: per-round ``mpc-round`` events may be sampled, the aggregate is
+    #: authoritative (same rule as run-end vs round).
+    mpc_runs: int = 0
+    mpc_comm_bytes: int = 0
+    mpc_sparsified_rounds: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "ObsSummary") -> None:
@@ -83,6 +90,9 @@ class ObsSummary:
         self.faults_injected += other.faults_injected
         for kind, count in other.fault_counts.items():
             self.fault_counts[kind] = self.fault_counts.get(kind, 0) + count
+        self.mpc_runs += other.mpc_runs
+        self.mpc_comm_bytes += other.mpc_comm_bytes
+        self.mpc_sparsified_rounds += other.mpc_sparsified_rounds
         for kind, count in other.by_kind.items():
             self.by_kind[kind] = self.by_kind.get(kind, 0) + count
 
@@ -101,6 +111,9 @@ class ObsSummary:
             "async_events_processed": self.async_events_processed,
             "faults_injected": self.faults_injected,
             "fault_counts": dict(sorted(self.fault_counts.items())),
+            "mpc_runs": self.mpc_runs,
+            "mpc_comm_bytes": self.mpc_comm_bytes,
+            "mpc_sparsified_rounds": self.mpc_sparsified_rounds,
             "by_kind": dict(sorted(self.by_kind.items())),
         }
 
@@ -130,6 +143,12 @@ class ObsSummary:
             lines.append(
                 f"faults:        {self.faults_injected}"
                 + (f" ({breakdown})" if breakdown else "")
+            )
+        if self.mpc_runs:
+            lines.append(
+                f"mpc:           {self.mpc_runs} runs, "
+                f"{self.mpc_comm_bytes} comm bytes, "
+                f"{self.mpc_sparsified_rounds} sparsified shard-rounds"
             )
         if self.phase_seconds:
             lines.append("phase wall time:")
@@ -202,6 +221,11 @@ def summarize_events(records: Iterable[Dict[str, Any]]) -> ObsSummary:
             summary.pulses += record.get("pulses", 0)
             summary.async_events_processed += record.get("events_processed", 0)
             summary.faults_injected += record.get("faults", 0)
+        elif kind == EVENT_MPC_RUN_END:
+            summary.mpc_runs += 1
+            summary.total_rounds += record.get("rounds", 0)
+            summary.mpc_comm_bytes += record.get("comm_bytes", 0)
+            summary.mpc_sparsified_rounds += record.get("sparsified_rounds", 0)
         elif kind == EVENT_FAULT:
             fine_faults += 1
             name = record.get("fault", "?")

@@ -1,0 +1,94 @@
+"""Communication-budget tests for the sharded runtime.
+
+On a planted bounded-arboricity instance, tightening the per-shard
+budget must flip shards into sparsified (delta) pushes — visibly in the
+meters — without changing the computed MIS by a single bit, because
+sparsification only drops unchanged-entry refreshes, never
+correctness-bearing updates.  An impossible hard cap raises the typed
+:class:`~repro.errors.CommBudgetExceededError` instead of truncating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommBudgetExceededError, ConfigurationError
+from repro.graphs.csr import csr_bounded_arboricity
+from repro.mpc import CommBudget, ShardCommMeter, run_sharded
+
+
+def _instance():
+    return csr_bounded_arboricity(1500, alpha=3, seed=5)
+
+
+def test_sparsification_triggers_without_changing_the_mis():
+    csr = _instance()
+    free = run_sharded("metivier", csr, seed=5, shards=4)
+    free_comm = free.extra["comm"]
+    # Soft cap at half the worst observed round: the peak-hold estimator
+    # must cross the sparsification threshold after the first rounds.
+    capacity = max(free_comm["max_round_bytes_by_shard"]) // 2
+    budget = CommBudget(capacity=capacity, hard_capacity=capacity * 50)
+    tight = run_sharded("metivier", csr, seed=5, shards=4, budget=budget)
+    tight_comm = tight.extra["comm"]
+
+    assert tight.mis == free.mis
+    assert tight.iterations == free.iterations
+    assert tight.active_history == free.active_history
+    assert sum(tight_comm["sparsified_rounds_by_shard"]) > 0
+    assert tight_comm["total_bytes"] < free_comm["total_bytes"]
+    assert all(p > 0 for p in tight_comm["peak_hold_by_shard"])
+    assert all(
+        m <= budget.hard_capacity
+        for m in tight_comm["max_round_bytes_by_shard"]
+    )
+
+
+def test_unlimited_budget_never_sparsifies():
+    free = run_sharded("ghaffari", _instance(), seed=5, shards=4)
+    assert sum(free.extra["comm"]["sparsified_rounds_by_shard"]) == 0
+
+
+def test_impossible_hard_cap_raises_typed_error():
+    with pytest.raises(CommBudgetExceededError) as excinfo:
+        run_sharded(
+            "metivier",
+            _instance(),
+            seed=5,
+            shards=4,
+            budget=CommBudget(capacity=8, hard_capacity=8),
+        )
+    err = excinfo.value
+    assert err.limit == 8
+    assert err.bytes_needed > 8
+    assert err.round_index == 0
+    assert "correctness-bearing" in str(err)
+
+
+def test_budget_validation():
+    with pytest.raises(ConfigurationError):
+        CommBudget(capacity=0)
+    with pytest.raises(ConfigurationError):
+        CommBudget(capacity=100, hard_capacity=50)
+    with pytest.raises(ConfigurationError):
+        CommBudget(soft_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        CommBudget(decay=1.0)
+    sized = CommBudget.for_shard_size(1000)
+    assert sized.capacity == 1000 * 8 * 8
+    assert sized.hard_capacity == 4 * sized.capacity
+
+
+def test_peak_hold_decays_but_holds_recent_peaks():
+    meter = ShardCommMeter(0, CommBudget(capacity=1000, decay=0.5))
+    meter.charge(800, 0)
+    meter.end_round()
+    assert meter.peak_hold == 800.0
+    assert meter.should_sparsify  # 800 >= 0.75 * 1000
+    meter.charge(10, 1)
+    meter.end_round()
+    assert meter.peak_hold == 400.0  # one quiet round decays, not resets
+    assert not meter.should_sparsify
+    meter.charge(10, 2)
+    meter.end_round()
+    assert meter.peak_hold == 200.0
