@@ -11,8 +11,8 @@ Commands
              report live progress (``--progress``);
 ``certify``  compute the arboricity certificate of a workload
              (pseudoarboricity, Nash–Williams bound, forest partition);
-``lint``     run the CONGEST model-compliance static analyzer (rules
-             R1–R5, docs/model_compliance.md) over the source tree;
+``lint``     run the model-compliance (R1–R5) and engine-safety (S1–S5)
+             static analyzer (docs/model_compliance.md) over the tree;
 ``obs``      inspect recorded run telemetry (``tail`` / ``summary`` /
              ``diff`` over manifest + JSONL artifacts,
              docs/observability.md);
@@ -233,10 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--output", required=True, help=".json path")
 
     lint = sub.add_parser(
-        "lint", help="CONGEST model-compliance static analysis (rules R1-R5)"
+        "lint",
+        help="model-compliance and engine-safety static analysis "
+        "(rules R1-R5, S1-S5)",
     )
     lint.add_argument("paths", nargs="*", help="files or directories to lint")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    lint.add_argument("--select", action="append", default=[], metavar="RULES")
+    lint.add_argument("--disable", action="append", default=[], metavar="RULES")
+    lint.add_argument("--baseline", default=None, metavar="FILE")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE")
+    lint.add_argument("--strict-baseline", action="store_true")
     lint.add_argument("--config", default=None, metavar="PYPROJECT")
     lint.add_argument("--no-config", action="store_true")
 
@@ -626,6 +635,16 @@ def _cmd_lint(args) -> int:
 
     argv = list(args.paths)
     argv += ["--format", args.format]
+    for select in args.select:
+        argv += ["--select", select]
+    for disable in args.disable:
+        argv += ["--disable", disable]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.strict_baseline:
+        argv.append("--strict-baseline")
     if args.config:
         argv += ["--config", args.config]
     if args.no_config:

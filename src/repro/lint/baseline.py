@@ -1,0 +1,159 @@
+"""Baseline files: grandfather existing findings without losing them.
+
+Turning a new rule family on over a living tree surfaces findings that
+are *intentional* (e.g. the int8 wire-dtype narrowing in the MPC
+runtime, justified by a range argument) next to ones that are bugs.  A
+baseline file records the former so CI can fail on anything *new* while
+the grandfathered findings stay visible in ``--format json`` output and
+can be burned down over time.
+
+Matching is deliberately line-insensitive: a finding is identified by
+``(rule, path, message)`` with a count, so unrelated edits that shift
+line numbers do not invalidate the baseline, while a *second* identical
+finding in the same file does fail (the count is consumed).  ``E1``
+(parse) and ``E2`` (engine crash) findings can never be baselined — they
+mean the analysis itself is broken.
+
+The file is committed JSON::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "S3", "path": "src/repro/mpc/runtime.py",
+         "message": "...", "count": 1}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: Findings that may never be grandfathered.
+_UNBASELINABLE = frozenset({"E1", "E2"})
+
+Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or has an unsupported version."""
+
+
+def _key(rule: str, path: str, message: str) -> Key:
+    return (rule, path.replace("\\", "/"), message)
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding fingerprints with remaining counts."""
+
+    counts: Dict[Key, int] = field(default_factory=dict)
+
+    def consume(self, finding: Finding) -> bool:
+        """True (and decrements) iff ``finding`` is grandfathered."""
+        if finding.rule in _UNBASELINABLE:
+            return False
+        key = _key(finding.rule, finding.path, finding.message)
+        remaining = self.counts.get(key, 0)
+        if remaining <= 0:
+            return False
+        self.counts[key] = remaining - 1
+        return True
+
+    def stale_entries(self) -> List[Dict[str, object]]:
+        """Entries (or counts) no current finding matched — fixed or moved."""
+        out = []
+        for (rule, path, message), remaining in sorted(self.counts.items()):
+            if remaining > 0:
+                out.append(
+                    {
+                        "rule": rule,
+                        "path": path,
+                        "message": message,
+                        "count": remaining,
+                    }
+                )
+        return out
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a committed baseline file; raises :class:`BaselineError` if bad."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a baseline object with version "
+            f"{BASELINE_VERSION}, got {type(data).__name__}"
+        )
+    baseline = Baseline()
+    for entry in data.get("findings", []):
+        try:
+            rule = str(entry["rule"])
+            fpath = str(entry["path"])
+            message = str(entry["message"])
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"{path}: malformed entry {entry!r}") from exc
+        if count < 1:
+            raise BaselineError(f"{path}: non-positive count in {entry!r}")
+        key = _key(rule, fpath, message)
+        baseline.counts[key] = baseline.counts.get(key, 0) + count
+    return baseline
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into ``(new, grandfathered)``.
+
+    Mutates ``baseline``'s remaining counts; call
+    :meth:`Baseline.stale_entries` afterwards for drift detection.
+    """
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        (grandfathered if baseline.consume(finding) else new).append(finding)
+    return new, grandfathered
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialize current findings as a fresh baseline document."""
+    counts: Dict[Key, int] = {}
+    for finding in findings:
+        if finding.rule in _UNBASELINABLE:
+            continue
+        key = _key(finding.rule, finding.path, finding.message)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"rule": rule, "path": path, "message": message, "count": count}
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    return json.dumps(
+        {"version": BASELINE_VERSION, "findings": entries},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    """Write :func:`render_baseline` of ``findings`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(findings) + "\n")

@@ -1,10 +1,18 @@
 """Command-line front end: ``python -m repro.lint`` / ``repro lint``.
 
-Exit codes (for CI):
+Exit codes (for CI) — pinned by ``tests/lint/test_cli.py``:
 
-* ``0`` — every checked file is model-compliant;
-* ``1`` — at least one R1–R5 finding;
-* ``2`` — a checked file failed to parse (``E1``) or no files matched.
+* ``0`` — every checked file is model-compliant (baseline-suppressed
+  findings do not fail the run);
+* ``1`` — at least one non-baselined R/S finding, or (with
+  ``--strict-baseline``) a stale baseline entry;
+* ``2`` — a checked file failed to parse (``E1``), a rule crashed
+  (``E2``), the baseline file is unreadable, or no files matched.
+
+Rule selection composes with the config file: ``--select`` *replaces*
+any configured selection (only the listed rules run), ``--disable``
+*extends* the configured disable list.  Both take comma-separated rule
+ids and may be repeated: ``--select S1,S2 --select R3``.
 """
 
 from __future__ import annotations
@@ -12,11 +20,20 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
+from repro.lint.baseline import (
+    Baseline,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.config import DEFAULT_CONFIG, load_config
-from repro.lint.engine import iter_python_files, lint_file
+from repro.lint.engine import iter_python_files, lint_paths
 from repro.lint.report import render_json, render_text
+from repro.lint.sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -25,8 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="CONGEST model-compliance static analyzer (rules R1-R5; "
-        "see docs/model_compliance.md)",
+        description="CONGEST model-compliance and engine-safety static "
+        "analyzer (rules R1-R5, S1-S5; see docs/model_compliance.md)",
     )
     parser.add_argument(
         "paths",
@@ -36,9 +53,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is stable for CI consumption)",
+        help="report format (json is stable for CI consumption; sarif for "
+        "code-scanning uploads)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids; when given, ONLY these rules run "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids to skip, added to any configured "
+        "disable list (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings; matched findings "
+        "are reported but do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings to FILE as a fresh baseline and "
+        "exit 0 (unless the engine itself errored)",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail (exit 1) when the baseline contains stale entries that "
+        "no current finding matches",
     )
     parser.add_argument(
         "--config",
@@ -55,13 +109,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _split_rule_lists(values: List[str]) -> tuple:
+    out: List[str] = []
+    for value in values:
+        out.extend(r.strip() for r in value.split(",") if r.strip())
+    return tuple(out)
+
+
 def _resolve_config(args: argparse.Namespace):
     if args.no_config:
-        return DEFAULT_CONFIG
-    path = args.config
-    if path is None and os.path.isfile("pyproject.toml"):
-        path = "pyproject.toml"
-    return load_config(path)
+        config = DEFAULT_CONFIG
+    else:
+        path = args.config
+        if path is None and os.path.isfile("pyproject.toml"):
+            path = "pyproject.toml"
+        config = load_config(path)
+    select = _split_rule_lists(args.select)
+    disable = _split_rule_lists(args.disable)
+    if select:
+        config = replace(config, select=select)
+    if disable:
+        config = replace(config, disable=tuple(config.disable) + disable)
+    return config
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -71,20 +140,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     paths = list(args.paths) if args.paths else list(config.paths)
 
     files = iter_python_files(paths, exclude=config.exclude)
-    findings = []
-    for path in files:
-        findings.extend(lint_file(path, config=config))
+    findings = lint_paths(files, config=config)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    engine_errors = [f for f in findings if f.rule in ("E1", "E2")]
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(findings, checked_files=len(files)))
+    if args.write_baseline is not None:
+        write_baseline(findings, args.write_baseline)
+        print(
+            f"repro.lint: wrote baseline with "
+            f"{len(findings) - len(engine_errors)} findings to "
+            f"{args.write_baseline}"
+        )
+        if not files:
+            return 2
+        return 2 if engine_errors else 0
+
+    baseline = Baseline()
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, BaselineError) as exc:
+            print(f"repro.lint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+    new, grandfathered = apply_baseline(findings, baseline)
+    stale = baseline.stale_entries()
+
+    if args.format == "json":
+        report = render_json(
+            new,
+            checked_files=len(files),
+            grandfathered=grandfathered,
+            stale_baseline=stale,
+        )
+    elif args.format == "sarif":
+        report = render_sarif(new + grandfathered, checked_files=len(files))
+    else:
+        report = render_text(
+            new,
+            checked_files=len(files),
+            grandfathered=grandfathered,
+            stale_baseline=stale,
+        )
+    print(report)
 
     if not files:
         print(f"repro.lint: no python files under {paths!r}", file=sys.stderr)
         return 2
-    if any(f.rule == "E1" for f in findings):
+    if engine_errors:
         return 2
-    return 1 if findings else 0
+    if new:
+        return 1
+    if stale and args.strict_baseline:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -53,6 +53,15 @@ KEYED_NUMPY_RANDOM: Tuple[str, ...] = (
 )
 
 
+def _in_package_scope(module_name: str, packages: Tuple[str, ...]) -> bool:
+    for package in packages:
+        if package == "*":
+            return True
+        if module_name == package or module_name.startswith(package + "."):
+            return True
+    return False
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Resolved linter settings (defaults + pyproject overrides)."""
@@ -60,11 +69,31 @@ class LintConfig:
     paths: Tuple[str, ...] = ("src/repro",)
     exclude: Tuple[str, ...] = ()
     disable: Tuple[str, ...] = ()
+    #: When non-empty, only these rules run (``--select`` on the CLI).
+    select: Tuple[str, ...] = ()
     determinism_packages: Tuple[str, ...] = (
         "repro.mis",
         "repro.core",
         "repro.matching",
         "repro.congest",
+    )
+    #: Modules the S-family engine-safety rules apply to: the layers whose
+    #: correctness the bit-identity differential tests lean on.
+    safety_packages: Tuple[str, ...] = (
+        "repro.mpc",
+        "repro.mis.csr",
+        "repro.core.bulk",
+        "repro.graphs.csr",
+    )
+    #: Packages sanctioned to hold wall clocks / ambient state: calls from
+    #: determinism-scope modules into these are not followed by the
+    #: interprocedural R3 pass (the obs layer stamps timestamps by design,
+    #: the sweep/mpc runtimes sleep between retries by design).
+    clock_exempt_packages: Tuple[str, ...] = (
+        "repro.obs",
+        "repro.analysis",
+        "repro.mpc",
+        "repro.lint",
     )
     algorithm_base_classes: Tuple[str, ...] = (
         "NodeAlgorithm",
@@ -74,6 +103,8 @@ class LintConfig:
     keyed_numpy_random: Tuple[str, ...] = KEYED_NUMPY_RANDOM
 
     def rule_enabled(self, rule: str) -> bool:
+        if self.select:
+            return rule in self.select and rule not in self.disable
         return rule not in self.disable
 
     def in_determinism_scope(self, module_name: str) -> bool:
@@ -82,12 +113,15 @@ class LintConfig:
         A ``"*"`` entry puts every module in scope (used by tests linting
         synthetic sources outside the package tree).
         """
-        for package in self.determinism_packages:
-            if package == "*":
-                return True
-            if module_name == package or module_name.startswith(package + "."):
-                return True
-        return False
+        return _in_package_scope(module_name, self.determinism_packages)
+
+    def in_safety_scope(self, module_name: str) -> bool:
+        """Whether the S-family engine-safety rules apply to ``module_name``."""
+        return _in_package_scope(module_name, self.safety_packages)
+
+    def is_clock_exempt(self, module_name: str) -> bool:
+        """Whether interprocedural R3 stops at ``module_name``'s boundary."""
+        return _in_package_scope(module_name, self.clock_exempt_packages)
 
 
 DEFAULT_CONFIG = LintConfig()

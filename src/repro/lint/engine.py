@@ -61,6 +61,10 @@ class Finding:
     line: int
     col: int
     message: str
+    #: ``error`` (breaks a correctness contract) or ``warning`` (suspect
+    #: pattern that may be intentional — baseline or suppress with a
+    #: justification).  Both exit nonzero; severity feeds SARIF levels.
+    severity: str = "error"
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -72,6 +76,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -259,45 +264,92 @@ def build_model(
     return model
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    config: LintConfig = DEFAULT_CONFIG,
-    module_name: Optional[str] = None,
-) -> List[Finding]:
-    """Lint one module given as a string; returns surviving findings."""
-    from repro.lint import rules as rules_mod
+def all_rules():
+    """Both rule families, id-ordered: R1-R5 then S1-S5.
 
-    try:
-        model = build_model(source, path, config, module_name=module_name)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="E1",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+    Imported lazily so ``engine`` stays importable from the rule modules
+    themselves without a cycle.
+    """
+    from repro.lint import rules as rules_mod
+    from repro.lint import safety as safety_mod
+
+    return tuple(rules_mod.ALL_RULES) + tuple(safety_mod.ALL_SAFETY_RULES)
+
+
+def _run_rules(model: ModuleModel, config: LintConfig, project) -> List[Finding]:
+    """Run every enabled rule over one module with project context.
+
+    A rule that crashes becomes an ``E2`` finding (engine error) instead
+    of taking down the whole run — the CLI maps E-findings to exit 2.
+    """
     findings: List[Finding] = []
-    for rule_id, rule_fn in rules_mod.ALL_RULES:
+    for rule_id, rule_fn in all_rules():
         if not config.rule_enabled(rule_id):
             continue
-        findings.extend(rule_fn(model))
+        try:
+            findings.extend(rule_fn(model, project))
+        except Exception as exc:  # pragma: no cover - defensive
+            findings.append(
+                Finding(
+                    rule="E2",
+                    path=model.path,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"rule {rule_id} crashed on this module: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            )
     findings = [f for f in findings if not model.is_suppressed(f)]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
 
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="E1",
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig = DEFAULT_CONFIG,
+    module_name: Optional[str] = None,
+    project=None,
+) -> List[Finding]:
+    """Lint one module given as a string; returns surviving findings.
+
+    ``project`` is the :class:`~repro.lint.project.ProjectModel` when the
+    module is linted as part of a multi-file run; standalone calls build
+    a single-module project so the interprocedural rules still see the
+    module's own helpers.
+    """
+    try:
+        model = build_model(source, path, config, module_name=module_name)
+    except SyntaxError as exc:
+        return [_syntax_finding(path, exc)]
+    if project is None:
+        from repro.lint.project import build_project
+
+        project = build_project([model])
+    return _run_rules(model, config, project)
+
+
 def lint_file(
     path: str,
     config: LintConfig = DEFAULT_CONFIG,
+    project=None,
 ) -> List[Finding]:
     """Lint one ``.py`` file from disk; returns surviving findings."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path=path, config=config)
+    return lint_source(source, path=path, config=config, project=project)
 
 
 def iter_python_files(paths: Sequence[str], exclude: Sequence[str] = ()) -> List[str]:
@@ -330,8 +382,27 @@ def lint_paths(
     paths: Iterable[str],
     config: LintConfig = DEFAULT_CONFIG,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; the main library entry."""
+    """Lint every ``.py`` file under ``paths``; the main library entry.
+
+    Two passes: parse everything into module models first (a syntax error
+    becomes an ``E1`` finding and drops the module from the project),
+    build the project-wide symbol table and call graph once, then run the
+    rules per module with that shared context — which is what lets R2/R3
+    follow helper calls across modules and the S-family see the full
+    pool-dispatch picture.
+    """
+    from repro.lint.project import build_project
+
     findings: List[Finding] = []
+    models: List[ModuleModel] = []
     for path in iter_python_files(list(paths), exclude=config.exclude):
-        findings.extend(lint_file(path, config=config))
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            models.append(build_model(source, path, config))
+        except SyntaxError as exc:
+            findings.append(_syntax_finding(path, exc))
+    project = build_project(models)
+    for model in models:
+        findings.extend(_run_rules(model, config, project))
     return findings

@@ -1,0 +1,367 @@
+"""Project-wide symbol table and call graph for interprocedural rules.
+
+The per-module :class:`~repro.lint.engine.ModuleModel` answers questions
+about one file; several rules need answers that cross the module
+boundary:
+
+* R2/R3 follow helper calls — "this node program passes its
+  ``NodeContext`` to ``repro.core.shattering.helper``; does the helper
+  stay on the public surface?", "this in-scope module calls an
+  out-of-scope helper; does that helper read the clock?";
+* the S-family needs to know which functions execute **inside pool
+  workers** — everything reachable from a ``multiprocessing`` target
+  (``Process(target=...)``, ``executor.submit(f, ...)``,
+  ``initializer=...``) through the project call graph;
+* S5 validates emitted event kinds against the ``EVENT_*`` schema
+  constants, wherever in the project they are defined.
+
+:class:`ProjectModel` is built once per lint run over every parsed
+module, stays purely static (no imports of checked code), and is handed
+to every rule alongside the per-module model.  Resolution is
+intentionally conservative: a call that cannot be resolved to a project
+function simply is not followed — unknown code stays unflagged, exactly
+like the R4 payload inference.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleModel
+
+__all__ = ["FunctionInfo", "ProjectModel", "build_project"]
+
+#: Callable-position keywords of process/pool primitives: the values are
+#: executed in a different process (or define what does).
+_POOL_CALL_KEYWORDS = frozenset({"target", "initializer"})
+
+#: Attribute-call names whose first positional argument runs on a pool.
+_POOL_SUBMIT_ATTRS = frozenset(
+    {"submit", "apply_async", "map_async", "starmap", "starmap_async", "imap",
+     "imap_unordered"}
+)
+
+#: Constructors that accept ``target=``/``initializer=`` keywords.
+_POOL_CONSTRUCTORS = frozenset(
+    {"Process", "Pool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, addressable project-wide."""
+
+    qualname: str  #: ``module.func`` or ``module.Class.method``
+    module: str
+    node: ast.FunctionDef
+    model: ModuleModel
+    #: class name when this is a method, else None
+    owner: Optional[str] = None
+
+
+@dataclass
+class ProjectModel:
+    """Everything interprocedural rules need about the whole lint target."""
+
+    #: dotted module name -> parsed per-module model
+    modules: Dict[str, ModuleModel] = field(default_factory=dict)
+    #: qualified name -> definition info
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: id(ast def node) -> qualified name (reverse lookup for rules)
+    qualname_of: Dict[int, str] = field(default_factory=dict)
+    #: qualified caller -> qualified callees resolved inside the project
+    call_graph: Dict[str, Set[str]] = field(default_factory=dict)
+    #: qualified names passed to pool/process primitives anywhere
+    pool_targets: Set[str] = field(default_factory=set)
+    #: pool targets plus everything they transitively call
+    worker_reachable: Set[str] = field(default_factory=set)
+    #: known event-kind strings (values of ``EVENT_*`` constants)
+    event_kinds: Set[str] = field(default_factory=set)
+    #: ``EVENT_*`` constant name -> kind string, for resolving Name args
+    event_constants: Dict[str, str] = field(default_factory=dict)
+    #: lazily computed (config-dependent) ambient-state taint, see
+    #: :meth:`tainted_functions`
+    _taint: Optional[FrozenSet[str]] = None
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve_call(
+        self, model: ModuleModel, call: ast.Call, owner: Optional[str] = None
+    ) -> Optional[str]:
+        """Qualified name of ``call``'s target, if it is a project function.
+
+        Resolves plain names through the module's own defs and its
+        ``from m import f`` table, ``alias.attr`` through ``import m as
+        alias``, and ``self.method()`` through ``owner`` (the enclosing
+        class, when given).  Anything else returns None.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = f"{model.module_name}.{func.id}"
+            if local in self.functions:
+                return local
+            imported = model.imported_names.get(func.id)
+            if imported is not None:
+                src_module, original = imported
+                candidate = f"{src_module}.{original}"
+                if candidate in self.functions:
+                    return candidate
+                # ``from repro import mpc`` style: the imported name may
+                # itself be a module.
+                as_module = f"{src_module}.{original}"
+                if as_module in self.modules:
+                    return None
+            return None
+        if isinstance(func, ast.Attribute):
+            if (
+                owner is not None
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                candidate = f"{model.module_name}.{owner}.{func.attr}"
+                return candidate if candidate in self.functions else None
+            if isinstance(func.value, ast.Name):
+                target_module = model.module_aliases.get(func.value.id)
+                if target_module is not None:
+                    candidate = f"{target_module}.{func.attr}"
+                    if candidate in self.functions:
+                        return candidate
+                imported = model.imported_names.get(func.value.id)
+                if imported is not None:
+                    src_module, original = imported
+                    candidate = f"{src_module}.{original}.{func.attr}"
+                    if candidate in self.functions:
+                        return candidate
+        return None
+
+    def callees(self, qualname: str, transitive: bool = False) -> Set[str]:
+        direct = self.call_graph.get(qualname, set())
+        if not transitive:
+            return set(direct)
+        seen: Set[str] = set()
+        frontier = list(direct)
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.call_graph.get(current, ()))
+        return seen
+
+    def is_worker_code(self, def_node: ast.AST) -> bool:
+        """Whether this function definition executes inside pool workers."""
+        qualname = self.qualname_of.get(id(def_node))
+        return qualname is not None and qualname in self.worker_reachable
+
+    # -- ambient-state taint (interprocedural R3) ----------------------------
+
+    def tainted_functions(self, config) -> FrozenSet[str]:
+        """Functions that (transitively) touch ambient RNG or wall clocks.
+
+        Direct taint: the function's body references an alias of
+        ``random`` / ``time`` / ``datetime`` (or a name from-imported
+        from one of them).  Taint propagates backwards through the call
+        graph, but never *through* a clock-exempt package (those hold
+        clocks by design) and never through determinism-scope modules
+        (they are linted directly by R3).
+        """
+        if self._taint is not None:
+            return self._taint
+        banned = ("random", "time", "datetime")
+
+        def follows(module_name: str) -> bool:
+            return not (
+                config.is_clock_exempt(module_name)
+                or config.in_determinism_scope(module_name)
+            )
+
+        tainted: Set[str] = set()
+        for qualname, info in self.functions.items():
+            if not follows(info.module):
+                continue
+            model = info.model
+            banned_roots = {
+                local
+                for local, target in model.module_aliases.items()
+                if any(target == b or target.startswith(b + ".") for b in banned)
+            }
+            banned_names = {
+                local
+                for local, (src, _orig) in model.imported_names.items()
+                if any(src == b or src.startswith(b + ".") for b in banned)
+            }
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Attribute):
+                    root = node.value
+                    while isinstance(root, ast.Attribute):
+                        root = root.value
+                    if isinstance(root, ast.Name) and root.id in banned_roots:
+                        tainted.add(qualname)
+                        break
+                elif isinstance(node, ast.Name) and node.id in banned_names:
+                    tainted.add(qualname)
+                    break
+
+        # Backward closure: a caller of a tainted function is tainted,
+        # unless it lives where taint does not propagate.
+        changed = True
+        while changed:
+            changed = False
+            for qualname, callees in self.call_graph.items():
+                if qualname in tainted:
+                    continue
+                info = self.functions.get(qualname)
+                if info is None or not follows(info.module):
+                    continue
+                if callees & tainted:
+                    tainted.add(qualname)
+                    changed = True
+        self._taint = frozenset(tainted)
+        return self._taint
+
+
+def _iter_defs(
+    model: ModuleModel,
+) -> Iterable[Tuple[str, Optional[str], ast.FunctionDef]]:
+    """Yield ``(qualname_suffix, owner_class, def)`` for a module."""
+    for node in model.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, None, node  # type: ignore[misc]
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", node.name, item  # type: ignore[misc]
+
+
+def _collect_event_schema(project: ProjectModel, model: ModuleModel) -> None:
+    for node in model.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id.startswith("EVENT_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                project.event_kinds.add(node.value.value)
+                project.event_constants[target.id] = node.value.value
+
+
+def _fallback_event_schema(project: ProjectModel) -> None:
+    """Load ``EVENT_*`` from the in-tree schema when the lint target did
+    not include it (single-file runs).  Still a static parse — the
+    checked code is never imported."""
+    events_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "obs",
+        "events.py",
+    )
+    if not os.path.isfile(events_path):
+        return
+    try:
+        with open(events_path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+    except (OSError, SyntaxError):
+        return
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id.startswith("EVENT_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                project.event_kinds.add(node.value.value)
+                project.event_constants.setdefault(target.id, node.value.value)
+
+
+def _callable_args(call: ast.Call) -> List[ast.AST]:
+    """Expressions in ``call`` that name code another process will run."""
+    out: List[ast.AST] = []
+    func_name = None
+    if isinstance(call.func, ast.Name):
+        func_name = call.func.id
+    elif isinstance(call.func, ast.Attribute):
+        func_name = call.func.attr
+    if func_name in _POOL_SUBMIT_ATTRS and isinstance(call.func, ast.Attribute):
+        if call.args:
+            out.append(call.args[0])
+    if func_name in _POOL_CONSTRUCTORS:
+        for kw in call.keywords:
+            if kw.arg in _POOL_CALL_KEYWORDS:
+                out.append(kw.value)
+    return out
+
+
+def _resolve_callable_ref(
+    project: ProjectModel, model: ModuleModel, node: ast.AST
+) -> Optional[str]:
+    """Resolve a *reference* to a function (not a call) to a qualname."""
+    if isinstance(node, ast.Name):
+        local = f"{model.module_name}.{node.id}"
+        if local in project.functions:
+            return local
+        imported = model.imported_names.get(node.id)
+        if imported is not None:
+            candidate = f"{imported[0]}.{imported[1]}"
+            if candidate in project.functions:
+                return candidate
+    elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        target_module = model.module_aliases.get(node.value.id)
+        if target_module is not None:
+            candidate = f"{target_module}.{node.attr}"
+            if candidate in project.functions:
+                return candidate
+    return None
+
+
+def build_project(models: Iterable[ModuleModel]) -> ProjectModel:
+    """Assemble the :class:`ProjectModel` over every parsed module."""
+    project = ProjectModel()
+    for model in models:
+        project.modules[model.module_name] = model
+        for suffix, owner, def_node in _iter_defs(model):
+            qualname = f"{model.module_name}.{suffix}"
+            project.functions[qualname] = FunctionInfo(
+                qualname=qualname,
+                module=model.module_name,
+                node=def_node,
+                model=model,
+                owner=owner,
+            )
+            project.qualname_of[id(def_node)] = qualname
+        _collect_event_schema(project, model)
+    if not project.event_kinds:
+        _fallback_event_schema(project)
+
+    # Call graph + pool-target discovery (needs the full symbol table).
+    for qualname, info in project.functions.items():
+        callees: Set[str] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = project.resolve_call(info.model, node, owner=info.owner)
+            if resolved is not None:
+                callees.add(resolved)
+            for ref in _callable_args(node):
+                target = _resolve_callable_ref(project, info.model, ref)
+                if target is not None:
+                    project.pool_targets.add(target)
+        project.call_graph[qualname] = callees
+
+    reachable = set(project.pool_targets)
+    frontier = list(project.pool_targets)
+    while frontier:
+        current = frontier.pop()
+        for callee in project.call_graph.get(current, ()):
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+    project.worker_reachable = reachable
+    return project

@@ -16,7 +16,13 @@ RULE_TITLES: Dict[str, str] = {
     "R3": "determinism (seeded repro.rng randomness only)",
     "R4": "bandwidth (payloads codable and O(log n) bits)",
     "R5": "shared mutable defaults",
+    "S1": "shared-memory write safety (frozen attachments, read-only workers)",
+    "S2": "fork/pool safety (no live state across the pool boundary)",
+    "S3": "dtype/overflow safety (int64 index data, no silent downcasts)",
+    "S4": "RNG boundary discipline (seeds cross the pool, state does not)",
+    "S5": "obs-event taxonomy (emitted kinds exist in the ObsEvent schema)",
     "E1": "parse error",
+    "E2": "engine error",
 }
 
 
@@ -28,8 +34,19 @@ def rule_counts(findings: Sequence[Finding]) -> Dict[str, int]:
     return dict(sorted(counts.items()))
 
 
-def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
-    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+def render_text(
+    findings: Sequence[Finding],
+    checked_files: int = 0,
+    grandfathered: Sequence[Finding] = (),
+    stale_baseline: Sequence[Dict[str, object]] = (),
+) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary.
+
+    ``findings`` are the *new* (non-baselined) findings; ``grandfathered``
+    ones are summarized but not listed, and ``stale_baseline`` entries
+    (baseline rows nothing matched) are called out so the baseline gets
+    pruned as findings are fixed.
+    """
     lines = [finding.render() for finding in findings]
     if findings:
         summary = ", ".join(
@@ -43,15 +60,33 @@ def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
         )
     else:
         lines.append(f"{checked_files} files checked: CONGEST model-compliant.")
+    if grandfathered:
+        lines.append(
+            f"{len(grandfathered)} baseline-suppressed finding"
+            f"{'s' if len(grandfathered) != 1 else ''} "
+            "(grandfathered; see the baseline file)"
+        )
+    for entry in stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry['count']}x {entry['rule']} "
+            f"in {entry['path']} no longer found — prune it"
+        )
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], checked_files: int = 0) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    checked_files: int = 0,
+    grandfathered: Sequence[Finding] = (),
+    stale_baseline: Sequence[Dict[str, object]] = (),
+) -> str:
     """A machine-readable report for the CI job and tooling."""
     payload = {
         "checked_files": checked_files,
         "total": len(findings),
         "counts": rule_counts(findings),
         "findings": [finding.to_dict() for finding in findings],
+        "baseline_suppressed": [f.to_dict() for f in grandfathered],
+        "stale_baseline": list(stale_baseline),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

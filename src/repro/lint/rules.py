@@ -19,6 +19,14 @@ justification per rule):
   which would blow the ``B = O(log n)`` budget structurally.
 * **R5 shared mutable defaults** — mutable class attributes and mutable
   default arguments are instance-shared storage in disguise.
+
+Every rule takes ``(model, project)``: the per-module
+:class:`~repro.lint.engine.ModuleModel` plus the project-wide
+:class:`~repro.lint.project.ProjectModel`.  R2 and R3 use the project to
+follow helper calls across module boundaries — a node program that hands
+its ``NodeContext`` to ``repro.core.helpers.f`` is held to the same
+locality contract inside ``f``, and an in-scope module calling an
+out-of-scope helper that reads the clock is flagged at the call site.
 """
 
 from __future__ import annotations
@@ -106,7 +114,7 @@ def _self_rooted(node: ast.AST) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def rule_r1_statelessness(model: ModuleModel) -> List[Finding]:
+def rule_r1_statelessness(model: ModuleModel, project=None) -> List[Finding]:
     """Flag ``self.<attr>`` writes outside construction methods."""
     findings: List[Finding] = []
     for cls in model.algorithm_class_defs():
@@ -146,7 +154,58 @@ def rule_r1_statelessness(model: ModuleModel) -> List[Finding]:
 # ---------------------------------------------------------------------------
 
 
-def rule_r2_locality(model: ModuleModel) -> List[Finding]:
+def _ctx_param_misuses(
+    project,
+    qualname: str,
+    param_index: int,
+    public: Set[str],
+    visited: Set[Tuple[str, int]],
+) -> List[Tuple[str, str, int]]:
+    """Private/off-surface attribute touches of a ctx-carrying parameter.
+
+    Analyzes the project function ``qualname`` treating its
+    ``param_index``-th parameter as the ``NodeContext``, following the
+    parameter when the helper passes it on to further project functions.
+    Returns ``(attr, path, line)`` descriptors for the caller to report
+    at its call site.
+    """
+    key = (qualname, param_index)
+    if key in visited:
+        return []
+    visited.add(key)
+    info = project.functions.get(qualname)
+    if info is None:
+        return []
+    params = [a.arg for a in info.node.args.args]
+    if info.owner is not None and params and params[0] == "self":
+        params = params[1:]
+    if param_index >= len(params):
+        return []
+    ctx_name = params[param_index]
+    misuses: List[Tuple[str, str, int]] = []
+    for node in ast.walk(info.node):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == ctx_name
+        ):
+            if node.attr.startswith("_") or node.attr not in public:
+                misuses.append((node.attr, info.model.path, node.lineno))
+        elif isinstance(node, ast.Call):
+            nested = project.resolve_call(info.model, node, owner=info.owner)
+            if nested is None:
+                continue
+            for position, arg in enumerate(node.args):
+                if isinstance(arg, ast.Name) and arg.id == ctx_name:
+                    misuses.extend(
+                        _ctx_param_misuses(
+                            project, nested, position, public, visited
+                        )
+                    )
+    return misuses
+
+
+def rule_r2_locality(model: ModuleModel, project=None) -> List[Finding]:
     """Flag private/unknown NodeContext access and simulator reach-through."""
     findings: List[Finding] = []
     public = set(model.config.public_context_surface)
@@ -217,6 +276,31 @@ def rule_r2_locality(model: ModuleModel) -> List[Finding]:
                             f"({node.id}); node programs see only their context",
                         )
                     )
+                elif isinstance(node, ast.Call) and project is not None:
+                    # Interprocedural: the locality contract follows the
+                    # context into helpers, across module boundaries.
+                    callee = project.resolve_call(model, node, owner=cls.name)
+                    if callee is None:
+                        continue
+                    for position, arg in enumerate(node.args):
+                        if not (
+                            isinstance(arg, ast.Name) and arg.id in ctx_names
+                        ):
+                            continue
+                        for attr, where, line in _ctx_param_misuses(
+                            project, callee, position, public, set()
+                        ):
+                            findings.append(
+                                _finding(
+                                    model,
+                                    "R2",
+                                    node,
+                                    f"{cls.name}.{method.name} passes the "
+                                    f"NodeContext to {callee}, which touches "
+                                    f"ctx.{attr} outside the public surface "
+                                    f"({where}:{line})",
+                                )
+                            )
     return findings
 
 
@@ -234,12 +318,45 @@ def _banned_module(name: str) -> Optional[str]:
     return None
 
 
-def rule_r3_determinism(model: ModuleModel) -> List[Finding]:
-    """Flag ambient RNG/clock imports and ``numpy.random`` module RNG."""
+def rule_r3_determinism(model: ModuleModel, project=None) -> List[Finding]:
+    """Flag ambient RNG/clock imports and ``numpy.random`` module RNG.
+
+    With project context the rule is interprocedural: a call from an
+    in-scope module to an out-of-scope project helper that (transitively)
+    touches ``random``/``time``/``datetime`` is flagged at the call site
+    — the helper module itself is outside R3's direct scope, but the
+    nondeterminism it introduces lands in the caller's run.
+    """
     if not model.config.in_determinism_scope(model.module_name):
         return []
     findings: List[Finding] = []
     keyed = set(model.config.keyed_numpy_random)
+
+    if project is not None:
+        tainted = project.tainted_functions(model.config)
+        for qualname, info in project.functions.items():
+            if info.module != model.module_name:
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.resolve_call(model, node, owner=info.owner)
+                if callee is None or callee not in tainted:
+                    continue
+                callee_info = project.functions[callee]
+                if model.config.in_determinism_scope(callee_info.module):
+                    continue  # linted directly in its own module
+                findings.append(
+                    _finding(
+                        model,
+                        "R3",
+                        node,
+                        f"calls {callee} ({callee_info.module} is outside "
+                        "the determinism scope), which transitively uses "
+                        "ambient randomness or clock state; route through "
+                        "repro.rng or a sanctioned host-side layer",
+                    )
+                )
 
     numpy_aliases = {
         local
@@ -414,7 +531,7 @@ def _payload_violations(
     # the runtime meter in Message.__post_init__ is the backstop.
 
 
-def rule_r4_bandwidth(model: ModuleModel) -> List[Finding]:
+def rule_r4_bandwidth(model: ModuleModel, project=None) -> List[Finding]:
     """Flag structurally over-budget or uncodable payload expressions."""
     findings: List[Finding] = []
     for cls in model.algorithm_class_defs():
@@ -458,7 +575,7 @@ def rule_r4_bandwidth(model: ModuleModel) -> List[Finding]:
 # ---------------------------------------------------------------------------
 
 
-def rule_r5_mutable_defaults(model: ModuleModel) -> List[Finding]:
+def rule_r5_mutable_defaults(model: ModuleModel, project=None) -> List[Finding]:
     """Flag mutable class attributes and mutable default arguments."""
     findings: List[Finding] = []
     for cls in model.algorithm_class_defs():

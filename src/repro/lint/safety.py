@@ -1,0 +1,724 @@
+"""The S-family: engine-safety rules for the columnar/multiprocess layers.
+
+The R-rules guard the CONGEST *model*; these guard the *engines*.  PRs 5
+and 7 moved the hot path onto numpy CSR kernels and a multiprocess
+shared-memory runtime, where the read-k analysis's premise — every
+engine reproduces the same seeded random process bit for bit — is
+enforced only by differential tests.  The S-rules make the failure modes
+those tests can miss (a race that happens to not fire, an overflow that
+needs n > 2³¹, RNG state silently re-seeded by pickling) statically
+impossible instead:
+
+==== =======================================================================
+S1   shared-memory write safety: shared_memory attachments are frozen
+     (``flags.writeable = False``) and pool workers never write static
+     CSR arrays
+S2   fork/pool safety: no live handles/locks/sessions at module level,
+     no mutable module state crossing the coordinator/worker boundary,
+     no live objects captured into pool task arguments
+S3   dtype/overflow safety: no mixed int32/int64 arithmetic, no narrow
+     integer index arrays, no silent downcasts on index-scale data
+S4   RNG boundary discipline: seeded generator *state* never crosses the
+     pool boundary — only integer seeds / keyed salts may cross
+S5   obs-event taxonomy: every emitted event kind exists in the
+     ``ObsEvent`` schema (the ``EVENT_*`` constants)
+==== =======================================================================
+
+S1-S4 run on the modules in ``safety-packages`` (the engine layers); S5
+runs on any module that imports from ``repro.obs``.  Like every rule
+here, detection is conservative AST inference: what cannot be resolved
+stays unflagged, and intentional exceptions carry an inline
+``# repro: lint-ignore[S3]`` or live in the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding, ModuleModel
+
+__all__ = [
+    "ALL_SAFETY_RULES",
+    "rule_s1_shared_memory",
+    "rule_s2_fork_safety",
+    "rule_s3_dtype_safety",
+    "rule_s4_rng_boundary",
+    "rule_s5_event_taxonomy",
+]
+
+#: Static CSR arrays shared through shared_memory: a worker writing any
+#: of these mutates every other worker's graph.
+_SHARED_STATIC_ATTRS = frozenset({"indptr", "indices", "key_ids"})
+
+#: Constructors whose results are live process-local resources: capturing
+#: one into a pool worker (module level or task argument) is fork-unsafe.
+_LIVE_RESOURCE_CONSTRUCTORS = frozenset(
+    {
+        "open",
+        "Lock",
+        "RLock",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Condition",
+        "Event",
+        "Barrier",
+        "ObsSession",
+        "JsonlSink",
+        "StdoutSink",
+        "SharedMemory",
+    }
+)
+
+#: Attribute names that conventionally hold live observability/pool state.
+_LIVE_ATTR_NAMES = frozenset({"obs", "session", "sink", "pool", "_pool"})
+
+#: Constructors whose results are seeded RNG *state* (S4): state must not
+#: be pickled across the pool; only integer seeds / keyed salts cross.
+_RNG_STATE_CONSTRUCTORS = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "Philox",
+        "PCG64",
+        "MT19937",
+        "RandomState",
+        "node_round_rng",
+    }
+)
+
+#: Mutating method names on builtin containers (S2 mutation detection).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popitem",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "setdefault",
+    }
+)
+
+_INT_WIDTHS = {
+    "int8": 8,
+    "int16": 16,
+    "int32": 32,
+    "int64": 64,
+    "uint8": 8,
+    "uint16": 16,
+    "uint32": 32,
+    "uint64": 64,
+}
+
+_NARROW_INDEX_DTYPES = frozenset({"int8", "int16", "int32", "uint8", "uint16"})
+
+_ARRAY_FACTORIES = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "array", "asarray", "fromiter"}
+)
+
+
+def _finding(
+    model: ModuleModel,
+    rule: str,
+    node: ast.AST,
+    message: str,
+    severity: str = "error",
+) -> Finding:
+    return Finding(
+        rule=rule,
+        path=model.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        severity=severity,
+    )
+
+
+def _terminal_call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """Leftmost Name of an attribute/subscript chain, else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _iter_function_defs(model: ModuleModel):
+    """Yield every function/method def with its owning class (or None)."""
+    for node in model.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, node.name
+
+
+def _dispatched_args(call: ast.Call) -> List[ast.AST]:
+    """Expressions shipped to another process by a pool/process call.
+
+    ``executor.submit(f, a, b)`` ships ``a, b``; ``Process(target=f,
+    args=(a,))`` ships ``a``; ``Pool(initializer=f, initargs=(a,))``
+    ships ``a``; the map family ships its iterables' elements only
+    dynamically, so only the direct argument expression is reported.
+    """
+    name = _terminal_call_name(call)
+    out: List[ast.AST] = []
+    if name in {"submit", "apply_async"} and isinstance(call.func, ast.Attribute):
+        out.extend(call.args[1:])
+    for kw in call.keywords:
+        if kw.arg in {"args", "initargs"} and isinstance(
+            kw.value, (ast.Tuple, ast.List)
+        ):
+            out.extend(kw.value.elts)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# S1 — shared-memory write safety
+# ---------------------------------------------------------------------------
+
+
+def _is_buffer_attachment(node: ast.AST) -> bool:
+    """``np.ndarray(..., buffer=...)`` / ``frombuffer(...)`` calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = _terminal_call_name(node)
+    if name == "frombuffer":
+        return True
+    if name != "ndarray":
+        return False
+    return any(kw.arg == "buffer" for kw in node.keywords)
+
+
+def _frozen_names(fn: ast.AST) -> Set[str]:
+    """Names ``x`` with an ``x.flags.writeable = False`` in this function."""
+    frozen: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (
+            isinstance(node.value, ast.Constant) and node.value.value is False
+        ):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "writeable"
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "flags"
+            ):
+                root = _root_name(target.value.value)
+                if root is not None:
+                    frozen.add(root)
+    return frozen
+
+
+def _attached_names(fn: ast.AST) -> Dict[str, ast.Call]:
+    """Names bound to a buffer attachment in this function."""
+    attached: Dict[str, ast.Call] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and _is_buffer_attachment(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    attached[target.id] = node.value  # type: ignore[assignment]
+    return attached
+
+
+def rule_s1_shared_memory(model: ModuleModel, project=None) -> List[Finding]:
+    """Frozen attachments; no worker writes to shared static CSR arrays."""
+    if not model.config.in_safety_scope(model.module_name):
+        return []
+    findings: List[Finding] = []
+    for fn, _owner in _iter_function_defs(model):
+        attached = _attached_names(fn)
+        frozen = _frozen_names(fn)
+        for name, call in attached.items():
+            if name not in frozen:
+                findings.append(
+                    _finding(
+                        model,
+                        "S1",
+                        call,
+                        f"{fn.name} attaches array {name!r} over a shared "
+                        "buffer without freezing it; set "
+                        f"{name}.flags.writeable = False at the attachment "
+                        "site so cross-process writes raise instead of "
+                        "racing",
+                    )
+                )
+        # Attachments used inline (never bound) can't be frozen at all.
+        bound_calls = {id(c) for c in attached.values()}
+        for node in ast.walk(fn):
+            if _is_buffer_attachment(node) and id(node) not in bound_calls:
+                findings.append(
+                    _finding(
+                        model,
+                        "S1",
+                        node,
+                        f"{fn.name} attaches a shared-buffer array without "
+                        "binding it to a name; bind it and set "
+                        "flags.writeable = False",
+                    )
+                )
+
+        worker = project is not None and project.is_worker_code(fn)
+        if not worker:
+            continue
+        for node in ast.walk(fn):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = target.value
+                root = _root_name(target)
+                if root in attached:
+                    findings.append(
+                        _finding(
+                            model,
+                            "S1",
+                            node,
+                            f"pool worker {fn.name} writes to shared-memory "
+                            f"attachment {root!r}; static CSR arrays are "
+                            "read-only in workers",
+                        )
+                    )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and base.attr in _SHARED_STATIC_ATTRS
+                ):
+                    findings.append(
+                        _finding(
+                            model,
+                            "S1",
+                            node,
+                            f"pool worker {fn.name} writes to the shared "
+                            f"static CSR array .{base.attr}; workers must "
+                            "treat attached graph arrays as immutable",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S2 — fork/pool safety
+# ---------------------------------------------------------------------------
+
+
+def _module_level_mutables(model: ModuleModel) -> Dict[str, ast.Assign]:
+    from repro.lint.rules import _is_mutable_literal
+
+    out: Dict[str, ast.Assign] = {}
+    for node in model.tree.body:
+        value: Optional[ast.AST] = None
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = node  # type: ignore[assignment]
+    return out
+
+
+def _name_usage(fn: ast.AST, name: str) -> Tuple[bool, bool]:
+    """``(referenced, mutated)`` for a module-global ``name`` inside ``fn``."""
+    referenced = mutated = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id == name:
+            referenced = True
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                list(node.targets)
+                if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, (ast.Subscript, ast.Attribute))
+                    and _root_name(target) == name
+                ):
+                    mutated = True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and _root_name(node.func.value) == name
+        ):
+            mutated = True
+    return referenced, mutated
+
+
+def rule_s2_fork_safety(model: ModuleModel, project=None) -> List[Finding]:
+    """No live module-level resources; no mutable state across the pool."""
+    if not model.config.in_safety_scope(model.module_name):
+        return []
+    findings: List[Finding] = []
+
+    # (a) module-level live resources: captured by fork, dead under spawn.
+    for node in model.tree.body:
+        value = None
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            value = node.value
+        if isinstance(value, ast.Call):
+            name = _terminal_call_name(value)
+            if name in _LIVE_RESOURCE_CONSTRUCTORS:
+                findings.append(
+                    _finding(
+                        model,
+                        "S2",
+                        node,
+                        f"module-level {name}(...) is a live process "
+                        "resource; fork captures it into every worker and "
+                        "spawn silently re-creates it — construct it inside "
+                        "the owning function",
+                    )
+                )
+
+    # (b) mutable module state crossing the coordinator/worker boundary.
+    if project is not None:
+        mutables = _module_level_mutables(model)
+        for name, assign in mutables.items():
+            worker_ref = worker_mut = host_ref = host_mut = False
+            for fn, _owner in _iter_function_defs(model):
+                referenced, mutated = _name_usage(fn, name)
+                if not referenced and not mutated:
+                    continue
+                if project.is_worker_code(fn):
+                    worker_ref |= referenced
+                    worker_mut |= mutated
+                else:
+                    host_ref |= referenced
+                    host_mut |= mutated
+            if (worker_mut and host_ref) or (host_mut and worker_ref):
+                findings.append(
+                    _finding(
+                        model,
+                        "S2",
+                        assign,
+                        f"module-level mutable {name!r} is mutated on one "
+                        "side of the pool boundary and read on the other; "
+                        "fork makes this appear to work while spawn (and "
+                        "any post-fork mutation) silently diverges — pass "
+                        "state through task arguments instead",
+                    )
+                )
+
+    # (c) live objects in pool task arguments.
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for arg in _dispatched_args(node):
+            if isinstance(arg, ast.Call):
+                name = _terminal_call_name(arg)
+                if name in _LIVE_RESOURCE_CONSTRUCTORS:
+                    findings.append(
+                        _finding(
+                            model,
+                            "S2",
+                            arg,
+                            f"pool task argument constructs {name}(...); "
+                            "live resources cannot cross the pickle "
+                            "boundary coherently",
+                        )
+                    )
+            elif isinstance(arg, ast.Attribute) and arg.attr in _LIVE_ATTR_NAMES:
+                findings.append(
+                    _finding(
+                        model,
+                        "S2",
+                        arg,
+                        f"pool task argument ships .{arg.attr}; live "
+                        "observability/pool objects must stay on the "
+                        "coordinator (workers re-derive from plain data)",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S3 — dtype/overflow safety
+# ---------------------------------------------------------------------------
+
+
+def _numpy_aliases(model: ModuleModel) -> Set[str]:
+    return {
+        local
+        for local, target in model.module_aliases.items()
+        if target == "numpy" or target.startswith("numpy.")
+    }
+
+
+def _dtype_of_expr(
+    node: ast.AST, env: Dict[str, str], np_aliases: Set[str]
+) -> Optional[str]:
+    """Best-effort integer dtype of an expression, else None."""
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.Call):
+        name = _terminal_call_name(node)
+        if name == "astype" and node.args:
+            return _dtype_literal(node.args[0], np_aliases)
+        if name in _ARRAY_FACTORIES:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    return _dtype_literal(kw.value, np_aliases)
+    return None
+
+
+def _dtype_literal(node: ast.AST, np_aliases: Set[str]) -> Optional[str]:
+    """``np.int32`` / ``"int32"`` -> ``"int32"``."""
+    if isinstance(node, ast.Attribute):
+        root = _root_name(node)
+        if root in np_aliases and node.attr in _INT_WIDTHS:
+            return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _INT_WIDTHS else None
+    if isinstance(node, ast.Name) and node.id in _INT_WIDTHS:
+        return node.id
+    return None
+
+
+def rule_s3_dtype_safety(model: ModuleModel, project=None) -> List[Finding]:
+    """Mixed-width int arithmetic, narrow index arrays, silent downcasts."""
+    if not model.config.in_safety_scope(model.module_name):
+        return []
+    findings: List[Finding] = []
+    np_aliases = _numpy_aliases(model)
+
+    for fn, _owner in _iter_function_defs(model):
+        env: Dict[str, str] = {}
+        # One forward pass binds inferred dtypes in statement order; the
+        # checks then walk the whole body with the final environment —
+        # flow-insensitive, which is enough for the straight-line kernel
+        # code these layers contain.
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    inferred = _dtype_of_expr(node.value, env, np_aliases)
+                    if inferred is not None:
+                        env[target.id] = inferred
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod)
+            ):
+                left = _dtype_of_expr(node.left, env, np_aliases)
+                right = _dtype_of_expr(node.right, env, np_aliases)
+                if (
+                    left is not None
+                    and right is not None
+                    and _INT_WIDTHS[left] != _INT_WIDTHS[right]
+                ):
+                    findings.append(
+                        _finding(
+                            model,
+                            "S3",
+                            node,
+                            f"{fn.name} mixes {left} and {right} operands; "
+                            "promotion rules differ across numpy versions "
+                            "and a silent 32-bit intermediate overflows at "
+                            "n=10^7 scale — unify on int64 for index data",
+                        )
+                    )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.slice, ast.Name
+            ):
+                index_dtype = env.get(node.slice.id)
+                if index_dtype in _NARROW_INDEX_DTYPES:
+                    findings.append(
+                        _finding(
+                            model,
+                            "S3",
+                            node,
+                            f"{fn.name} indexes with {index_dtype} array "
+                            f"{node.slice.id!r}; index arrays must be int64 "
+                            "(positions are sized by n)",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                name = _terminal_call_name(node)
+                if name != "astype" or not node.args:
+                    continue
+                dest = _dtype_literal(node.args[0], np_aliases)
+                if dest is None:
+                    continue
+                assert isinstance(node.func, ast.Attribute)
+                src = _dtype_of_expr(node.func.value, env, np_aliases)
+                if (
+                    src is not None
+                    and _INT_WIDTHS[src] > _INT_WIDTHS[dest]
+                ):
+                    findings.append(
+                        _finding(
+                            model,
+                            "S3",
+                            node,
+                            f"{fn.name} downcasts {src} to {dest}; values "
+                            "outside the narrow range wrap silently — "
+                            "justify wire-dtype narrowing with a range "
+                            "argument (lint-ignore) or keep the width",
+                            severity="warning",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S4 — RNG boundary discipline
+# ---------------------------------------------------------------------------
+
+
+def rule_s4_rng_boundary(model: ModuleModel, project=None) -> List[Finding]:
+    """Seeded generator state must not be shipped across the pool."""
+    if not model.config.in_safety_scope(model.module_name):
+        return []
+    findings: List[Finding] = []
+
+    for fn, _owner in _iter_function_defs(model):
+        rng_names: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _terminal_call_name(node.value) in _RNG_STATE_CONSTRUCTORS:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            rng_names.add(target.id)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in _dispatched_args(node):
+                is_state = (
+                    isinstance(arg, ast.Name) and arg.id in rng_names
+                ) or (
+                    isinstance(arg, ast.Call)
+                    and _terminal_call_name(arg) in _RNG_STATE_CONSTRUCTORS
+                )
+                if is_state:
+                    findings.append(
+                        _finding(
+                            model,
+                            "S4",
+                            arg,
+                            f"{fn.name} ships seeded RNG state across the "
+                            "pool boundary; pickling generator state forks "
+                            "the stream — pass the integer seed (or a "
+                            "derive_seed salt) and rebuild keyed streams "
+                            "worker-side",
+                        )
+                    )
+            if (
+                _terminal_call_name(node) == "dumps"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in rng_names
+            ):
+                findings.append(
+                    _finding(
+                        model,
+                        "S4",
+                        node,
+                        f"{fn.name} pickles seeded RNG state; only keyed "
+                        "salt derivation may cross process boundaries",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S5 — obs-event taxonomy
+# ---------------------------------------------------------------------------
+
+
+def _imports_obs(model: ModuleModel) -> bool:
+    for src, _orig in model.imported_names.values():
+        if src == "repro.obs" or src.startswith("repro.obs."):
+            return True
+    return any(
+        target == "repro.obs" or target.startswith("repro.obs.")
+        for target in model.module_aliases.values()
+    )
+
+
+def rule_s5_event_taxonomy(model: ModuleModel, project=None) -> List[Finding]:
+    """Every emitted event kind must exist in the ``ObsEvent`` schema."""
+    if project is None or not project.event_kinds:
+        return []
+    if not _imports_obs(model):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(model.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        ):
+            continue
+        kind_arg: Optional[ast.AST] = node.args[0] if node.args else None
+        if kind_arg is None:
+            for kw in node.keywords:
+                if kw.arg == "kind":
+                    kind_arg = kw.value
+        if kind_arg is None:
+            continue
+        if isinstance(kind_arg, ast.Constant) and isinstance(
+            kind_arg.value, str
+        ):
+            if kind_arg.value not in project.event_kinds:
+                findings.append(
+                    _finding(
+                        model,
+                        "S5",
+                        kind_arg,
+                        f"emits unknown event kind {kind_arg.value!r}; add "
+                        "it to the EVENT_* schema in repro.obs.events (or "
+                        "fix the typo) so streams stay self-describing",
+                    )
+                )
+        elif isinstance(kind_arg, ast.Name) and kind_arg.id.startswith(
+            "EVENT_"
+        ):
+            imported = model.imported_names.get(kind_arg.id)
+            constant_name = imported[1] if imported else kind_arg.id
+            if constant_name not in project.event_constants:
+                findings.append(
+                    _finding(
+                        model,
+                        "S5",
+                        kind_arg,
+                        f"emits via {kind_arg.id}, which does not resolve "
+                        "to a known EVENT_* schema constant",
+                    )
+                )
+    return findings
+
+
+ALL_SAFETY_RULES: Tuple[Tuple[str, Callable[..., List[Finding]]], ...] = (
+    ("S1", rule_s1_shared_memory),
+    ("S2", rule_s2_fork_safety),
+    ("S3", rule_s3_dtype_safety),
+    ("S4", rule_s4_rng_boundary),
+    ("S5", rule_s5_event_taxonomy),
+)

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 output (``repro lint --format sarif``).
+
+SARIF is the interchange format code-scanning UIs ingest (GitHub code
+scanning, VS Code SARIF viewers), so CI uploads one artifact and every
+finding lands as an annotation with its rule metadata attached.  Only
+the small stable core of the spec is emitted: one run, one tool driver
+(``repro-lint``), rule descriptors from :data:`repro.lint.report.RULE_TITLES`,
+and one result per finding with a physical location.
+
+``severity`` maps directly onto SARIF ``level`` (``error`` / ``warning``);
+engine findings (E1/E2) map to ``error`` with their own rule ids so a
+broken run is visible in the same place as the findings it hides.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding
+from repro.lint.report import RULE_TITLES
+
+__all__ = ["render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _rule_descriptors(findings: Sequence[Finding]) -> List[Dict[str, object]]:
+    seen = sorted({f.rule for f in findings} | set(RULE_TITLES))
+    return [
+        {
+            "id": rule,
+            "shortDescription": {
+                "text": RULE_TITLES.get(rule, "repro lint rule")
+            },
+        }
+        for rule in seen
+    ]
+
+
+def render_sarif(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    """Serialize ``findings`` as a single-run SARIF 2.1.0 document."""
+    rules = _rule_descriptors(findings)
+    rule_index = {d["id"]: i for i, d in enumerate(rules)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(finding.path)},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "properties": {"checkedFiles": checked_files},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -349,6 +349,11 @@ def _pool_init(run_id: str, names: Dict[str, str], n: int, nnz: int, k: int) -> 
     indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=shms["indptr"].buf)
     indices = np.ndarray((nnz,), dtype=np.int64, buffer=shms["indices"].buf)
     key_ids = np.ndarray((n,), dtype=np.uint64, buffer=shms["key_ids"].buf)
+    # The static CSR is shared by every worker: freeze the attachments so
+    # an accidental write raises ValueError instead of racing the pool.
+    indptr.flags.writeable = False
+    indices.flags.writeable = False
+    key_ids.flags.writeable = False
     csr = CSRGraph(
         labels=key_ids,  # labels are never read by the round math
         key_ids=key_ids,
@@ -404,6 +409,8 @@ class _SharedStatics:
             )
             view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
             view[:] = array
+            # Filled once; read-only from here on (coordinator included).
+            view.flags.writeable = False
             self._shms[key] = shm
             self.names[key] = shm.name
 

@@ -106,3 +106,272 @@ def test_repro_cli_lint_json(clean_file, capsys):
     assert repro_main(["lint", clean_file, "--no-config", "--format", "json"]) == 0
     report = json.loads(capsys.readouterr().out)
     assert report["total"] == 0
+
+
+# -- rule selection (--select / --disable) -----------------------------------
+
+
+def test_select_runs_only_listed_rules(violating_file, capsys):
+    assert lint_main([violating_file, "--no-config", "--select", "R1"]) == 1
+    out = capsys.readouterr().out
+    assert "R1" in out and "R4" not in out
+
+
+def test_select_can_exit_zero(violating_file, capsys):
+    # Selecting a rule the file does not violate passes.
+    assert lint_main([violating_file, "--no-config", "--select", "R5"]) == 0
+    capsys.readouterr()
+
+
+def test_disable_skips_listed_rules(violating_file, capsys):
+    assert (
+        lint_main([violating_file, "--no-config", "--disable", "R1,R4"]) == 0
+    )
+    capsys.readouterr()
+
+
+def test_select_is_repeatable_and_comma_separated(violating_file, capsys):
+    assert (
+        lint_main(
+            [violating_file, "--no-config", "--select", "R1", "--select", "R4"]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "R1" in out and "R4" in out
+
+
+def test_repro_cli_passes_select_through(violating_file, capsys):
+    assert (
+        repro_main(["lint", violating_file, "--no-config", "--select", "R4"])
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "R4" in out and "R1" not in out
+
+
+# -- multi-rule suppression lists --------------------------------------------
+
+
+def test_multi_rule_lint_ignore_list(tmp_path, capsys):
+    path = tmp_path / "multi.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            from repro.congest.algorithm import NodeAlgorithm
+
+
+            class Multi(NodeAlgorithm):
+                def on_round(self, ctx, inbox):
+                    self.total = ctx._outbox  # repro: lint-ignore[R1, R2]
+            """
+        )
+    )
+    assert lint_main([str(path), "--no-config"]) == 0
+    capsys.readouterr()
+
+
+def test_multi_rule_lint_ignore_partial_list_still_fails(tmp_path, capsys):
+    path = tmp_path / "partial.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            from repro.congest.algorithm import NodeAlgorithm
+
+
+            class Multi(NodeAlgorithm):
+                def on_round(self, ctx, inbox):
+                    self.total = ctx._outbox  # repro: lint-ignore[R1,R5]
+            """
+        )
+    )
+    assert lint_main([str(path), "--no-config"]) == 1
+    out = capsys.readouterr().out
+    assert "R2" in out and "R1" not in out
+
+
+# -- baseline workflow (exit-code contract) ----------------------------------
+
+
+def test_write_then_apply_baseline_round_trip(violating_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        lint_main(
+            [violating_file, "--no-config", "--write-baseline", str(baseline)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # Grandfathered findings no longer fail the run ...
+    assert (
+        lint_main([violating_file, "--no-config", "--baseline", str(baseline)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 baseline-suppressed findings" in out
+
+
+def test_new_finding_fails_despite_baseline(
+    violating_file, tmp_path, capsys
+):
+    baseline = tmp_path / "baseline.json"
+    lint_main(
+        [violating_file, "--no-config", "--write-baseline", str(baseline)]
+    )
+    capsys.readouterr()
+    # A *new* violation in a second file is not grandfathered.
+    extra = tmp_path / "extra.py"
+    extra.write_text(
+        textwrap.dedent(
+            """
+            from repro.congest.algorithm import NodeAlgorithm
+
+
+            class New(NodeAlgorithm):
+                def on_round(self, ctx, inbox):
+                    self.fresh = 1
+            """
+        )
+    )
+    assert (
+        lint_main(
+            [
+                violating_file,
+                str(extra),
+                "--no-config",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "extra.py" in out
+
+
+def test_stale_baseline_reported_and_strict_fails(
+    clean_file, violating_file, tmp_path, capsys
+):
+    baseline = tmp_path / "baseline.json"
+    lint_main(
+        [violating_file, "--no-config", "--write-baseline", str(baseline)]
+    )
+    capsys.readouterr()
+    # Linting only the clean file leaves every baseline entry unmatched.
+    assert (
+        lint_main([clean_file, "--no-config", "--baseline", str(baseline)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "stale baseline entry" in out
+    assert (
+        lint_main(
+            [
+                clean_file,
+                "--no-config",
+                "--baseline",
+                str(baseline),
+                "--strict-baseline",
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
+
+
+def test_baseline_never_hides_parse_errors(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    baseline = tmp_path / "baseline.json"
+    lint_main([str(broken), "--no-config", "--write-baseline", str(baseline)])
+    capsys.readouterr()
+    # E1 is unbaselinable: exit stays 2 even with the fresh baseline.
+    assert (
+        lint_main([str(broken), "--no-config", "--baseline", str(baseline)])
+        == 2
+    )
+    capsys.readouterr()
+
+
+def test_unreadable_baseline_exits_two(violating_file, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert (
+        lint_main([violating_file, "--no-config", "--baseline", str(bad)]) == 2
+    )
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_json_report_carries_baseline_sections(
+    violating_file, tmp_path, capsys
+):
+    baseline = tmp_path / "baseline.json"
+    lint_main(
+        [violating_file, "--no-config", "--write-baseline", str(baseline)]
+    )
+    capsys.readouterr()
+    assert (
+        lint_main(
+            [
+                violating_file,
+                "--no-config",
+                "--baseline",
+                str(baseline),
+                "--format",
+                "json",
+            ]
+        )
+        == 0
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert report["total"] == 0
+    assert len(report["baseline_suppressed"]) == 2
+    assert report["stale_baseline"] == []
+
+
+# -- SARIF output ------------------------------------------------------------
+
+
+def test_sarif_output_is_valid_and_complete(violating_file, capsys):
+    assert (
+        lint_main([violating_file, "--no-config", "--format", "sarif"]) == 1
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"R1", "R4", "S1", "S3"} <= rule_ids
+    results = run["results"]
+    assert {r["ruleId"] for r in results} == {"R1", "R4"}
+    for result in results:
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("cheater.py")
+        assert location["region"]["startLine"] > 0
+        assert location["region"]["startColumn"] > 0
+        assert result["level"] in ("error", "warning")
+
+
+def test_sarif_includes_baselined_findings(violating_file, tmp_path, capsys):
+    # SARIF is for code-scanning UIs: grandfathered findings still appear
+    # there (the exit code, not the report, encodes the baseline).
+    baseline = tmp_path / "baseline.json"
+    lint_main(
+        [violating_file, "--no-config", "--write-baseline", str(baseline)]
+    )
+    capsys.readouterr()
+    assert (
+        lint_main(
+            [
+                violating_file,
+                "--no-config",
+                "--baseline",
+                str(baseline),
+                "--format",
+                "sarif",
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert len(doc["runs"][0]["results"]) == 2

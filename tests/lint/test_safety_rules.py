@@ -1,0 +1,446 @@
+"""Each S-family rule fires on a minimal violating fixture, with precise
+locations, and stays quiet on the compliant twin (mirrors test_rules.py
+for the R-family)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.config import LintConfig
+
+# Safety scope "*" puts synthetic fixture modules in S-rule scope.
+CFG = LintConfig(safety_packages=("*",))
+
+
+def findings_for(body: str, config: LintConfig = CFG, path: str = "fixture.py"):
+    return lint_source(textwrap.dedent(body), path=path, config=config)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- S1 shared-memory write safety -------------------------------------------
+
+
+def test_s1_flags_unfrozen_buffer_attachment():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def attach(shm, n):
+            arr = np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
+            return arr
+        """
+    )
+    assert rules_of(findings) == ["S1"]
+    assert "writeable" in findings[0].message
+    assert findings[0].severity == "error"
+
+
+def test_s1_quiet_when_attachment_is_frozen():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def attach(shm, data, n):
+            arr = np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
+            arr[:] = data  # fill before freezing is fine
+            arr.flags.writeable = False
+            return arr
+        """
+    )
+    assert findings == []
+
+
+def test_s1_flags_unbound_inline_attachment():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def peek(shm, n):
+            return np.ndarray((n,), dtype=np.int64, buffer=shm.buf).sum()
+        """
+    )
+    assert rules_of(findings) == ["S1"]
+
+
+def test_s1_flags_worker_write_to_attached_array():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def worker(shm, n):
+            arr = np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
+            arr.flags.writeable = False
+            arr[0] = 1
+
+        def coordinator(pool, shm, n):
+            pool.submit(worker, shm, n)
+        """
+    )
+    assert rules_of(findings) == ["S1"]
+    assert "worker" in findings[0].message
+
+
+def test_s1_flags_worker_write_to_static_csr_attribute():
+    findings = findings_for(
+        """
+        def worker(static, i):
+            static.indptr[i] = 0
+
+        def coordinator(pool, static):
+            pool.submit(worker, static, 3)
+        """
+    )
+    assert rules_of(findings) == ["S1"]
+    assert ".indptr" in findings[0].message
+
+
+def test_s1_allows_nonworker_write_to_attribute():
+    # Only *worker-reachable* code is held to the read-only contract.
+    findings = findings_for(
+        """
+        def builder(static, i):
+            static.indptr[i] = 0
+        """
+    )
+    assert findings == []
+
+
+# -- S2 fork/pool safety -----------------------------------------------------
+
+
+def test_s2_flags_module_level_live_resources():
+    findings = findings_for(
+        """
+        import threading
+
+        LOCK = threading.Lock()
+        LOG = open("log.txt", "a")
+        """
+    )
+    assert rules_of(findings) == ["S2", "S2"]
+
+
+def test_s2_flags_mutable_global_crossing_pool_boundary():
+    findings = findings_for(
+        """
+        CACHE = {}
+
+        def worker(x):
+            CACHE[x] = x * 2
+
+        def coordinator(pool, xs):
+            for x in xs:
+                pool.submit(worker, x)
+            return CACHE
+        """
+    )
+    assert rules_of(findings) == ["S2"]
+    assert "CACHE" in findings[0].message
+
+
+def test_s2_allows_worker_only_global():
+    # The _WORKER pattern: initialized and read on the worker side only.
+    findings = findings_for(
+        """
+        _WORKER = {}
+
+        def _init(run_id):
+            _WORKER["run_id"] = run_id
+
+        def _task(x):
+            return _WORKER["run_id"], x
+
+        def coordinator(pool):
+            pool.submit(_task, 1)
+
+        def make_pool():
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(initializer=_init, initargs=("run",))
+        """
+    )
+    assert findings == []
+
+
+def test_s2_allows_constant_module_dict():
+    findings = findings_for(
+        """
+        WIRE_DTYPES = {"active": "uint8"}
+
+        def worker(key):
+            return WIRE_DTYPES[key]
+
+        def coordinator(pool):
+            pool.submit(worker, "active")
+        """
+    )
+    assert findings == []
+
+
+def test_s2_flags_live_object_in_pool_args():
+    findings = findings_for(
+        """
+        class Runtime:
+            def kick(self, pool, shard):
+                pool.submit(work, self.obs, shard)
+
+        def work(obs, shard):
+            return shard
+        """
+    )
+    assert rules_of(findings) == ["S2"]
+    assert ".obs" in findings[0].message
+
+
+def test_s2_flags_open_call_in_process_args():
+    findings = findings_for(
+        """
+        def spawn(Process):
+            p = Process(target=work, args=(open("f.txt"),))
+            return p
+
+        def work(handle):
+            return handle
+        """
+    )
+    assert rules_of(findings) == ["S2"]
+
+
+# -- S3 dtype/overflow safety ------------------------------------------------
+
+
+def test_s3_flags_mixed_width_arithmetic():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def combine(n):
+            small = np.zeros(n, dtype=np.int32)
+            big = np.zeros(n, dtype=np.int64)
+            return small + big
+        """
+    )
+    assert rules_of(findings) == ["S3"]
+    assert "int32" in findings[0].message and "int64" in findings[0].message
+
+
+def test_s3_flags_narrow_index_array():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def gather(values, n):
+            idx = np.arange(n, dtype=np.int32)
+            return values[idx]
+        """
+    )
+    assert rules_of(findings) == ["S3"]
+    assert "int64" in findings[0].message
+
+
+def test_s3_flags_downcast_as_warning():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def narrow(n):
+            wide = np.zeros(n, dtype=np.int64)
+            return wide.astype(np.int8)
+        """
+    )
+    assert rules_of(findings) == ["S3"]
+    assert findings[0].severity == "warning"
+
+
+def test_s3_quiet_on_widening_and_same_width():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def widen(n):
+            a = np.zeros(n, dtype=np.int32)
+            b = np.zeros(n, dtype=np.int32)
+            c = a + b
+            wide = a.astype(np.int64)
+            u = wide.astype(np.uint64)  # sign-only change, same width
+            idx = np.arange(n, dtype=np.int64)
+            return c, u, wide[idx]
+        """
+    )
+    assert findings == []
+
+
+def test_s3_suppressible_with_lint_ignore():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def narrow(n):
+            wide = np.zeros(n, dtype=np.int64)
+            return wide.astype(np.int8)  # repro: lint-ignore[S3]
+        """
+    )
+    assert findings == []
+
+
+# -- S4 RNG boundary discipline ----------------------------------------------
+
+
+def test_s4_flags_generator_in_pool_args():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def dispatch(pool):
+            rng = np.random.default_rng(7)
+            pool.submit(work, rng)
+
+        def work(rng):
+            return rng.random()
+        """
+    )
+    assert rules_of(findings) == ["S4"]
+    assert "seed" in findings[0].message
+
+
+def test_s4_flags_inline_generator_in_process_args():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def dispatch(Process):
+            return Process(target=work, args=(np.random.Philox(3),))
+
+        def work(bitgen):
+            return bitgen
+        """
+    )
+    assert rules_of(findings) == ["S4"]
+
+
+def test_s4_flags_pickled_rng_state():
+    findings = findings_for(
+        """
+        import pickle
+        import numpy as np
+
+        def snapshot():
+            rng = np.random.default_rng(7)
+            return pickle.dumps(rng)
+        """
+    )
+    assert rules_of(findings) == ["S4"]
+
+
+def test_s4_allows_integer_seeds_across_pool():
+    findings = findings_for(
+        """
+        def dispatch(pool, seed, salt):
+            pool.submit(work, seed, salt)
+
+        def work(seed, salt):
+            return seed ^ salt
+        """
+    )
+    assert findings == []
+
+
+# -- S5 obs-event taxonomy ---------------------------------------------------
+
+
+def test_s5_flags_unknown_event_kind_literal():
+    findings = findings_for(
+        """
+        from repro.obs.session import ObsSession
+
+        def run(obs):
+            obs.emit("mpc-roud", shard=1)
+        """
+    )
+    assert rules_of(findings) == ["S5"]
+    assert "mpc-roud" in findings[0].message
+
+
+def test_s5_quiet_on_known_kind_and_nonliteral():
+    findings = findings_for(
+        """
+        from repro.obs.session import ObsSession
+        from repro.obs.events import EVENT_MPC_ROUND
+
+        def run(obs, sink, event):
+            obs.emit("mpc-round", shard=1)
+            obs.emit(EVENT_MPC_ROUND, shard=2)
+            sink.emit(event)  # forwarding a built event: not a kind
+        """
+    )
+    assert findings == []
+
+
+def test_s5_flags_unknown_event_constant():
+    findings = findings_for(
+        """
+        from repro.obs.session import ObsSession
+
+        def run(obs):
+            obs.emit(EVENT_NOT_A_THING)
+        """
+    )
+    assert rules_of(findings) == ["S5"]
+
+
+def test_s5_skips_modules_not_importing_obs():
+    findings = findings_for(
+        """
+        def run(bus):
+            bus.emit("mpc-roud")
+        """
+    )
+    assert findings == []
+
+
+# -- scoping -----------------------------------------------------------------
+
+
+def test_safety_rules_respect_package_scope():
+    # Outside safety-packages, S1-S4 do not fire at all.
+    source = """
+        import numpy as np
+
+        def attach(shm, n):
+            return np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
+        """
+    scoped = LintConfig(safety_packages=("repro.mpc",))
+    assert (
+        lint_source(
+            textwrap.dedent(source),
+            path="x.py",
+            config=scoped,
+            module_name="repro.congest.simulator",
+        )
+        == []
+    )
+    assert rules_of(
+        lint_source(
+            textwrap.dedent(source),
+            path="x.py",
+            config=scoped,
+            module_name="repro.mpc.runtime",
+        )
+    ) == ["S1"]
+
+
+def test_severity_survives_to_dict():
+    findings = findings_for(
+        """
+        import numpy as np
+
+        def narrow(n):
+            wide = np.zeros(n, dtype=np.int64)
+            return wide.astype(np.int16)
+        """
+    )
+    assert [f.to_dict()["severity"] for f in findings] == ["warning"]

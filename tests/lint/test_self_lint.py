@@ -1,23 +1,36 @@
-"""Tier-1 gate: the shipped tree is CONGEST model-compliant.
+"""Tier-1 gate: the shipped tree is model-compliant and engine-safe.
 
 This is the regression property the lint subsystem exists for: every
-``NodeAlgorithm`` in ``src/repro`` obeys R1-R5, as checked by the same
-configuration CI uses (``[tool.repro.lint]`` in pyproject.toml).  Any new
-algorithm that cheats — instance state, private simulator access, ambient
-randomness, oversized payloads — turns this test red with a file:line
-finding.
+``NodeAlgorithm`` in ``src/repro`` obeys R1-R5 and every engine-layer
+module obeys S1-S5, as checked by the same configuration CI uses
+(``[tool.repro.lint]`` in pyproject.toml plus the committed baseline).
+Any new algorithm that cheats — instance state, private simulator
+access, ambient randomness, oversized payloads — and any new engine
+hazard — unfrozen shared-memory attachment, fork-captured state, silent
+downcast — turns this test red with a file:line finding.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 
 import repro
-from repro.lint import lint_paths, load_config
+from repro.lint import apply_baseline, lint_paths, load_baseline, load_config
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__)))
 PYPROJECT = os.path.join(REPO_ROOT, "pyproject.toml")
+BASELINE = os.path.join(REPO_ROOT, ".repro-lint-baseline.json")
 SRC_REPRO = os.path.dirname(repro.__file__)
+
+
+def _relativized(findings):
+    return [
+        dataclasses.replace(
+            f, path=os.path.relpath(f.path, REPO_ROOT).replace(os.sep, "/")
+        )
+        for f in findings
+    ]
 
 
 def test_pyproject_config_is_present():
@@ -25,13 +38,39 @@ def test_pyproject_config_is_present():
     config = load_config(PYPROJECT)
     assert config.paths == ("src/repro",)
     assert config.disable == ()
+    assert config.select == ()
 
 
 def test_src_repro_is_model_compliant():
     config = load_config(PYPROJECT)
-    findings = lint_paths([SRC_REPRO], config=config)
-    rendered = "\n".join(f.render() for f in findings)
-    assert findings == [], f"model-compliance findings:\n{rendered}"
+    findings = _relativized(lint_paths([SRC_REPRO], config=config))
+    baseline = load_baseline(BASELINE)
+    new, grandfathered = apply_baseline(findings, baseline)
+    rendered = "\n".join(f.render() for f in new)
+    assert new == [], f"non-baselined findings:\n{rendered}"
+    # The committed baseline must not rot: every grandfathered entry
+    # still matches a real finding (otherwise prune the baseline), and
+    # the grandfathered population stays the intentional wire-dtype
+    # narrowing in the MPC runtime, nothing more.
+    assert baseline.stale_entries() == []
+    assert {(f.rule, f.path) for f in grandfathered} == {
+        ("S3", "src/repro/mpc/runtime.py")
+    }
+
+
+def test_both_rule_families_ran_on_the_tree():
+    # Guard against the S-family silently deconfiguring: the safety scope
+    # must cover the engine layers the differential tests lean on.
+    config = load_config(PYPROJECT)
+    for module in (
+        "repro.mpc.runtime",
+        "repro.mpc.engines",
+        "repro.mis.csr",
+        "repro.core.bulk",
+        "repro.graphs.csr",
+    ):
+        assert config.in_safety_scope(module), module
+    assert not config.in_safety_scope("repro.congest.simulator")
 
 
 def test_self_lint_actually_saw_the_node_programs():

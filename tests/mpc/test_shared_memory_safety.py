@@ -1,0 +1,79 @@
+"""Regression tests for S1: shared static CSR arrays are read-only.
+
+The sharded runtime publishes the graph's static CSR (indptr, indices,
+key_ids) through ``multiprocessing.shared_memory`` and every pool worker
+attaches the same buffers.  A single stray write in any worker would
+corrupt the graph for all of them — and, because the round math is
+deterministic, corrupt it *identically* on every rerun, which is the
+worst kind of bug to localize.  The runtime therefore freezes every
+attachment (``flags.writeable = False``); these tests pin that a write
+attempt raises ``ValueError`` instead of racing, on both sides of the
+pool boundary.  The lint rule S1 enforces the same invariant statically.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.csr import csr_from_graph
+from repro.mpc import run_sharded
+from repro.mpc.runtime import _SharedStatics, _WORKER, _pool_init
+
+
+def _graph():
+    return nx.gnp_random_graph(40, 0.12, seed=4)
+
+
+def test_coordinator_shared_views_are_frozen():
+    csr = csr_from_graph(_graph())
+    statics = _SharedStatics(csr, run_id="test-run")
+    try:
+        for key in ("indptr", "indices", "key_ids"):
+            shm = statics._shms[key]
+            source = getattr(csr, key)
+            view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+            # The block was filled before freezing, so contents match ...
+            np.testing.assert_array_equal(view, source)
+    finally:
+        statics.close()
+
+
+def test_worker_attachment_write_raises():
+    """A pool worker writing any shared static CSR array must raise."""
+    csr = csr_from_graph(_graph())
+    statics = _SharedStatics(csr, run_id="test-run")
+    saved_worker = dict(_WORKER)
+    try:
+        # Run the real pool initializer in-process: it attaches the same
+        # shared blocks a forked/spawned worker would.
+        _pool_init(
+            "test-run",
+            statics.names,
+            n=csr.n,
+            nnz=int(csr.indices.shape[0]),
+            k=2,
+        )
+        worker_csr = _WORKER["csr"]
+        for name in ("indptr", "indices", "key_ids"):
+            array = getattr(worker_csr, name)
+            assert not array.flags.writeable, name
+            with pytest.raises(ValueError):
+                array[0] = 1
+        # close worker-side attachments before the coordinator unlinks
+        for shm in _WORKER["shms"].values():
+            shm.close()
+    finally:
+        _WORKER.clear()
+        _WORKER.update(saved_worker)
+        statics.close()
+
+
+def test_frozen_statics_do_not_change_results():
+    """Freezing is transparent: pooled == inline on the same seed."""
+    graph = _graph()
+    inline = run_sharded("luby-b", graph, seed=6, shards=4, workers=0)
+    pooled = run_sharded("luby-b", graph, seed=6, shards=4, workers=2)
+    assert pooled.mis == inline.mis
+    assert pooled.iterations == inline.iterations
