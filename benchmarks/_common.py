@@ -32,6 +32,10 @@ SEEDS = [0, 1, 2]
 #                                         JSONL event stream under this root
 #                                         (inspect with `repro obs summary`;
 #                                         see docs/observability.md)
+#   REPRO_OBS_TRACE=1                     record hierarchical timing spans
+#                                         into the same streams (needs
+#                                         REPRO_OBS_DIR; inspect with
+#                                         `repro obs top` / `repro obs trace`)
 #   REPRO_SWEEP_ON_ERROR=continue         cell-failure endgame: fail-fast
 #                                         (default) | continue | retry; the
 #                                         runner reads these three directly

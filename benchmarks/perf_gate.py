@@ -1,10 +1,10 @@
-"""Performance gate for the bulk and sharded engines — E16/E17/E19 baselines.
+"""Performance gate for the bulk and sharded engines — E16/E17/E19/E20.
 
-Runs a small, CI-sized grid of bulk-engine (E16/E17) and sharded
-MPC-runtime (E19) cells and compares throughput (nodes per second)
-against the committed baselines in
+Runs a small, CI-sized grid of bulk-engine (E16/E17), sharded
+MPC-runtime (E19), and trace-overhead (E20) cells and compares
+throughput (nodes per second) against the committed baselines in
 ``benchmarks/baselines/BENCH_e16_bulk.json`` / ``BENCH_e17_bulk.json`` /
-``BENCH_e19_mpc.json``.
+``BENCH_e19_mpc.json`` / ``BENCH_e20_trace.json``.
 
 Usage::
 
@@ -53,6 +53,7 @@ from repro.mis.bulk import (  # noqa: E402
     metivier_mis_bulk,
 )
 from repro.mpc import run_sharded  # noqa: E402
+from repro.obs.trace import Tracer  # noqa: E402
 
 BASELINE_DIR = os.path.join(_HERE, "baselines")
 RESULTS_DIR = os.path.join(_HERE, "results")
@@ -92,6 +93,17 @@ GRIDS: Dict[str, List[dict]] = {
         {"algorithm": "ghaffari-mpc", "n": 100_000, "alpha": 2, "seed": 0, "shards": 4},
         {"algorithm": "metivier-mpc", "n": 300_000, "alpha": 2, "seed": 0, "shards": 4},
     ],
+    # E20: span-tracing overhead.  Traced cells run the same engines with
+    # a collector-mode Tracer attached (no disk I/O, so the delta is the
+    # instrumentation itself); untraced twins pin the tracing-disabled
+    # fast path.  A traced/untraced throughput gap beyond the tolerance
+    # means instrumentation crept into the per-element work.
+    "e20": [
+        {"algorithm": "metivier-bulk", "n": 300_000, "alpha": 2, "seed": 0, "traced": False},
+        {"algorithm": "metivier-bulk", "n": 300_000, "alpha": 2, "seed": 0, "traced": True},
+        {"algorithm": "luby-b-bulk", "n": 300_000, "alpha": 2, "seed": 0, "traced": False},
+        {"algorithm": "luby-b-bulk", "n": 300_000, "alpha": 2, "seed": 0, "traced": True},
+    ],
 }
 
 _CSR_CACHE: Dict[tuple, object] = {}
@@ -108,6 +120,8 @@ def _cell_id(cell: dict) -> str:
     base = "{algorithm}/n={n}/alpha={alpha}/seed={seed}".format(**cell)
     if "shards" in cell:
         base += "/shards={shards}".format(**cell)
+    if "traced" in cell:
+        base += "/traced={traced}".format(**cell)
     return base
 
 
@@ -136,7 +150,12 @@ def run_cell(cell: dict) -> dict:
             iterations = result.iterations
             mis_size = len(result.mis)
         else:
-            result = _MIS_ENGINES[cell["algorithm"]](csr, seed=cell["seed"])
+            kwargs = {}
+            if cell.get("traced"):
+                kwargs["tracer"] = Tracer(collector=[])
+            result = _MIS_ENGINES[cell["algorithm"]](
+                csr, seed=cell["seed"], **kwargs
+            )
             iterations = result.iterations
             mis_size = len(result.mis)
         best = min(best, time.perf_counter() - start)
@@ -150,7 +169,7 @@ def run_cell(cell: dict) -> dict:
     }
 
 
-_BASELINE_SUFFIX = {"e16": "bulk", "e17": "bulk", "e19": "mpc"}
+_BASELINE_SUFFIX = {"e16": "bulk", "e17": "bulk", "e19": "mpc", "e20": "trace"}
 
 
 def _baseline_path(experiment: str) -> str:

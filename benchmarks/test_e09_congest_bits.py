@@ -26,20 +26,39 @@ SIZES = [64, 128, 256, 512, 1024]
 ALPHA = 2
 
 
-def _run(n: int, seed: int = 0):
+def _run(n: int, seed: int = 0, session=None):
     graph = bounded_arboricity_graph(n, ALPHA, seed=seed)
     params = compute_parameters(ALPHA, max_degree(graph), "practical")
     network = Network(graph)
     program = BoundedArbNodeProgram(params)
-    simulator = SynchronousSimulator(network, seed=seed, enforce_congest=True)
+    observer = None
+    if session is not None:
+        from repro.obs.session import SimulatorObserver
+
+        observer = SimulatorObserver(session)
+    simulator = SynchronousSimulator(
+        network,
+        seed=seed,
+        enforce_congest=True,
+        observer=observer,
+        tracer=session.tracer if session is not None else None,
+    )
     return simulator.run(program, max_rounds=program.total_rounds + 3)
 
 
 def test_e9_congest_bits(benchmark):
+    # With REPRO_OBS_DIR set (and REPRO_OBS_TRACE=1 for spans) the E9
+    # executions leave a reconstructible event stream behind — this is
+    # the run the CI obs-artifacts job feeds to `repro obs trace/top`.
+    from repro.obs.session import session_from_env
+
+    session = session_from_env(
+        "benchmark", params={"experiment": "e9", "alpha": ALPHA}
+    )
     rows = []
     max_bits_seen = []
     for n in SIZES:
-        run = _run(n)
+        run = _run(n, session=session)
         assert run.metrics.congest_compliant
         max_bits_seen.append(run.metrics.max_message_bits)
         rows.append(
@@ -53,6 +72,8 @@ def test_e9_congest_bits(benchmark):
             }
         )
     emit("e9_congest_bits", rows, "E9: CONGEST bit accounting across n (enforced)")
+    if session is not None:
+        session.finish()
 
     # Message sizes are dominated by the fixed-width priority: near-flat in n.
     assert max(max_bits_seen) - min(max_bits_seen) <= 32

@@ -14,13 +14,15 @@ Commands
 ``lint``     run the model-compliance (R1–R5) and engine-safety (S1–S5)
              static analyzer (docs/model_compliance.md) over the tree;
 ``obs``      inspect recorded run telemetry (``tail`` / ``summary`` /
-             ``diff`` over manifest + JSONL artifacts,
-             docs/observability.md);
+             ``diff`` / ``trace`` / ``top`` over manifest + JSONL
+             artifacts, docs/observability.md);
 ``list``     list registered algorithms and graph families.
 
 ``run`` and ``sweep`` take ``--obs-dir`` (or honor ``REPRO_OBS_DIR``) to
 emit a run manifest plus a JSONL event stream that ``repro obs`` can
-reconstruct the run from afterwards.  All progress/telemetry chatter goes
+reconstruct the run from afterwards; add ``--trace`` (or
+``REPRO_OBS_TRACE=1``) to also record hierarchical timing spans for
+``repro obs trace`` / ``repro obs top``.  All progress/telemetry chatter goes
 to stderr; stdout carries only the machine-readable result tables.
 
 Examples
@@ -89,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="emit a run manifest + JSONL event stream under this "
             "directory (default: $REPRO_OBS_DIR when set)",
+        )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="record hierarchical spans (run/round/kernel wall + CPU "
+            "time) into the event stream; needs an obs directory; also "
+            "settable via REPRO_OBS_TRACE=1 (docs/observability.md)",
         )
 
     def add_engine_args(p):
@@ -250,7 +259,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-config", action="store_true")
 
     obs = sub.add_parser(
-        "obs", help="inspect recorded run telemetry (tail/summary/diff)"
+        "obs",
+        help="inspect recorded run telemetry (tail/summary/diff/trace/top)",
     )
     obs.add_argument(
         "obs_args",
@@ -266,7 +276,9 @@ def _build_graph(args):
     return _FAMILIES[args.family](args.n, args.seed, args)
 
 
-def _run_algorithm(name: str, graph, args, observer=None):
+def _run_algorithm(name: str, graph, args, observer=None, session=None):
+    import inspect
+
     from repro.mis.registry import get_algorithm
 
     fn = get_algorithm(name, engine=getattr(args, "engine", None))
@@ -283,19 +295,49 @@ def _run_algorithm(name: str, graph, args, observer=None):
     # an mpc twin fall back to scalar and must not see the knob).
     if getattr(args, "shards", None) and fn.__module__ == "repro.mpc.engines":
         kwargs["shards"] = args.shards
+    if session is not None:
+        if fn.__module__ == "repro.mpc.engines":
+            # The sharded runtime emits its own mpc-round/mpc-run-end
+            # telemetry (and spans, when tracing) through the session.
+            kwargs["obs"] = session
+        elif (
+            session.tracer is not None
+            and "tracer" in inspect.signature(fn).parameters
+        ):
+            kwargs["tracer"] = session.tracer
     return fn(graph, seed=args.seed, **kwargs)
 
 
 def _obs_session(args, kind: str, params):
     """Session from ``--obs-dir`` or ``$REPRO_OBS_DIR``; None when off."""
-    from repro.obs.session import ObsSession, session_from_env
+    import os
 
+    from repro.obs.session import (
+        TRACE_ENV,
+        ObsSession,
+        session_from_env,
+        trace_enabled_from_env,
+    )
+
+    if getattr(args, "trace", False):
+        # Export the knob so nested sessions (pool workers, benchmarks
+        # invoked downstream) inherit the tracing decision.
+        os.environ[TRACE_ENV] = "1"
     seed = getattr(args, "seed", None)
     if getattr(args, "obs_dir", None):
         return ObsSession.create(
-            args.obs_dir, kind=kind, seed=seed, params=params
+            args.obs_dir,
+            kind=kind,
+            seed=seed,
+            params=params,
+            trace=bool(getattr(args, "trace", False)) or trace_enabled_from_env(),
         )
-    return session_from_env(kind, seed=seed, params=params)
+    session = session_from_env(kind, seed=seed, params=params)
+    if session is None and getattr(args, "trace", False):
+        sys.stderr.write(
+            "[obs] --trace has no effect without --obs-dir or REPRO_OBS_DIR\n"
+        )
+    return session
 
 
 def _fault_config(args):
@@ -364,6 +406,7 @@ def _cmd_run_faulted(args, schedule, adversary) -> int:
         alpha=args.alpha,
         repair_output=not args.no_repair,
         observer=observer,
+        tracer=session.tracer if session is not None else None,
     )
     if session is not None:
         session.finish()
@@ -408,7 +451,9 @@ def _cmd_run(args) -> int:
             algorithm=args.algorithm,
         )
         with session.phase("algorithm"):
-            result = _run_algorithm(args.algorithm, graph, args, observer=session)
+            result = _run_algorithm(
+                args.algorithm, graph, args, observer=session, session=session
+            )
         if result.metrics is not None:
             emit_run_metrics(session, result.metrics)
         else:

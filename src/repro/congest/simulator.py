@@ -26,6 +26,12 @@ from repro.congest.network import Network
 from repro.congest.tracing import TraceRecorder
 from repro.errors import SimulationError
 from repro.obs.hooks import RunObserver
+from repro.obs.trace import (
+    SPAN_CONGEST_CODEC,
+    SPAN_CONGEST_ROUND,
+    SPAN_CONGEST_STEPS,
+    SPAN_RUN,
+)
 
 __all__ = ["SynchronousSimulator", "RunResult"]
 
@@ -84,6 +90,14 @@ class SynchronousSimulator:
         hooks (run start/end, per-round metrics, halts, crashes).  The
         simulator itself never reads a clock; timestamping is the
         observer's business (see :mod:`repro.obs.session`).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` recording hierarchical
+        spans: one run root, then per round a ``congest:round`` span with
+        ``congest:steps`` (inbox delivery + node steps) and
+        ``congest:codec`` (outbox collection + metering) children carrying
+        message/bit counters.  Like the observer, the tracer owns all
+        clocks; every use here is guarded so a None tracer costs one
+        comparison and zero allocations per round.
     """
 
     def __init__(
@@ -96,6 +110,7 @@ class SynchronousSimulator:
         crash_schedule: Optional[CrashSchedule] = None,
         adversary: Optional[MessageAdversary] = None,
         observer: Optional[RunObserver] = None,
+        tracer: Optional[Any] = None,
     ):
         self.network = network
         self.seed = seed
@@ -105,10 +120,13 @@ class SynchronousSimulator:
         self.crash_schedule = crash_schedule or CrashSchedule.none()
         self.adversary = adversary
         self.observer = observer
+        self.tracer = tracer
 
     def run(self, algorithm: NodeAlgorithm, max_rounds: int = 100_000) -> RunResult:
         """Execute ``algorithm`` to quiescence and return the result."""
         net = self.network
+        tracer = self.tracer
+        run_span = tracer.begin(SPAN_RUN) if tracer is not None else None
         contexts: Dict[int, NodeContext] = {
             v: NodeContext(v, net.neighbors(v), net.node_count, self.seed)
             for v in net.nodes
@@ -183,6 +201,16 @@ class SynchronousSimulator:
             pending = {v: [] for v in net.nodes}
             arrivals = deferred.pop(round_index, None)
 
+            round_span = (
+                tracer.begin(SPAN_CONGEST_ROUND, round=round_index)
+                if tracer is not None
+                else None
+            )
+            steps_span = (
+                tracer.begin(SPAN_CONGEST_STEPS, round=round_index)
+                if tracer is not None
+                else None
+            )
             for v in net.nodes:
                 ctx = contexts[v]
                 if ctx.halted or v in crashed:
@@ -211,12 +239,19 @@ class SynchronousSimulator:
                     if self.observer is not None:
                         self.observer.on_halt(round_index, v, ctx.output)
 
+            if tracer is not None:
+                tracer.end(steps_span, active=rm.active_nodes)
+                codec_span = tracer.begin(SPAN_CONGEST_CODEC, round=round_index)
             self._collect_outboxes(contexts, pending, rm, crashed)
+            if tracer is not None:
+                tracer.end(codec_span, messages=rm.messages_sent, bits=rm.bits_sent)
             metrics.absorb(rm)
             if self.trace is not None:
                 self.trace.record(round_index, "round-end", messages=rm.messages_sent)
             if self.observer is not None:
                 self.observer.on_round_end(rm)
+            if tracer is not None:
+                tracer.end(round_span, halted=rm.halted_this_round)
 
             all_halted = self._all_halted(contexts, crashed)
             round_index += 1
@@ -227,6 +262,13 @@ class SynchronousSimulator:
         # (crashes are applied before the step), so ctx.halted already implies
         # the decision predates the crash.
         outputs = {v: ctx.output for v, ctx in contexts.items() if ctx.halted}
+        if tracer is not None:
+            tracer.end(
+                run_span,
+                rounds=metrics.rounds,
+                messages=metrics.total_messages,
+                bits=metrics.total_bits,
+            )
         if self.observer is not None:
             self.observer.on_run_end(metrics, all_halted)
         return RunResult(

@@ -28,6 +28,14 @@ from repro.mis.csr import (
     neighbor_count,
     spread_to_neighbors,
 )
+from repro.obs.trace import (
+    SPAN_ARB_SCALE,
+    SPAN_BULK_ITERATION,
+    SPAN_KERNEL_COMPETE,
+    SPAN_KERNEL_DEGREES,
+    SPAN_KERNEL_ELIMINATE,
+    SPAN_RUN,
+)
 
 __all__ = ["bounded_arb_independent_set_bulk"]
 
@@ -40,6 +48,7 @@ def bounded_arb_independent_set_bulk(
     p_constant: int = 1,
     early_exit: bool = False,
     parameters: Optional[Parameters] = None,
+    tracer=None,
 ) -> BoundedArbResult:
     """Vectorized Algorithm 1, bit-identical to the scalar fast engine."""
     if alpha < 1:
@@ -74,7 +83,13 @@ def bounded_arb_independent_set_bulk(
         high = active & (degrees > threshold)
         return neighbor_count(high, csr)
 
+    run_span = tracer.begin(SPAN_RUN) if tracer is not None else None
     for k in params.scales():
+        scale_span = (
+            tracer.begin(SPAN_ARB_SCALE) if tracer is not None else None
+        )
+        if scale_span is not None:
+            scale_span.add(scale=k)
         rho_k = params.rho(k)
         active_before = int(active.sum())
         joined_this_scale = 0
@@ -90,10 +105,23 @@ def bounded_arb_independent_set_bulk(
                 counts = high_degree_counts(high_threshold)
                 if not (active & (counts > bad_threshold)).any():
                     break
+            it_span = (
+                tracer.begin(SPAN_BULK_ITERATION, round=iteration_counter)
+                if tracer is not None
+                else None
+            )
+            k_span = (
+                tracer.begin(SPAN_KERNEL_DEGREES, round=iteration_counter)
+                if tracer is not None
+                else None
+            )
             degrees = active_degrees()
             competitive = active & (degrees <= rho_k)
             priorities = keyed_priorities(csr, seed, iteration_counter)
             masked = np.where(competitive, priorities, np.uint64(0))
+            if tracer is not None:
+                tracer.end(k_span)
+                k_span = tracer.begin(SPAN_KERNEL_COMPETE, round=iteration_counter)
             # Scalar rule: competitive nodes play (1, priority, id); active
             # non-competitive neighbors play (0, 0, id) and can never block.
             winners = masked_competition(
@@ -107,12 +135,18 @@ def bounded_arb_independent_set_bulk(
                     else (0, 0, csr.tiebreak_id(i))
                 ),
             )
+            if tracer is not None:
+                tracer.end(k_span)
+                k_span = tracer.begin(SPAN_KERNEL_ELIMINATE, round=iteration_counter)
 
             in_mis |= winners
             eliminated = (winners | spread_to_neighbors(winners, csr)) & active
             joined_this_scale += int(winners.sum())
             eliminated_this_scale += int(eliminated.sum()) - int(winners.sum())
             active &= ~eliminated
+            if tracer is not None:
+                tracer.end(k_span, winners=int(winners.sum()))
+                tracer.end(it_span)
             iteration_counter += 1
             iterations_used += 1
 
@@ -139,7 +173,15 @@ def bounded_arb_independent_set_bulk(
                 ),
             )
         )
+        if tracer is not None:
+            tracer.end(
+                scale_span,
+                iterations=iterations_used,
+                joined=joined_this_scale,
+            )
 
+    if tracer is not None:
+        tracer.end(run_span, iterations=iteration_counter)
     return BoundedArbResult(
         independent_set=csr.label_set(in_mis),
         bad_set=csr.label_set(bad),

@@ -13,7 +13,8 @@ boundary:
   (``Process(target=...)``, ``executor.submit(f, ...)``,
   ``initializer=...``) through the project call graph;
 * S5 validates emitted event kinds against the ``EVENT_*`` schema
-  constants, wherever in the project they are defined.
+  constants and traced span names against the ``SPAN_*`` taxonomy,
+  wherever in the project they are defined.
 
 :class:`ProjectModel` is built once per lint run over every parsed
 module, stays purely static (no imports of checked code), and is handed
@@ -82,6 +83,10 @@ class ProjectModel:
     event_kinds: Set[str] = field(default_factory=set)
     #: ``EVENT_*`` constant name -> kind string, for resolving Name args
     event_constants: Dict[str, str] = field(default_factory=dict)
+    #: known span-name strings (values of ``SPAN_*`` constants)
+    span_kinds: Set[str] = field(default_factory=set)
+    #: ``SPAN_*`` constant name -> span string, for resolving Name args
+    span_constants: Dict[str, str] = field(default_factory=dict)
     #: lazily computed (config-dependent) ambient-state taint, see
     #: :meth:`tainted_functions`
     _taint: Optional[FrozenSet[str]] = None
@@ -241,44 +246,52 @@ def _collect_event_schema(project: ProjectModel, model: ModuleModel) -> None:
         if not isinstance(node, ast.Assign):
             continue
         for target in node.targets:
-            if (
+            if not (
                 isinstance(target, ast.Name)
-                and target.id.startswith("EVENT_")
                 and isinstance(node.value, ast.Constant)
                 and isinstance(node.value.value, str)
             ):
+                continue
+            if target.id.startswith("EVENT_"):
                 project.event_kinds.add(node.value.value)
                 project.event_constants[target.id] = node.value.value
+            elif target.id.startswith("SPAN_"):
+                project.span_kinds.add(node.value.value)
+                project.span_constants[target.id] = node.value.value
 
 
-def _fallback_event_schema(project: ProjectModel) -> None:
-    """Load ``EVENT_*`` from the in-tree schema when the lint target did
-    not include it (single-file runs).  Still a static parse — the
-    checked code is never imported."""
-    events_path = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "obs",
-        "events.py",
+def _fallback_schema_file(
+    project: ProjectModel, relpath: Tuple[str, ...], prefix: str
+) -> None:
+    """Load ``EVENT_*``/``SPAN_*`` constants from an in-tree schema module
+    when the lint target did not include it (single-file runs).  Still a
+    static parse — the checked code is never imported."""
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), *relpath
     )
-    if not os.path.isfile(events_path):
+    if not os.path.isfile(path):
         return
     try:
-        with open(events_path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             tree = ast.parse(handle.read())
     except (OSError, SyntaxError):
         return
+    kinds = project.event_kinds if prefix == "EVENT_" else project.span_kinds
+    constants = (
+        project.event_constants if prefix == "EVENT_" else project.span_constants
+    )
     for node in tree.body:
         if not isinstance(node, ast.Assign):
             continue
         for target in node.targets:
             if (
                 isinstance(target, ast.Name)
-                and target.id.startswith("EVENT_")
+                and target.id.startswith(prefix)
                 and isinstance(node.value, ast.Constant)
                 and isinstance(node.value.value, str)
             ):
-                project.event_kinds.add(node.value.value)
-                project.event_constants.setdefault(target.id, node.value.value)
+                kinds.add(node.value.value)
+                constants.setdefault(target.id, node.value.value)
 
 
 def _callable_args(call: ast.Call) -> List[ast.AST]:
@@ -338,7 +351,9 @@ def build_project(models: Iterable[ModuleModel]) -> ProjectModel:
             project.qualname_of[id(def_node)] = qualname
         _collect_event_schema(project, model)
     if not project.event_kinds:
-        _fallback_event_schema(project)
+        _fallback_schema_file(project, ("obs", "events.py"), "EVENT_")
+    if not project.span_kinds:
+        _fallback_schema_file(project, ("obs", "trace.py"), "SPAN_")
 
     # Call graph + pool-target discovery (needs the full symbol table).
     for qualname, info in project.functions.items():

@@ -20,8 +20,10 @@ S3   dtype/overflow safety: no mixed int32/int64 arithmetic, no narrow
      integer index arrays, no silent downcasts on index-scale data
 S4   RNG boundary discipline: seeded generator *state* never crosses the
      pool boundary — only integer seeds / keyed salts may cross
-S5   obs-event taxonomy: every emitted event kind exists in the
-     ``ObsEvent`` schema (the ``EVENT_*`` constants)
+S5   obs taxonomy: every emitted event kind exists in the ``ObsEvent``
+     schema (the ``EVENT_*`` constants), and every traced span name
+     (``tracer.begin(...)`` / ``tracer.span(...)``) exists in the
+     ``SPAN_*`` taxonomy of :mod:`repro.obs.trace`
 ==== =======================================================================
 
 S1-S4 run on the modules in ``safety-packages`` (the engine layers); S5
@@ -662,13 +664,18 @@ def _imports_obs(model: ModuleModel) -> bool:
     )
 
 
+#: Tracer methods whose first argument names a span (S5 span taxonomy).
+_SPAN_CALL_ATTRS = frozenset({"begin", "span"})
+
+
 def rule_s5_event_taxonomy(model: ModuleModel, project=None) -> List[Finding]:
-    """Every emitted event kind must exist in the ``ObsEvent`` schema."""
+    """Emitted event kinds and traced span names must exist in the schema."""
     if project is None or not project.event_kinds:
         return []
     if not _imports_obs(model):
         return []
     findings: List[Finding] = []
+    findings.extend(_span_taxonomy_findings(model, project))
     for node in ast.walk(model.tree):
         if not (
             isinstance(node, ast.Call)
@@ -710,6 +717,59 @@ def rule_s5_event_taxonomy(model: ModuleModel, project=None) -> List[Finding]:
                         kind_arg,
                         f"emits via {kind_arg.id}, which does not resolve "
                         "to a known EVENT_* schema constant",
+                    )
+                )
+    return findings
+
+
+def _span_taxonomy_findings(model: ModuleModel, project) -> List[Finding]:
+    """Span names passed to ``tracer.begin()``/``tracer.span()`` must be
+    ``SPAN_*`` taxonomy members (docs/observability.md) — ad-hoc strings
+    would fragment ``repro obs top`` aggregation and the Chrome export."""
+    if not project.span_kinds:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(model.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SPAN_CALL_ATTRS
+        ):
+            continue
+        name_arg: Optional[ast.AST] = node.args[0] if node.args else None
+        if name_arg is None:
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_arg = kw.value
+        if name_arg is None:
+            continue
+        if isinstance(name_arg, ast.Constant) and isinstance(
+            name_arg.value, str
+        ):
+            if name_arg.value not in project.span_kinds:
+                findings.append(
+                    _finding(
+                        model,
+                        "S5",
+                        name_arg,
+                        f"traces unknown span name {name_arg.value!r}; add "
+                        "it to the SPAN_* taxonomy in repro.obs.trace (or "
+                        "fix the typo) so trace aggregation stays stable",
+                    )
+                )
+        elif isinstance(name_arg, ast.Name) and name_arg.id.startswith(
+            "SPAN_"
+        ):
+            imported = model.imported_names.get(name_arg.id)
+            constant_name = imported[1] if imported else name_arg.id
+            if constant_name not in project.span_constants:
+                findings.append(
+                    _finding(
+                        model,
+                        "S5",
+                        name_arg,
+                        f"traces via {name_arg.id}, which does not resolve "
+                        "to a known SPAN_* taxonomy constant",
                     )
                 )
     return findings

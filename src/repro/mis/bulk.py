@@ -52,6 +52,14 @@ from repro.mis.engine import MISResult
 # CONGEST engines so all three draw from identical streams.
 from repro.mis.ghaffari import _MARK_TAG, _MIN_EXPONENT
 from repro.mis.luby import _LUBY_B_TAG
+from repro.obs.trace import (
+    SPAN_BULK_ITERATION,
+    SPAN_KERNEL_COMPETE,
+    SPAN_KERNEL_DEGREES,
+    SPAN_KERNEL_DRAW,
+    SPAN_KERNEL_ELIMINATE,
+    SPAN_RUN,
+)
 
 __all__ = [
     "csr_adjacency",
@@ -115,7 +123,10 @@ def _package(
 
 
 def metivier_mis_bulk(
-    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 10_000
+    graph: Union[nx.Graph, CSRGraph],
+    seed: int = 0,
+    max_iterations: int = 10_000,
+    tracer=None,
 ) -> MISResult:
     """Vectorized Métivier MIS, bit-identical to the scalar fast engine.
 
@@ -140,13 +151,27 @@ def metivier_mis_bulk(
     in_mis = np.zeros(n, dtype=bool)
     history = []
 
+    run_span = tracer.begin(SPAN_RUN) if tracer is not None else None
     iteration = 0
     while active.any() and iteration < max_iterations:
         history.append(int(active.sum()))
+        it_span = (
+            tracer.begin(SPAN_BULK_ITERATION, round=iteration)
+            if tracer is not None
+            else None
+        )
+        k_span = (
+            tracer.begin(SPAN_KERNEL_DRAW, round=iteration)
+            if tracer is not None
+            else None
+        )
         priorities = keyed_priorities(csr, seed, iteration)
         # Inactive nodes play 0 so they never beat anyone; a genuine zero
         # priority is routed through the exact fallback.
         masked = np.where(active, priorities, np.uint64(0))
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_COMPETE, round=iteration)
         winners = masked_competition(
             csr,
             contenders=active,
@@ -154,20 +179,32 @@ def metivier_mis_bulk(
             blockers=active,
             exact_key=lambda i: (int(masked[i]), csr.tiebreak_id(i)),
         )
+        if tracer is not None:
+            tracer.end(k_span)
         if not winners.any():
             raise AlgorithmError(
                 "metivier-bulk made no progress with nodes still active "
                 f"(iteration {iteration}) — engine invariant violated"
             )
+        if tracer is not None:
+            k_span = tracer.begin(SPAN_KERNEL_ELIMINATE, round=iteration)
         in_mis |= winners
         eliminate_winners_bulk(csr, active, winners)
+        if tracer is not None:
+            tracer.end(k_span, winners=int(winners.sum()))
+            tracer.end(it_span, active=history[-1])
         iteration += 1
 
+    if tracer is not None:
+        tracer.end(run_span, iterations=iteration)
     return _package(csr, in_mis, iteration, "metivier-bulk", seed, history, active)
 
 
 def luby_a_mis_bulk(
-    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 10_000
+    graph: Union[nx.Graph, CSRGraph],
+    seed: int = 0,
+    max_iterations: int = 10_000,
+    tracer=None,
 ) -> MISResult:
     """Vectorized Luby Algorithm A, bit-identical to the scalar engine.
 
@@ -188,15 +225,29 @@ def luby_a_mis_bulk(
     in_mis = np.zeros(n, dtype=bool)
     history = []
 
+    run_span = tracer.begin(SPAN_RUN) if tracer is not None else None
     iteration = 0
     while active.any() and iteration < max_iterations:
         history.append(int(active.sum()))
+        it_span = (
+            tracer.begin(SPAN_BULK_ITERATION, round=iteration)
+            if tracer is not None
+            else None
+        )
+        k_span = (
+            tracer.begin(SPAN_KERNEL_DRAW, round=iteration)
+            if tracer is not None
+            else None
+        )
         raw = keyed_priorities(csr, seed, iteration)
         if small_range:
             keys = np.mod(raw, np.uint64(range_size)) + np.uint64(1)
         else:
             keys = raw  # same order as 1 + raw, and 1 + raw == scalar
         masked = np.where(active, keys, np.uint64(0))
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_COMPETE, round=iteration)
         winners = masked_competition(
             csr,
             contenders=active,
@@ -204,20 +255,32 @@ def luby_a_mis_bulk(
             blockers=active,
             exact_key=lambda i: (1 + int(raw[i]) % range_size, csr.tiebreak_id(i)),
         )
+        if tracer is not None:
+            tracer.end(k_span)
         if not winners.any():
             raise AlgorithmError(
                 "luby-a-bulk made no progress with nodes still active "
                 f"(iteration {iteration}) — engine invariant violated"
             )
+        if tracer is not None:
+            k_span = tracer.begin(SPAN_KERNEL_ELIMINATE, round=iteration)
         in_mis |= winners
         eliminate_winners_bulk(csr, active, winners)
+        if tracer is not None:
+            tracer.end(k_span, winners=int(winners.sum()))
+            tracer.end(it_span, active=history[-1])
         iteration += 1
 
+    if tracer is not None:
+        tracer.end(run_span, iterations=iteration)
     return _package(csr, in_mis, iteration, "luby-a-bulk", seed, history, active)
 
 
 def luby_b_mis_bulk(
-    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 10_000
+    graph: Union[nx.Graph, CSRGraph],
+    seed: int = 0,
+    max_iterations: int = 10_000,
+    tracer=None,
 ) -> MISResult:
     """Vectorized Luby Algorithm B (degree-based marking).
 
@@ -242,15 +305,32 @@ def luby_b_mis_bulk(
     in_mis = np.zeros(n, dtype=bool)
     history = []
 
+    run_span = tracer.begin(SPAN_RUN) if tracer is not None else None
     iteration = 0
     while active.any() and iteration < max_iterations:
         history.append(int(active.sum()))
+        it_span = (
+            tracer.begin(SPAN_BULK_ITERATION, round=iteration)
+            if tracer is not None
+            else None
+        )
+        k_span = (
+            tracer.begin(SPAN_KERNEL_DEGREES, round=iteration)
+            if tracer is not None
+            else None
+        )
         degrees = neighbor_count(active, csr)
         degrees[~active] = 0
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_DRAW, round=iteration)
         uniforms = keyed_uniforms(csr, seed, iteration, tag=_LUBY_B_TAG)
         # Scalar coin: p = 1/(2d), or certainty when the active degree is 0.
         thresholds = 1.0 / (2.0 * np.maximum(degrees, 1).astype(np.float64))
         marked = active & ((degrees == 0) | (uniforms < thresholds))
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_COMPETE, round=iteration)
 
         keys = np.where(
             marked,
@@ -268,15 +348,26 @@ def luby_b_mis_bulk(
                 else (0, 0, csr.tiebreak_id(i))
             ),
         )
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_ELIMINATE, round=iteration)
         in_mis |= winners
         eliminate_winners_bulk(csr, active, winners)
+        if tracer is not None:
+            tracer.end(k_span, winners=int(winners.sum()))
+            tracer.end(it_span, active=history[-1])
         iteration += 1
 
+    if tracer is not None:
+        tracer.end(run_span, iterations=iteration)
     return _package(csr, in_mis, iteration, "luby-b-bulk", seed, history, active)
 
 
 def ghaffari_mis_bulk(
-    graph: Union[nx.Graph, CSRGraph], seed: int = 0, max_iterations: int = 20_000
+    graph: Union[nx.Graph, CSRGraph],
+    seed: int = 0,
+    max_iterations: int = 20_000,
+    tracer=None,
 ) -> MISResult:
     """Vectorized Ghaffari desire-level MIS.
 
@@ -299,6 +390,7 @@ def ghaffari_mis_bulk(
     shatter_threshold = n_floor / max(1.0, math.log(n_floor) ** 2)
     shatter_iteration = None
 
+    run_span = tracer.begin(SPAN_RUN) if tracer is not None else None
     iteration = 0
     while active.any() and iteration < max_iterations:
         active_count = int(active.sum())
@@ -306,10 +398,26 @@ def ghaffari_mis_bulk(
         if shatter_iteration is None and active_count <= shatter_threshold:
             shatter_iteration = iteration
 
+        it_span = (
+            tracer.begin(SPAN_BULK_ITERATION, round=iteration)
+            if tracer is not None
+            else None
+        )
+        k_span = (
+            tracer.begin(SPAN_KERNEL_DRAW, round=iteration)
+            if tracer is not None
+            else None
+        )
         desires = np.ldexp(1.0, -exponents.astype(np.int32))  # exact 2^-j
         uniforms = keyed_uniforms(csr, seed, iteration, tag=_MARK_TAG)
         marked = active & (uniforms < desires)
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_COMPETE, round=iteration)
         winners = marked & ~neighbor_any(marked, csr)
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_DEGREES, round=iteration)
 
         # Desire update against the pre-elimination neighborhood, as in
         # the paper: d_t(v) sums this iteration's p values.
@@ -319,11 +427,19 @@ def ghaffari_mis_bulk(
         exponents = np.where(
             active, np.where(effective >= 2.0, raised, lowered), exponents
         )
+        if tracer is not None:
+            tracer.end(k_span)
+            k_span = tracer.begin(SPAN_KERNEL_ELIMINATE, round=iteration)
 
         in_mis |= winners
         eliminate_winners_bulk(csr, active, winners)
+        if tracer is not None:
+            tracer.end(k_span, winners=int(winners.sum()))
+            tracer.end(it_span, active=active_count)
         iteration += 1
 
+    if tracer is not None:
+        tracer.end(run_span, iterations=iteration)
     return _package(
         csr,
         in_mis,

@@ -107,12 +107,15 @@ def run_under_faults(
     repair_output: bool = True,
     enforce_congest: bool = False,
     observer: Optional[RunObserver] = None,
+    tracer: Optional[Any] = None,
 ) -> FaultedRunResult:
     """Execute ``algorithm`` under faults and return the repaired result.
 
     ``repair_output=False`` skips the repair pass (the raw, possibly
     violated output is still validated and reported) — useful when
-    measuring degradation rather than recovery.
+    measuring degradation rather than recovery.  ``tracer`` (a
+    :class:`~repro.obs.trace.Tracer`) is handed straight to the
+    simulator, which records its round/codec span hierarchy into it.
     """
     program, schedule_rounds = get_node_program(algorithm, graph, alpha=alpha)
     simulator = SynchronousSimulator(
@@ -122,6 +125,7 @@ def run_under_faults(
         crash_schedule=crash_schedule,
         adversary=adversary,
         observer=observer,
+        tracer=tracer,
     )
     if max_rounds is None:
         max_rounds = schedule_rounds if schedule_rounds is not None else 100_000

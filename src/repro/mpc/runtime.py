@@ -77,6 +77,15 @@ from repro.obs.events import (
     EVENT_SWEEP_FAILURE,
 )
 from repro.obs.session import ObsSession, session_from_env
+from repro.obs.trace import (
+    SPAN_MPC_AUDIT,
+    SPAN_MPC_EXCHANGE,
+    SPAN_MPC_KERNEL,
+    SPAN_MPC_ROUND,
+    SPAN_MPC_SHARD,
+    SPAN_RUN,
+    Tracer,
+)
 from repro.rng import priority_array
 
 __all__ = [
@@ -367,6 +376,34 @@ def _pool_init(run_id: str, names: Dict[str, str], n: int, nnz: int, k: int) -> 
     )
 
 
+def _compute_traced(
+    static: _ShardStatic,
+    scratch: Dict[str, np.ndarray],
+    algorithm: str,
+    phase: str,
+    seed: int,
+    iteration: int,
+    n: int,
+) -> Dict[str, Any]:
+    """``_phase_compute`` wrapped in a collector-mode span recorder.
+
+    The worker has no session (and no coordinator clock); it records its
+    ``mpc:kernel`` span into a plain ``list[dict]`` buffer that ships back
+    with the shard result under the ``"spans"`` key — pickle-safe, no
+    handles — for the coordinator to merge.  The same wrapper runs on the
+    inline path so traced streams are identical at every worker count.
+    """
+    buffer: List[Dict[str, Any]] = []
+    tracer = Tracer(collector=buffer)
+    span = tracer.begin(SPAN_MPC_KERNEL, round=iteration)
+    result = dict(
+        _phase_compute(static, scratch, algorithm, phase, seed, iteration, n)
+    )
+    tracer.end(span, shard=static.index, stage=phase, rows=static.n_local)
+    result["spans"] = buffer
+    return result
+
+
 def _pool_task(
     run_id: str,
     shard_index: int,
@@ -378,6 +415,7 @@ def _pool_task(
     scratch: Dict[str, np.ndarray],
     crash: bool,
     attempt: int,
+    trace: bool = False,
 ) -> Dict[str, Optional[np.ndarray]]:
     if crash:
         raise InjectedShardCrash(shard_index, iteration, attempt)
@@ -387,6 +425,8 @@ def _pool_task(
         plan = partition_csr(_WORKER["csr"], _WORKER["k"])
         _WORKER["statics"] = _build_statics(plan)
     static = _WORKER["statics"][shard_index]
+    if trace:
+        return _compute_traced(static, scratch, algorithm, phase, seed, iteration, n)
     return _phase_compute(static, scratch, algorithm, phase, seed, iteration, n)
 
 
@@ -494,6 +534,13 @@ class _Coordinator:
         self.owns_obs = owns_obs
         self.crashes = list(crashes)
         self.max_iterations = max_iterations
+        #: Span recorder riding the session (None when tracing is off);
+        #: worker buffers merge into it in shard order, so the tree is
+        #: deterministic at every worker count.
+        self.tracer = obs.tracer if obs is not None else None
+        #: Per-shard kernel wall seconds accumulated this round from the
+        #: merged worker spans (satellite telemetry on ``mpc-round``).
+        self._round_shard_seconds: Dict[int, float] = {}
 
         self.plan = partition_csr(csr, shards)
         self.statics = _build_statics(self.plan)
@@ -617,6 +664,15 @@ class _Coordinator:
     def _push_state(self, names: Sequence[str], iteration: int) -> None:
         """One exchange wave: every live ordered shard pair, plus the free
         local refresh of each shard's own slice."""
+        tracer = self.tracer
+        span = (
+            tracer.begin(SPAN_MPC_EXCHANGE, round=iteration)
+            if tracer is not None
+            else None
+        )
+        bytes_before = (
+            sum(m.round_bytes for m in self.meters) if span is not None else 0
+        )
         for static in self.statics:
             s = static.index
             if s in self.dead_shards:
@@ -633,6 +689,11 @@ class _Coordinator:
                 self.scratch[static.index][name][static.local_sel] = self.truth[
                     name
                 ][static.start : static.stop].astype(_WIRE_DTYPES[name])
+        if tracer is not None:
+            tracer.end(
+                span,
+                bytes=sum(m.round_bytes for m in self.meters) - bytes_before,
+            )
 
     def _meter_winner_push(self, winners: np.ndarray, iteration: int) -> None:
         """Winner announcements crossing the cut: 4 bytes per index,
@@ -694,6 +755,7 @@ class _Coordinator:
             self.scratch[shard],
             crash,
             attempt,
+            self.tracer is not None,
         )
 
     def _execute_shard(
@@ -721,7 +783,10 @@ class _Coordinator:
                     return self._submit(shard, phase, iteration, attempt).result()
                 if self._should_crash(shard, phase, iteration, attempt):
                     raise InjectedShardCrash(shard, iteration, attempt)
-                return _phase_compute(
+                compute = (
+                    _compute_traced if self.tracer is not None else _phase_compute
+                )
+                return compute(
                     self.statics[shard],
                     self.scratch[shard],
                     self.algorithm,
@@ -785,16 +850,35 @@ class _Coordinator:
                 self._attempts[(iteration, phase, s)] = 1
                 first[s] = self._submit(s, phase, iteration, 1)
         results: Dict[int, Dict[str, Optional[np.ndarray]]] = {}
+        tracer = self.tracer
         for s in live:
+            shard_span = (
+                tracer.begin(SPAN_MPC_SHARD, round=iteration)
+                if tracer is not None
+                else None
+            )
             outcome = self._execute_shard(s, phase, iteration, first.get(s))
             if outcome is not None:
+                if tracer is not None:
+                    spans = outcome.pop("spans", None)
+                    if spans:
+                        for record in spans:
+                            if record.get("name") == SPAN_MPC_KERNEL:
+                                self._round_shard_seconds[s] = (
+                                    self._round_shard_seconds.get(s, 0.0)
+                                    + float(record.get("dur_s") or 0.0)
+                                )
+                        tracer.merge(spans)
                 results[s] = outcome
+            if tracer is not None:
+                tracer.end(shard_span, shard=s, stage=phase)
         return results
 
     # -- the round loop ------------------------------------------------------
 
     def run(self) -> MISResult:
         algorithm = self.algorithm
+        tracer = self.tracer
         history: List[int] = []
         iteration = 0
         shatter_iteration: Optional[int] = None
@@ -802,6 +886,7 @@ class _Coordinator:
             n_floor = max(2, self.n)
             shatter_threshold = n_floor / max(1.0, math.log(n_floor) ** 2)
 
+        run_span = tracer.begin(SPAN_RUN) if tracer is not None else None
         while self.active.any() and iteration < self.max_iterations:
             active_count = int(self.active.sum())
             history.append(active_count)
@@ -809,13 +894,26 @@ class _Coordinator:
                 if active_count <= shatter_threshold:
                     shatter_iteration = iteration
 
+            round_span = (
+                tracer.begin(SPAN_MPC_ROUND, round=iteration)
+                if tracer is not None
+                else None
+            )
+            self._round_shard_seconds = {}
             self._push_state(_STATE_FIELDS[algorithm], iteration)
 
             fallback = None
             if algorithm in ("metivier", "luby-a"):
+                audit_span = (
+                    tracer.begin(SPAN_MPC_AUDIT, round=iteration)
+                    if tracer is not None
+                    else None
+                )
                 fallback = _degenerate_winners(
                     self.csr, self.active, algorithm, self.seed, iteration
                 )
+                if tracer is not None:
+                    tracer.end(audit_span, degenerate=fallback is not None)
 
             if algorithm == "luby-b":
                 shards_before = set(self.dead_shards)
@@ -870,17 +968,34 @@ class _Coordinator:
             for meter in self.meters:
                 meter.end_round()
             if self.obs is not None:
-                self.obs.emit(
-                    EVENT_MPC_ROUND,
-                    round=iteration,
+                round_data: Dict[str, Any] = {
+                    "active": active_count,
+                    "winners": int(winners.sum()),
+                    "bytes": round_bytes,
+                    "sparsified_shards": sparsified,
+                    "degenerate": fallback is not None,
+                }
+                if tracer is not None:
+                    # Per-shard kernel wall from the merged worker spans;
+                    # a timestamp field (stripped by `obs diff`).
+                    round_data["shard_seconds"] = {
+                        str(s): round(seconds, 6)
+                        for s, seconds in sorted(
+                            self._round_shard_seconds.items()
+                        )
+                    }
+                self.obs.emit(EVENT_MPC_ROUND, round=iteration, **round_data)
+            if tracer is not None:
+                tracer.end(
+                    round_span,
                     active=active_count,
                     winners=int(winners.sum()),
                     bytes=round_bytes,
-                    sparsified_shards=sparsified,
-                    degenerate=fallback is not None,
                 )
             iteration += 1
 
+        if tracer is not None:
+            tracer.end(run_span, rounds=iteration)
         report = CommReport.from_meters(self.meters)
         extra: Dict[str, Any] = {
             "completed": not bool(self.active.any()),

@@ -10,6 +10,9 @@ One subsystem owns everything about observing a run (docs/observability.md):
   (seed, git SHA, version, params, environment);
 * :mod:`repro.obs.session` — :class:`ObsSession` run directories, phase
   timers, and the :class:`RunObserver` bridge the simulators call;
+* :mod:`repro.obs.trace` — hierarchical span tracing (run → phase →
+  round → shard → kernel) with Chrome-trace export and the hot-spot
+  table behind ``repro obs top``;
 * :mod:`repro.obs.summary` / :mod:`repro.obs.exporter` — reconstruct
   metrics from recorded streams; Prometheus text export;
 * :mod:`repro.obs.cli` — the ``repro obs`` inspection commands.
@@ -33,12 +36,23 @@ from repro.obs.session import (
     EVENTS_FILENAME,
     MANIFEST_FILENAME,
     OBS_DIR_ENV,
+    TRACE_ENV,
     ObsSession,
     SimulatorObserver,
     emit_run_metrics,
     session_from_env,
+    trace_enabled_from_env,
 )
 from repro.obs.sinks import EventSink, JsonlSink, MemorySink, MultiSink, NullSink
+from repro.obs.trace import (
+    SpanNode,
+    Tracer,
+    aggregate_spans,
+    build_span_tree,
+    chrome_trace,
+    render_span_tree,
+    render_top,
+)
 from repro.obs.summary import (
     ObsSummary,
     diff_streams,
@@ -61,9 +75,18 @@ __all__ = [
     "SimulatorObserver",
     "emit_run_metrics",
     "session_from_env",
+    "trace_enabled_from_env",
     "OBS_DIR_ENV",
+    "TRACE_ENV",
     "MANIFEST_FILENAME",
     "EVENTS_FILENAME",
+    "Tracer",
+    "SpanNode",
+    "aggregate_spans",
+    "build_span_tree",
+    "chrome_trace",
+    "render_span_tree",
+    "render_top",
     "EventSink",
     "JsonlSink",
     "MemorySink",

@@ -7,7 +7,13 @@ Subcommands
              (``--format text|json|prom``);
 ``diff``     compare two streams up to timestamp fields (exit 0 when
              identical — the reproducibility check two same-seed runs
-             must pass).
+             must pass);
+``trace``    export the span tree of a traced run (``--format
+             chrome`` produces Chrome trace-event JSON loadable in
+             Perfetto / chrome://tracing; ``tree`` prints indented
+             text);
+``top``      self/total wall-time table per span name, with the share
+             of run wall attributed to named spans.
 
 Paths may be an ``events.jsonl`` file, a run directory, or an obs root
 holding many run directories (``summary`` aggregates across all of
@@ -23,8 +29,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.obs.events import event_from_dict
+from repro.obs.events import EVENT_SPAN, event_from_dict
 from repro.obs.exporter import summary_to_prometheus
+from repro.obs.trace import chrome_trace, render_span_tree, render_top
 from repro.obs.summary import (
     diff_streams,
     read_events,
@@ -63,6 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("a")
     diff.add_argument("b")
+
+    trace = sub.add_parser(
+        "trace", help="export the span tree of a traced run"
+    )
+    trace.add_argument("path", help="events.jsonl, run dir, or obs root")
+    trace.add_argument(
+        "--format", choices=("chrome", "tree"), default="chrome"
+    )
+    trace.add_argument(
+        "-o", "--output", default=None, help="write to file instead of stdout"
+    )
+
+    top = sub.add_parser(
+        "top", help="per-span self/total wall-time table"
+    )
+    top.add_argument("path", help="events.jsonl, run dir, or obs root")
+    top.add_argument("-n", "--limit", type=int, default=15)
     return parser
 
 
@@ -109,10 +133,48 @@ def _cmd_diff(args) -> int:
     return 0 if result.identical else 1
 
 
+def _span_records(path: str) -> List[dict]:
+    records = [
+        r
+        for r in read_events(_single_stream(path))
+        if r.get("kind") == EVENT_SPAN
+    ]
+    if not records:
+        raise ValueError(
+            f"no span events under {path}; record with --trace "
+            f"(or REPRO_OBS_TRACE=1)"
+        )
+    return records
+
+
+def _cmd_trace(args) -> int:
+    records = _span_records(args.path)
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace(records), sort_keys=True)
+    else:
+        text = render_span_tree(records)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_top(args) -> int:
+    print(render_top(_span_records(args.path), limit=args.limit))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code (diff: 1 on mismatch)."""
     args = build_parser().parse_args(argv)
-    handlers = {"tail": _cmd_tail, "summary": _cmd_summary, "diff": _cmd_diff}
+    handlers = {
+        "tail": _cmd_tail,
+        "summary": _cmd_summary,
+        "diff": _cmd_diff,
+        "trace": _cmd_trace,
+        "top": _cmd_top,
+    }
     try:
         return handlers[args.obs_command](args)
     except (FileNotFoundError, ValueError) as exc:

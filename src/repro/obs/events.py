@@ -51,6 +51,7 @@ __all__ = [
     "EVENT_MPC_RUN_END",
     "EVENT_NOTE",
     "EVENT_SINK_STATS",
+    "EVENT_SPAN",
 ]
 
 #: Bumped whenever the reserved keys or the meaning of a kind changes.
@@ -78,10 +79,15 @@ EVENT_MPC_ROUND = "mpc-round"  # one sharded-runtime round: active, winners, com
 EVENT_MPC_RUN_END = "mpc-run-end"  # aggregate: rounds, per-shard comm bytes, sparsification
 EVENT_NOTE = "note"
 EVENT_SINK_STATS = "sink-stats"
+EVENT_SPAN = "span"  # one closed tracer span; name in `phase`, tree in `span`/`parent`
 
 #: Keys whose values come from a wall clock.  ``repro obs diff`` (and the
 #: determinism acceptance test) compare streams with these removed.
-TIMESTAMP_FIELDS = frozenset({"ts", "dur_s", "seconds_by_algorithm"})
+#: ``cpu_s``/``start_s`` are span clocks; ``shard_seconds`` is the
+#: per-shard wall map on ``mpc-round`` events.
+TIMESTAMP_FIELDS = frozenset(
+    {"ts", "dur_s", "seconds_by_algorithm", "cpu_s", "start_s", "shard_seconds"}
+)
 
 #: Keys an event's free-form ``data`` may not shadow.
 RESERVED_FIELDS = frozenset({"kind", "ts", "round", "node", "phase", "dur_s"})

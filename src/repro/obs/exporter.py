@@ -26,6 +26,12 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
+def _escape_help(text: str) -> str:
+    # Exposition format: HELP lines escape backslash and newline (quotes
+    # are legal there, unlike in label values).
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _labels(labels: Optional[Mapping[str, str]]) -> str:
     if not labels:
         return ""
@@ -44,7 +50,7 @@ def _metric(
     value: float,
     labels: Optional[Mapping[str, str]] = None,
 ) -> None:
-    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# HELP {name} {_escape_help(help_text)}")
     lines.append(f"# TYPE {name} {metric_type}")
     rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else str(value)
     lines.append(f"{name}{_labels(labels)} {rendered}")
@@ -146,6 +152,17 @@ def summary_to_prometheus(
             summary.mpc_sparsified_rounds,
             base,
         )
+    if summary.mpc_shard_seconds:
+        name = f"{_PREFIX}_mpc_shard_seconds_total"
+        lines.append(
+            f"# HELP {name} Worker kernel wall seconds per shard "
+            "(from merged worker spans)."
+        )
+        lines.append(f"# TYPE {name} counter")
+        for shard, seconds in sorted(summary.mpc_shard_seconds.items()):
+            shard_labels = dict(base)
+            shard_labels["shard"] = shard
+            lines.append(f"{name}{_labels(shard_labels)} {seconds:.6f}")
     if summary.phase_seconds:
         name = f"{_PREFIX}_phase_seconds_total"
         lines.append(f"# HELP {name} Wall-clock seconds per pipeline phase.")
@@ -154,4 +171,26 @@ def summary_to_prometheus(
             phase_labels = dict(base)
             phase_labels["phase"] = phase
             lines.append(f"{name}{_labels(phase_labels)} {seconds:.6f}")
+    if summary.span_seconds:
+        for metric_name, values, unit in (
+            (f"{_PREFIX}_span_seconds_total", summary.span_seconds, "wall"),
+            (f"{_PREFIX}_span_cpu_seconds_total", summary.span_cpu_seconds, "CPU"),
+        ):
+            lines.append(
+                f"# HELP {metric_name} Traced {unit} seconds per span name."
+            )
+            lines.append(f"# TYPE {metric_name} counter")
+            for span, seconds in sorted(values.items()):
+                span_labels = dict(base)
+                span_labels["span"] = span
+                lines.append(
+                    f"{metric_name}{_labels(span_labels)} {seconds:.6f}"
+                )
+        name = f"{_PREFIX}_spans_total"
+        lines.append(f"# HELP {name} Spans recorded per span name.")
+        lines.append(f"# TYPE {name} counter")
+        for span, count in sorted(summary.span_counts.items()):
+            span_labels = dict(base)
+            span_labels["span"] = span
+            lines.append(f"{name}{_labels(span_labels)} {count}")
     return "\n".join(lines) + "\n"

@@ -55,7 +55,9 @@ __all__ = [
     "SimulatorObserver",
     "emit_run_metrics",
     "session_from_env",
+    "trace_enabled_from_env",
     "OBS_DIR_ENV",
+    "TRACE_ENV",
     "MANIFEST_FILENAME",
     "EVENTS_FILENAME",
 ]
@@ -63,6 +65,12 @@ __all__ = [
 #: Setting this environment variable turns telemetry on everywhere: the
 #: CLI, the sweep runner, and the benchmarks all create sessions under it.
 OBS_DIR_ENV = "REPRO_OBS_DIR"
+
+#: With telemetry on, setting this (1/true/yes/on) additionally attaches a
+#: :class:`~repro.obs.trace.Tracer` to every env-created session — the
+#: ``--trace`` CLI flag sets it so nested sessions (MPC env sessions,
+#: sweep pool workers) inherit tracing across process boundaries.
+TRACE_ENV = "REPRO_OBS_TRACE"
 
 MANIFEST_FILENAME = "manifest.json"
 EVENTS_FILENAME = "events.jsonl"
@@ -88,6 +96,9 @@ class ObsSession:
         self.clock = clock
         self.wall = wall
         self.phase_seconds: Dict[str, float] = {}
+        #: Attached span recorder, or None — producers guard every use
+        #: with ``if tracer is not None`` so disabled tracing is free.
+        self.tracer: Optional[Any] = None
         self._closed = False
 
     # -- construction --------------------------------------------------------
@@ -102,6 +113,7 @@ class ObsSession:
         params: Optional[Mapping[str, Any]] = None,
         sample_every: Optional[Mapping[str, int]] = None,
         max_events: Optional[int] = None,
+        trace: bool = False,
     ) -> "ObsSession":
         """Create ``<root>/<run_id>/`` with its manifest, ready to emit."""
         stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
@@ -121,7 +133,10 @@ class ObsSession:
             sample_every=sample_every,
             max_events=max_events,
         )
-        return cls(directory, manifest, sink)
+        session = cls(directory, manifest, sink)
+        if trace:
+            session.enable_tracing()
+        return session
 
     # -- emission ------------------------------------------------------------
 
@@ -171,6 +186,14 @@ class ObsSession:
         """A :class:`RunObserver` that streams into this session."""
         return SimulatorObserver(self)
 
+    def enable_tracing(self) -> Any:
+        """Attach (or return the existing) span :class:`Tracer`."""
+        if self.tracer is None:
+            from repro.obs.trace import Tracer
+
+            self.tracer = Tracer(session=self)
+        return self.tracer
+
     def attach_metrics(self, metrics: Any) -> None:
         """Fold this session's phase timings into a ``RunMetrics``."""
         for name, seconds in self.phase_seconds.items():
@@ -181,6 +204,8 @@ class ObsSession:
     def finish(self) -> Path:
         """Flush and close the stream; returns the run directory."""
         if not self._closed:
+            if self.tracer is not None:
+                self.tracer.finish()
             self.sink.close()
             self._closed = True
         return self.directory
@@ -322,6 +347,11 @@ def emit_run_metrics(session: ObsSession, metrics: Any) -> None:
     )
 
 
+def trace_enabled_from_env() -> bool:
+    """Whether ``$REPRO_OBS_TRACE`` asks for span tracing."""
+    return os.environ.get(TRACE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
 def session_from_env(
     kind: str,
     name: Optional[str] = None,
@@ -331,9 +361,17 @@ def session_from_env(
     """Create a session under ``$REPRO_OBS_DIR``, or None when unset.
 
     This is the single switch that makes *every* benchmark, sweep, and CLI
-    run emit artifacts without call-site changes.
+    run emit artifacts without call-site changes; ``$REPRO_OBS_TRACE``
+    additionally attaches a span tracer (same no-call-site-change deal).
     """
     root = os.environ.get(OBS_DIR_ENV)
     if not root:
         return None
-    return ObsSession.create(root, kind=kind, name=name, seed=seed, params=params)
+    return ObsSession.create(
+        root,
+        kind=kind,
+        name=name,
+        seed=seed,
+        params=params,
+        trace=trace_enabled_from_env(),
+    )

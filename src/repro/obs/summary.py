@@ -22,11 +22,13 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.obs.events import (
     EVENT_ASYNC_RUN_END,
     EVENT_FAULT,
+    EVENT_MPC_ROUND,
     EVENT_MPC_RUN_END,
     EVENT_PHASE_END,
     EVENT_ROUND,
     EVENT_RUN_END,
     EVENT_RUN_START,
+    EVENT_SPAN,
     EVENT_START_ROUND,
     EVENT_SWEEP_POINT,
     strip_timestamps,
@@ -72,6 +74,15 @@ class ObsSummary:
     mpc_runs: int = 0
     mpc_comm_bytes: int = 0
     mpc_sparsified_rounds: int = 0
+    #: Per-shard kernel wall seconds from ``mpc-round`` ``shard_seconds``
+    #: maps (present only on traced runs; per-round events may be sampled,
+    #: so these are lower bounds, like ``fault_counts``).
+    mpc_shard_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Span aggregates from ``span`` events: wall/CPU seconds and counts
+    #: keyed by span name (only traced runs emit them).
+    span_seconds: Dict[str, float] = field(default_factory=dict)
+    span_cpu_seconds: Dict[str, float] = field(default_factory=dict)
+    span_counts: Dict[str, int] = field(default_factory=dict)
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "ObsSummary") -> None:
@@ -93,6 +104,18 @@ class ObsSummary:
         self.mpc_runs += other.mpc_runs
         self.mpc_comm_bytes += other.mpc_comm_bytes
         self.mpc_sparsified_rounds += other.mpc_sparsified_rounds
+        for shard, seconds in other.mpc_shard_seconds.items():
+            self.mpc_shard_seconds[shard] = (
+                self.mpc_shard_seconds.get(shard, 0.0) + seconds
+            )
+        for name, seconds in other.span_seconds.items():
+            self.span_seconds[name] = self.span_seconds.get(name, 0.0) + seconds
+        for name, seconds in other.span_cpu_seconds.items():
+            self.span_cpu_seconds[name] = (
+                self.span_cpu_seconds.get(name, 0.0) + seconds
+            )
+        for name, count in other.span_counts.items():
+            self.span_counts[name] = self.span_counts.get(name, 0) + count
         for kind, count in other.by_kind.items():
             self.by_kind[kind] = self.by_kind.get(kind, 0) + count
 
@@ -114,6 +137,10 @@ class ObsSummary:
             "mpc_runs": self.mpc_runs,
             "mpc_comm_bytes": self.mpc_comm_bytes,
             "mpc_sparsified_rounds": self.mpc_sparsified_rounds,
+            "mpc_shard_seconds": dict(sorted(self.mpc_shard_seconds.items())),
+            "span_seconds": dict(sorted(self.span_seconds.items())),
+            "span_cpu_seconds": dict(sorted(self.span_cpu_seconds.items())),
+            "span_counts": dict(sorted(self.span_counts.items())),
             "by_kind": dict(sorted(self.by_kind.items())),
         }
 
@@ -145,15 +172,32 @@ class ObsSummary:
                 + (f" ({breakdown})" if breakdown else "")
             )
         if self.mpc_runs:
-            lines.append(
+            mpc_line = (
                 f"mpc:           {self.mpc_runs} runs, "
                 f"{self.mpc_comm_bytes} comm bytes, "
                 f"{self.mpc_sparsified_rounds} sparsified shard-rounds"
             )
+            if self.mpc_shard_seconds:
+                per_shard = " ".join(
+                    f"s{shard}={seconds:.4f}s"
+                    for shard, seconds in sorted(self.mpc_shard_seconds.items())
+                )
+                mpc_line += f", shard wall: {per_shard}"
+            lines.append(mpc_line)
         if self.phase_seconds:
             lines.append("phase wall time:")
             for name, seconds in sorted(self.phase_seconds.items()):
                 lines.append(f"  {name:<20} {seconds:.4f}s")
+        if self.span_seconds:
+            lines.append("span wall time:")
+            for name, seconds in sorted(
+                self.span_seconds.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(
+                    f"  {name:<20} {seconds:.4f}s "
+                    f"(cpu {self.span_cpu_seconds.get(name, 0.0):.4f}s, "
+                    f"n={self.span_counts.get(name, 0)})"
+                )
         return "\n".join(lines)
 
 
@@ -226,6 +270,20 @@ def summarize_events(records: Iterable[Dict[str, Any]]) -> ObsSummary:
             summary.total_rounds += record.get("rounds", 0)
             summary.mpc_comm_bytes += record.get("comm_bytes", 0)
             summary.mpc_sparsified_rounds += record.get("sparsified_rounds", 0)
+        elif kind == EVENT_MPC_ROUND:
+            for shard, seconds in (record.get("shard_seconds") or {}).items():
+                summary.mpc_shard_seconds[shard] = summary.mpc_shard_seconds.get(
+                    shard, 0.0
+                ) + float(seconds)
+        elif kind == EVENT_SPAN:
+            name = record.get("phase", "?")
+            summary.span_seconds[name] = summary.span_seconds.get(
+                name, 0.0
+            ) + record.get("dur_s", 0.0)
+            summary.span_cpu_seconds[name] = summary.span_cpu_seconds.get(
+                name, 0.0
+            ) + record.get("cpu_s", 0.0)
+            summary.span_counts[name] = summary.span_counts.get(name, 0) + 1
         elif kind == EVENT_FAULT:
             fine_faults += 1
             name = record.get("fault", "?")

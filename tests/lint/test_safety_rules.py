@@ -402,6 +402,52 @@ def test_s5_skips_modules_not_importing_obs():
     assert findings == []
 
 
+def test_s5_flags_unknown_span_name_literal():
+    findings = findings_for(
+        """
+        from repro.obs.trace import Tracer
+
+        def run(tracer):
+            s = tracer.begin("congest:roudn")
+            tracer.end(s)
+            with tracer.span("made-up"):
+                pass
+        """
+    )
+    assert rules_of(findings) == ["S5", "S5"]
+    assert "congest:roudn" in findings[0].message
+    assert "made-up" in findings[1].message
+
+
+def test_s5_quiet_on_taxonomy_spans_and_nonliterals():
+    findings = findings_for(
+        """
+        from repro.obs.trace import SPAN_CONGEST_ROUND, Tracer
+
+        def run(tracer, name, match):
+            s = tracer.begin("congest:round")
+            tracer.end(s)
+            with tracer.span(SPAN_CONGEST_ROUND):
+                pass
+            tracer.begin(name)  # dynamic: conservatively unflagged
+            match.span(0)  # regex Match.span(group): not a tracer call
+        """
+    )
+    assert findings == []
+
+
+def test_s5_flags_unknown_span_constant():
+    findings = findings_for(
+        """
+        from repro.obs.trace import Tracer
+
+        def run(tracer):
+            tracer.begin(SPAN_NOT_A_THING)
+        """
+    )
+    assert rules_of(findings) == ["S5"]
+
+
 # -- scoping -----------------------------------------------------------------
 
 

@@ -147,3 +147,42 @@ class TestPrometheusExporter:
         with_points = summary_to_prometheus(ObsSummary(sweep_points=2))
         assert "sweep_points" not in without
         assert "repro_sweep_points_total 2" in with_points
+
+    def test_span_and_shard_series(self):
+        summary = ObsSummary(
+            span_seconds={"kernel:compete": 1.25},
+            span_cpu_seconds={"kernel:compete": 1.0},
+            span_counts={"kernel:compete": 4},
+            mpc_shard_seconds={"0": 0.5, "1": 0.75},
+        )
+        text = summary_to_prometheus(summary)
+        assert 'repro_span_seconds_total{span="kernel:compete"} 1.25' in text
+        assert 'repro_span_cpu_seconds_total{span="kernel:compete"} 1' in text
+        assert 'repro_spans_total{span="kernel:compete"} 4' in text
+        assert 'repro_mpc_shard_seconds_total{shard="1"} 0.75' in text
+        assert "span" not in summary_to_prometheus(ObsSummary())
+
+    def test_hostile_names_cannot_break_the_exposition(self):
+        # Quotes, backslashes, and newlines in phase/span/shard names must
+        # be escaped — an unescaped newline would tear a sample line in
+        # two and corrupt every later series on the scrape.
+        evil = 'a"b\\c\nd'
+        summary = ObsSummary(
+            phase_seconds={evil: 1.0},
+            span_seconds={evil: 2.0},
+            span_cpu_seconds={evil: 1.5},
+            span_counts={evil: 1},
+            mpc_shard_seconds={evil: 0.5},
+        )
+        text = summary_to_prometheus(summary, labels={"job": evil})
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_"))  # no torn lines
+        assert '\\"b' in text and "\\\\c" in text and "\\nd" in text
+
+    def test_help_text_is_escaped(self):
+        # HELP continuation is impossible in the text format: embedded
+        # newlines/backslashes in help strings must be escaped too.
+        from repro.obs.exporter import _escape_help
+
+        assert _escape_help("wall\nseconds") == r"wall\nseconds"
+        assert _escape_help("a\\b") == r"a\\b"
