@@ -104,6 +104,20 @@ GRIDS: Dict[str, List[dict]] = {
         {"algorithm": "luby-b-bulk", "n": 300_000, "alpha": 2, "seed": 0, "traced": False},
         {"algorithm": "luby-b-bulk", "n": 300_000, "alpha": 2, "seed": 0, "traced": True},
     ],
+    # E21: the serving layer's churn economics.  Each pair applies the
+    # same seeded workload (repro.serve.loadgen) to a session that always
+    # repairs incrementally and one that always recomputes; the gated
+    # "iterations" field is the total CONGEST rounds over the churn
+    # epochs, so any drift in the repair algorithm (eviction, competition
+    # keys, fallback policy) trips the determinism check.
+    "e21": [
+        {"algorithm": "serve-repair", "n": 400, "seed": 0, "churn": 2, "epochs": 12},
+        {"algorithm": "serve-recompute", "n": 400, "seed": 0, "churn": 2, "epochs": 12},
+        {"algorithm": "serve-repair", "n": 400, "seed": 0, "churn": 8, "epochs": 12},
+        {"algorithm": "serve-recompute", "n": 400, "seed": 0, "churn": 8, "epochs": 12},
+        {"algorithm": "serve-repair", "n": 400, "seed": 0, "churn": 16, "epochs": 12},
+        {"algorithm": "serve-recompute", "n": 400, "seed": 0, "churn": 16, "epochs": 12},
+    ],
 }
 
 _CSR_CACHE: Dict[tuple, object] = {}
@@ -117,23 +131,62 @@ def _graph(n: int, alpha: int, seed: int):
 
 
 def _cell_id(cell: dict) -> str:
-    base = "{algorithm}/n={n}/alpha={alpha}/seed={seed}".format(**cell)
+    if "alpha" in cell:
+        base = "{algorithm}/n={n}/alpha={alpha}/seed={seed}".format(**cell)
+    else:
+        base = "{algorithm}/n={n}/seed={seed}".format(**cell)
     if "shards" in cell:
         base += "/shards={shards}".format(**cell)
     if "traced" in cell:
         base += "/traced={traced}".format(**cell)
+    if "churn" in cell:
+        base += "/churn={churn}/epochs={epochs}".format(**cell)
     return base
+
+
+def _run_serve_cell(cell: dict) -> tuple:
+    """One E21 cell: seeded churn workload through a GraphSession.
+
+    Returns ``(iterations, mis_size)`` where iterations is the total
+    CONGEST rounds over the churn epochs (bootstrap excluded) — a pure
+    function of the cell, so it doubles as the determinism pin.
+    """
+    from repro.serve.incremental import GraphSession, Mutation
+    from repro.serve.loadgen import LoadGenConfig, initial_edges, mutation_batches
+
+    mode = cell["algorithm"][len("serve-"):]
+    config = LoadGenConfig(
+        seed=cell["seed"],
+        nodes=cell["n"],
+        epochs=cell["epochs"],
+        churn=cell["churn"],
+    )
+    session = GraphSession(
+        "perf-gate",
+        seed=cell["seed"],
+        repair_damage_cap=1.0 if mode == "repair" else 0.0,
+    )
+    session.apply_epoch(
+        [Mutation("add-edge", u, v) for u, v in initial_edges(config)]
+    )
+    rounds = 0
+    for batch in mutation_batches(config):
+        rounds += session.apply_epoch(batch).rounds
+    return rounds, len(session.mis)
 
 
 def run_cell(cell: dict) -> dict:
     """Execute one grid cell, best-of-k timing, and return its record."""
-    csr = _graph(cell["n"], cell["alpha"], cell["seed"])
+    serve_cell = cell["algorithm"].startswith("serve-")
+    csr = None if serve_cell else _graph(cell["n"], cell["alpha"], cell["seed"])
     repeats = 3 if cell["n"] <= 300_000 else 2
     best = float("inf")
     iterations = mis_size = None
     for _ in range(repeats):
         start = time.perf_counter()
-        if cell["algorithm"] == "arb-alg1-bulk":
+        if serve_cell:
+            iterations, mis_size = _run_serve_cell(cell)
+        elif cell["algorithm"] == "arb-alg1-bulk":
             result = bounded_arb_independent_set_bulk(
                 csr, alpha=cell["alpha"], seed=cell["seed"]
             )
@@ -169,7 +222,13 @@ def run_cell(cell: dict) -> dict:
     }
 
 
-_BASELINE_SUFFIX = {"e16": "bulk", "e17": "bulk", "e19": "mpc", "e20": "trace"}
+_BASELINE_SUFFIX = {
+    "e16": "bulk",
+    "e17": "bulk",
+    "e19": "mpc",
+    "e20": "trace",
+    "e21": "serve",
+}
 
 
 def _baseline_path(experiment: str) -> str:

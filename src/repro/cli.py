@@ -268,6 +268,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="forwarded to the obs CLI, e.g. `summary results/obs`",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the MIS-as-a-service layer (HTTP front end or a "
+        "deterministic --smoke loadgen burst)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="drive the seeded load generator against an in-process "
+        "service instead of listening (the CI serve-smoke mode)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--nodes", type=int, default=60)
+    serve.add_argument("--edge-p", type=float, default=0.08)
+    serve.add_argument("--epochs", type=int, default=20)
+    serve.add_argument("--churn", type=int, default=4)
+    serve.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="smoke mode: submit on the seeded arrival schedule "
+        "concurrently instead of lockstep",
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="smoke mode: workload-second to wall-second factor "
+        "(0 = burst everything at once)",
+    )
+    serve.add_argument(
+        "--deadline-violations",
+        type=int,
+        default=0,
+        help="smoke mode: submit this many mutate requests with an "
+        "already-expired deadline",
+    )
+    serve.add_argument(
+        "--engine-failures",
+        type=int,
+        default=0,
+        help="smoke mode: inject this many engine failures before driving",
+    )
+    serve.add_argument("--obs-dir", default=None)
+    serve.add_argument("--trace", action="store_true")
+
     sub.add_parser("list", help="list algorithms and graph families")
     return parser
 
@@ -703,6 +750,88 @@ def _cmd_obs(args) -> int:
     return obs_main(list(args.obs_args))
 
 
+def _cmd_serve(args) -> int:
+    """``repro serve``: HTTP front end, or ``--smoke`` loadgen burst.
+
+    Service knobs come from the ``REPRO_SERVE_*`` environment
+    (:meth:`~repro.serve.server.ServeConfig.from_env`); the smoke mode
+    prints the load report as JSON and fails the process if any request
+    went unanswered or the service ended unhealthy.
+    """
+    import asyncio
+    import json as _json
+
+    from repro.serve.loadgen import LoadGenConfig, drive
+    from repro.serve.server import MISService, ServeConfig
+
+    config = ServeConfig.from_env()
+    session = _obs_session(
+        args,
+        "serve",
+        params={"seed": args.seed, "smoke": bool(args.smoke)},
+    )
+    tracer = getattr(session, "tracer", None) if session is not None else None
+    service = MISService(config, obs=session, tracer=tracer)
+
+    if args.smoke:
+        load = LoadGenConfig(
+            seed=args.seed,
+            nodes=args.nodes,
+            edge_p=args.edge_p,
+            epochs=args.epochs,
+            churn=args.churn,
+        )
+
+        async def smoke():
+            report = await drive(
+                service,
+                load,
+                lockstep=not args.open_loop,
+                time_scale=args.time_scale,
+                deadline_violations=args.deadline_violations,
+                engine_failures=args.engine_failures,
+            )
+            health = service.health()
+            await service.close()
+            return report, health
+
+        report, health = asyncio.run(smoke())
+        if session is not None:
+            session.finish()
+            sys.stderr.write(f"[obs] wrote {session.directory}\n")
+        print(
+            _json.dumps(
+                {"load": report.to_dict(), "health": health}, indent=2
+            )
+        )
+        ok = report.unhandled == 0 and health["status"] == "ok"
+        return 0 if ok else 1
+
+    from repro.serve.http import serve_http
+
+    async def run_server():
+        frontend = await serve_http(service, host=args.host, port=args.port)
+        sys.stderr.write(
+            f"[serve] listening on http://{args.host}:{frontend.port} "
+            f"(queue_limit={config.queue_limit}, "
+            f"deadline={config.default_deadline_s}s)\n"
+        )
+        try:
+            await frontend.serve_forever()
+        finally:
+            await frontend.close()
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        sys.stderr.write("[serve] shutting down\n")
+    finally:
+        if session is not None:
+            session.finish()
+            sys.stderr.write(f"[obs] wrote {session.directory}\n")
+    return 0
+
+
 def _cmd_list(args) -> int:
     from repro.mis.registry import available_algorithms
 
@@ -723,6 +852,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload": _cmd_workload,
         "lint": _cmd_lint,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

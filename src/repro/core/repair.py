@@ -174,6 +174,23 @@ def repair(
     survivors = set(before.survivors)
     members = set(before.members)
 
+    # Fast paths: an empty surviving subgraph (everything crashed) and a
+    # report with nothing to evict or re-cover are already terminal — the
+    # contract either holds vacuously or holds as-is.  Returning here
+    # keeps ``repair_rounds == 0`` honest (no eviction round, no
+    # restricted pass) instead of spinning up a full restricted-Métivier
+    # competition over an empty region.
+    if not survivors or (not before.violating_edges and not before.undominated):
+        return RepairReport(
+            mis=frozenset(members),
+            evicted=frozenset(),
+            added=frozenset(),
+            repair_rounds=0,
+            iterations=0,
+            before=before,
+            after=before,
+        )
+
     # Round 1 (eviction): both endpoints of a violating edge observe the
     # conflict; the lower keyed priority withdraws.  Per-edge local
     # decisions can over-evict (a node may lose one conflict while its

@@ -163,6 +163,66 @@ def summary_to_prometheus(
             shard_labels = dict(base)
             shard_labels["shard"] = shard
             lines.append(f"{name}{_labels(shard_labels)} {seconds:.6f}")
+    if summary.serve_requests or summary.serve_epochs:
+        _metric(
+            lines,
+            f"{_PREFIX}_serve_requests_total",
+            "Service requests completed (serve-request events).",
+            "counter",
+            summary.serve_requests,
+            base,
+        )
+        name = f"{_PREFIX}_serve_requests_by_status_total"
+        lines.append(f"# HELP {name} Service requests by final status.")
+        lines.append(f"# TYPE {name} counter")
+        for status, count in sorted(summary.serve_status_counts.items()):
+            status_labels = dict(base)
+            status_labels["status"] = status
+            lines.append(f"{name}{_labels(status_labels)} {count}")
+        name = f"{_PREFIX}_serve_epochs_total"
+        lines.append(
+            f"# HELP {name} Committed serve epochs by mode "
+            "(repair vs recompute)."
+        )
+        lines.append(f"# TYPE {name} counter")
+        for mode, count in sorted(summary.serve_epochs.items()):
+            mode_labels = dict(base)
+            mode_labels["mode"] = mode
+            lines.append(f"{name}{_labels(mode_labels)} {count}")
+        name = f"{_PREFIX}_serve_rounds_total"
+        lines.append(
+            f"# HELP {name} CONGEST rounds spent committing serve epochs, "
+            "by mode."
+        )
+        lines.append(f"# TYPE {name} counter")
+        for mode, rounds in sorted(summary.serve_rounds.items()):
+            mode_labels = dict(base)
+            mode_labels["mode"] = mode
+            lines.append(f"{name}{_labels(mode_labels)} {rounds}")
+        _metric(
+            lines,
+            f"{_PREFIX}_serve_mutations_total",
+            "Graph mutations committed by the serving layer.",
+            "counter",
+            summary.serve_mutations,
+            base,
+        )
+        _metric(
+            lines,
+            f"{_PREFIX}_serve_retries_total",
+            "Serve epochs retried after engine failures.",
+            "counter",
+            summary.serve_retries,
+            base,
+        )
+        _metric(
+            lines,
+            f"{_PREFIX}_serve_shed_total",
+            "Requests shed with an explicit response.",
+            "counter",
+            summary.serve_shed,
+            base,
+        )
     if summary.phase_seconds:
         name = f"{_PREFIX}_phase_seconds_total"
         lines.append(f"# HELP {name} Wall-clock seconds per pipeline phase.")

@@ -28,6 +28,10 @@ from repro.obs.events import (
     EVENT_ROUND,
     EVENT_RUN_END,
     EVENT_RUN_START,
+    EVENT_SERVE_EPOCH,
+    EVENT_SERVE_REQUEST,
+    EVENT_SERVE_RETRY,
+    EVENT_SERVE_SHED,
     EVENT_SPAN,
     EVENT_START_ROUND,
     EVENT_SWEEP_POINT,
@@ -83,6 +87,16 @@ class ObsSummary:
     span_seconds: Dict[str, float] = field(default_factory=dict)
     span_cpu_seconds: Dict[str, float] = field(default_factory=dict)
     span_counts: Dict[str, int] = field(default_factory=dict)
+    #: Serving-layer aggregates from ``serve-*`` events: completed
+    #: requests by final status, epochs by mode (repair vs recompute)
+    #: with their CONGEST-round costs, retries, and explicit sheds.
+    serve_requests: int = 0
+    serve_status_counts: Dict[str, int] = field(default_factory=dict)
+    serve_epochs: Dict[str, int] = field(default_factory=dict)
+    serve_rounds: Dict[str, int] = field(default_factory=dict)
+    serve_mutations: int = 0
+    serve_retries: int = 0
+    serve_shed: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "ObsSummary") -> None:
@@ -116,6 +130,18 @@ class ObsSummary:
             )
         for name, count in other.span_counts.items():
             self.span_counts[name] = self.span_counts.get(name, 0) + count
+        self.serve_requests += other.serve_requests
+        for status, count in other.serve_status_counts.items():
+            self.serve_status_counts[status] = (
+                self.serve_status_counts.get(status, 0) + count
+            )
+        for mode, count in other.serve_epochs.items():
+            self.serve_epochs[mode] = self.serve_epochs.get(mode, 0) + count
+        for mode, rounds in other.serve_rounds.items():
+            self.serve_rounds[mode] = self.serve_rounds.get(mode, 0) + rounds
+        self.serve_mutations += other.serve_mutations
+        self.serve_retries += other.serve_retries
+        self.serve_shed += other.serve_shed
         for kind, count in other.by_kind.items():
             self.by_kind[kind] = self.by_kind.get(kind, 0) + count
 
@@ -141,6 +167,13 @@ class ObsSummary:
             "span_seconds": dict(sorted(self.span_seconds.items())),
             "span_cpu_seconds": dict(sorted(self.span_cpu_seconds.items())),
             "span_counts": dict(sorted(self.span_counts.items())),
+            "serve_requests": self.serve_requests,
+            "serve_status_counts": dict(sorted(self.serve_status_counts.items())),
+            "serve_epochs": dict(sorted(self.serve_epochs.items())),
+            "serve_rounds": dict(sorted(self.serve_rounds.items())),
+            "serve_mutations": self.serve_mutations,
+            "serve_retries": self.serve_retries,
+            "serve_shed": self.serve_shed,
             "by_kind": dict(sorted(self.by_kind.items())),
         }
 
@@ -184,6 +217,27 @@ class ObsSummary:
                 )
                 mpc_line += f", shard wall: {per_shard}"
             lines.append(mpc_line)
+        if self.serve_requests or self.serve_epochs:
+            status = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.serve_status_counts.items())
+            )
+            lines.append(
+                f"serve:         {self.serve_requests} requests"
+                + (f" ({status})" if status else "")
+            )
+            epoch_bits = []
+            for mode in sorted(self.serve_epochs):
+                epoch_bits.append(
+                    f"{mode}={self.serve_epochs[mode]}"
+                    f"/{self.serve_rounds.get(mode, 0)}r"
+                )
+            detail = " ".join(epoch_bits)
+            lines.append(
+                f"serve epochs:  {detail or 'none'}, "
+                f"{self.serve_mutations} mutations, "
+                f"{self.serve_retries} retries, {self.serve_shed} shed"
+            )
         if self.phase_seconds:
             lines.append("phase wall time:")
             for name, seconds in sorted(self.phase_seconds.items()):
@@ -284,6 +338,23 @@ def summarize_events(records: Iterable[Dict[str, Any]]) -> ObsSummary:
                 name, 0.0
             ) + record.get("cpu_s", 0.0)
             summary.span_counts[name] = summary.span_counts.get(name, 0) + 1
+        elif kind == EVENT_SERVE_REQUEST:
+            summary.serve_requests += 1
+            status = record.get("status", "?")
+            summary.serve_status_counts[status] = (
+                summary.serve_status_counts.get(status, 0) + 1
+            )
+        elif kind == EVENT_SERVE_EPOCH:
+            mode = record.get("mode", "?")
+            summary.serve_epochs[mode] = summary.serve_epochs.get(mode, 0) + 1
+            summary.serve_rounds[mode] = summary.serve_rounds.get(
+                mode, 0
+            ) + record.get("rounds", 0)
+            summary.serve_mutations += record.get("mutations", 0)
+        elif kind == EVENT_SERVE_RETRY:
+            summary.serve_retries += 1
+        elif kind == EVENT_SERVE_SHED:
+            summary.serve_shed += 1
         elif kind == EVENT_FAULT:
             fine_faults += 1
             name = record.get("fault", "?")

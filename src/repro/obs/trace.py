@@ -75,6 +75,10 @@ __all__ = [
     "SPAN_MPC_AUDIT",
     "SPAN_MPC_SHARD",
     "SPAN_MPC_KERNEL",
+    "SPAN_SERVE_REQUEST",
+    "SPAN_SERVE_EPOCH",
+    "SPAN_SERVE_REPAIR",
+    "SPAN_SERVE_RECOMPUTE",
 ]
 
 # -- span-name taxonomy (closed set; lint rule S5 checks call sites) ----------
@@ -94,6 +98,10 @@ SPAN_MPC_EXCHANGE = "mpc:exchange"  # metered coordinator->shard state push
 SPAN_MPC_AUDIT = "mpc:audit"  # cross-shard winner audit
 SPAN_MPC_SHARD = "mpc:shard"  # coordinator-side wait+apply for one shard
 SPAN_MPC_KERNEL = "mpc:kernel"  # worker-side per-shard compute (crosses pool)
+SPAN_SERVE_REQUEST = "serve:request"  # one service request end to end
+SPAN_SERVE_EPOCH = "serve:epoch"  # one coalesced mutation epoch (queue to commit)
+SPAN_SERVE_REPAIR = "serve:repair"  # incremental update-repair pass
+SPAN_SERVE_RECOMPUTE = "serve:recompute"  # full-recompute fallback
 
 #: Every declared span name; ``repro obs top`` groups by these and lint
 #: rule S5 rejects names outside this set.
@@ -114,6 +122,10 @@ SPAN_NAMES = frozenset(
         SPAN_MPC_AUDIT,
         SPAN_MPC_SHARD,
         SPAN_MPC_KERNEL,
+        SPAN_SERVE_REQUEST,
+        SPAN_SERVE_EPOCH,
+        SPAN_SERVE_REPAIR,
+        SPAN_SERVE_RECOMPUTE,
     }
 )
 

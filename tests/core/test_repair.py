@@ -127,6 +127,38 @@ class TestRepair:
         assert first.mis == second.mis
         assert first.repair_rounds == second.repair_rounds
 
+    def test_empty_surviving_subgraph_returns_immediately(self):
+        # Everything crashed: the contract holds vacuously and repair must
+        # cost nothing — no eviction round, no restricted pass.
+        graph = nx.path_graph(4)
+        outputs = {v: ("mis", 1) for v in graph.nodes}
+        report = repair(graph, outputs, crashed=set(graph.nodes), seed=0)
+        assert report.repaired
+        assert report.repair_rounds == 0
+        assert report.iterations == 0
+        assert report.mis == frozenset()
+        assert report.evicted == frozenset() and report.added == frozenset()
+
+    def test_clean_report_short_circuits_restricted_pass(self):
+        # Nothing to evict and nothing uncovered: repair must return the
+        # input verbatim with repair_rounds == 0 — the ``after`` report is
+        # the ``before`` report, proving no restricted pass re-ran.
+        graph = nx.path_graph(5)
+        outputs = path_outputs(graph, {0, 2, 4})
+        before = validate_under_faults(graph, outputs)
+        assert before.ok
+        report = repair(graph, outputs, seed=0, report=before)
+        assert report.repair_rounds == 0
+        assert report.iterations == 0
+        assert report.mis == frozenset({0, 2, 4})
+        assert report.after is before
+
+    def test_empty_graph_repairs_for_free(self):
+        report = repair(nx.Graph(), {}, seed=0)
+        assert report.repaired
+        assert report.repair_rounds == 0
+        assert report.mis == frozenset()
+
     def test_reuses_existing_report(self):
         graph = nx.path_graph(4)
         outputs = path_outputs(graph, {0, 1, 3})

@@ -1,0 +1,178 @@
+"""Tests for the stdlib HTTP/JSON binding.
+
+A real listener is bound on an ephemeral port and driven with
+``http.client`` from a worker thread — no third-party HTTP client, per
+the no-new-dependencies rule.  The assertions pin the route table, the
+typed-error → status-code mapping, and the ``Retry-After`` backpressure
+header.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+from repro.serve.http import HttpFrontend
+from repro.serve.server import MISService, ServeConfig
+
+
+def run_with_frontend(scenario):
+    """Boot service + frontend, run ``scenario(port)`` in a thread."""
+
+    async def main():
+        service = MISService(ServeConfig(retries=0, backoff_base=0.0))
+        frontend = HttpFrontend(service)
+        await frontend.start("127.0.0.1", 0)
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, scenario, frontend.port, service
+            )
+        finally:
+            await frontend.close()
+
+    return asyncio.run(main())
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        headers_out = dict(response.getheaders())
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError:
+            decoded = raw.decode()
+        return response.status, decoded, headers_out
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_session_lifecycle_over_http(self):
+        def scenario(port, service):
+            status, body, _ = request(
+                port,
+                "POST",
+                "/v1/sessions",
+                {"name": "s", "edges": [[u, u + 1] for u in range(8)], "seed": 1},
+            )
+            assert status == 200
+            assert body["ok"] and body["result"]["mis_size"] > 0
+
+            status, body, _ = request(port, "GET", "/v1/sessions")
+            assert status == 200 and body["result"]["sessions"] == ["s"]
+
+            status, body, _ = request(port, "GET", "/v1/sessions/s/mis")
+            assert status == 200 and "mis" in body["result"]
+
+            status, body, _ = request(
+                port,
+                "POST",
+                "/v1/sessions/s/mutations",
+                {"mutations": [{"op": "add-edge", "u": 0, "v": 5}]},
+            )
+            assert status == 200
+            assert body["result"]["mode"] in ("repair", "recompute")
+
+            status, body, _ = request(port, "DELETE", "/v1/sessions/s")
+            assert status == 200 and body["result"]["dropped"] == "s"
+
+            status, body, _ = request(port, "GET", "/v1/sessions/s/mis")
+            assert status == 404
+            assert body["error"]["code"] == "session-not-found"
+
+        run_with_frontend(scenario)
+
+    def test_probes_and_metrics(self):
+        def scenario(port, service):
+            status, body, _ = request(port, "GET", "/healthz")
+            assert status == 200 and body["status"] == "ok"
+
+            status, body, _ = request(port, "GET", "/readyz")
+            assert status == 200 and body["ready"] is True
+
+            status, text, headers = request(port, "GET", "/metrics")
+            assert status == 200
+            assert isinstance(text, str)
+            assert "repro_serve_requests_total" in text
+            assert headers["Content-Type"].startswith("text/plain")
+
+        run_with_frontend(scenario)
+
+    def test_unknown_route_is_404(self):
+        def scenario(port, service):
+            status, body, _ = request(port, "GET", "/nope")
+            assert status == 404 and body["error"]["code"] == "no-route"
+
+        run_with_frontend(scenario)
+
+
+class TestErrorStatuses:
+    def test_conflict_and_bad_request(self):
+        def scenario(port, service):
+            request(port, "POST", "/v1/sessions", {"name": "s"})
+            status, body, _ = request(port, "POST", "/v1/sessions", {"name": "s"})
+            assert status == 409 and body["error"]["code"] == "session-exists"
+
+            status, body, _ = request(
+                port,
+                "POST",
+                "/v1/sessions/s/mutations",
+                {"mutations": [{"op": "frobnicate", "u": 1}]},
+            )
+            assert status == 400 and body["error"]["code"] == "bad-request"
+
+            # Empty mutation list reaches the service and is typed there.
+            status, body, _ = request(
+                port, "POST", "/v1/sessions/s/mutations", {"mutations": []}
+            )
+            assert status == 400 and body["error"]["code"] == "bad-request"
+
+        run_with_frontend(scenario)
+
+    def test_deadline_maps_to_504(self):
+        def scenario(port, service):
+            request(
+                port,
+                "POST",
+                "/v1/sessions",
+                {"name": "s", "edges": [[u, u + 1] for u in range(8)]},
+            )
+            status, body, _ = request(
+                port,
+                "POST",
+                "/v1/sessions/s/mutations",
+                {
+                    "mutations": [{"op": "add-edge", "u": 0, "v": 5}],
+                    "deadline_s": 1e-9,
+                },
+            )
+            assert status == 504
+            assert body["error"]["code"] == "deadline-exceeded"
+
+        run_with_frontend(scenario)
+
+    def test_queue_full_carries_retry_after(self):
+        def scenario(port, service):
+            request(port, "POST", "/v1/sessions", {"name": "s"})
+            # Pin the service at its watermark so admission rejects.
+            service._inflight = service.config.queue_limit
+            try:
+                status, body, headers = request(
+                    port,
+                    "POST",
+                    "/v1/sessions/s/mutations",
+                    {"mutations": [{"op": "add-edge", "u": 0, "v": 5}]},
+                )
+            finally:
+                service._inflight = 0
+            assert status == 429
+            assert body["error"]["code"] == "queue-full"
+            assert float(headers["Retry-After"]) > 0
+
+        run_with_frontend(scenario)

@@ -1,0 +1,651 @@
+"""Tests for :class:`repro.serve.server.MISService`.
+
+Every rung of the degradation ladder is exercised: incremental repair,
+recompute fallback, stale-cache serving under an open breaker, and an
+explicit shed once the cached snapshot has been evicted.  The breaker,
+deadline, retry, and typed-engine-failure paths are pinned too —
+including the regression that a budget-exceeded MPC request comes back
+as a structured ``engine-failed`` response while the service keeps
+serving other sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import CommBudgetExceededError
+from repro.mis.registry import register_algorithm, unregister_algorithm
+from repro.mpc.budget import CommBudget
+from repro.mpc.runtime import run_sharded
+from repro.serve import errors as serve_errors
+from repro.serve.http import _STATUS_BY_CODE
+from repro.serve.incremental import ComputeAborted, Mutation
+from repro.serve.server import (
+    CircuitBreaker,
+    MISService,
+    Request,
+    ResultCache,
+    ServeConfig,
+    Response,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    """Injectable monotonic clock so breaker windows need no sleeping."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_service(clock=None, **overrides) -> MISService:
+    defaults = dict(retries=0, backoff_base=0.0)
+    defaults.update(overrides)
+    config = ServeConfig(**defaults)
+    if clock is None:
+        return MISService(config)
+    return MISService(config, clock=clock)
+
+
+PATH_EDGES = tuple((u, u + 1) for u in range(10))
+
+
+async def create_session(service, name="s", edges=PATH_EDGES, **kw):
+    response = await service.submit(
+        Request(op="create", session=name, edges=edges, **kw)
+    )
+    assert response.ok, response
+    return response
+
+
+class TestConfig:
+    def test_from_env_reads_knobs(self):
+        config = ServeConfig.from_env(
+            {
+                "REPRO_SERVE_QUEUE_LIMIT": "7",
+                "REPRO_SERVE_DEADLINE": "1.5",
+                "REPRO_SERVE_BREAKER_THRESHOLD": "9",
+                "REPRO_SERVE_DAMAGE_CAP": "0.25",
+            }
+        )
+        assert config.queue_limit == 7
+        assert config.default_deadline_s == 1.5
+        assert config.breaker_threshold == 9
+        assert config.repair_damage_cap == 0.25
+        # Unset knobs keep their defaults.
+        assert config.retries == ServeConfig.retries
+
+    def test_blank_env_values_fall_back(self):
+        config = ServeConfig.from_env({"REPRO_SERVE_QUEUE_LIMIT": "  "})
+        assert config.queue_limit == ServeConfig.queue_limit
+
+
+class TestCircuitBreaker:
+    def test_open_half_open_closed_cycle(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, reset_s=5.0, clock=clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failure_during_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+
+class TestResultCache:
+    def test_lru_eviction_is_bounded(self):
+        cache = ResultCache(entries=2)
+        cache.put(("a",), {"v": 1})
+        cache.put(("b",), {"v": 2})
+        assert cache.get(("a",)) == {"v": 1}  # refresh a
+        cache.put(("c",), {"v": 3})  # evicts b
+        assert len(cache) == 2
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+
+class TestSessionLifecycle:
+    def test_create_query_drop(self):
+        async def scenario():
+            service = make_service()
+            try:
+                created = await create_session(service)
+                assert created.result["mis_size"] > 0
+                listed = await service.submit(Request(op="list"))
+                assert listed.result["sessions"] == ["s"]
+                query = await service.submit(Request(op="query", session="s"))
+                assert query.ok and query.result["mis"] == created.result["mis"]
+                dropped = await service.submit(Request(op="drop", session="s"))
+                assert dropped.ok
+                missing = await service.submit(Request(op="query", session="s"))
+                assert missing.error["code"] == "session-not-found"
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_duplicate_create_rejected(self):
+        async def scenario():
+            service = make_service()
+            try:
+                await create_session(service)
+                dup = await service.submit(
+                    Request(op="create", session="s", edges=PATH_EDGES)
+                )
+                assert not dup.ok
+                assert dup.error["code"] == "session-exists"
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_bad_requests(self):
+        async def scenario():
+            service = make_service()
+            try:
+                empty = await service.submit(
+                    Request(op="create", session="", edges=())
+                )
+                assert empty.error["code"] == "bad-request"
+                await create_session(service)
+                no_mutations = await service.submit(
+                    Request(op="mutate", session="s")
+                )
+                assert no_mutations.error["code"] == "bad-request"
+                unknown = await service.submit(Request(op="frobnicate"))
+                assert unknown.error["code"] == "bad-request"
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestLadderRungs:
+    def test_rung_1_incremental_repair(self):
+        async def scenario():
+            service = make_service()
+            try:
+                await create_session(service)
+                response = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert response.ok
+                assert response.result["mode"] == "repair"
+                assert service.counters.epochs_repair == 1
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_rung_2_recompute_fallback(self):
+        async def scenario():
+            service = make_service(repair_damage_cap=0.0)
+            try:
+                await create_session(service)
+                response = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert response.ok
+                assert response.result["mode"] == "recompute"
+                assert service.counters.epochs_recompute >= 1
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_rung_3_stale_cache_under_open_breaker(self):
+        clock = FakeClock()
+
+        async def scenario():
+            service = make_service(
+                clock, breaker_threshold=1, breaker_reset_s=1000.0
+            )
+            try:
+                created = await create_session(service)
+                service.inject_engine_failure(1)
+                failed = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert failed.error["code"] == "engine-failed"
+                assert service.sessions["s"].breaker.state == "open"
+                # Breaker open: query degrades to the cached snapshot.
+                query = await service.submit(Request(op="query", session="s"))
+                assert query.ok
+                assert query.status == "stale"
+                assert query.served == "stale-cache"
+                assert query.result["mis"] == created.result["mis"]
+                assert service.counters.stale_served == 1
+                # And the failed epoch rolled back: nothing changed.
+                assert query.result["epoch"] == created.result["epoch"]
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_rung_4_shed_when_snapshot_evicted(self):
+        clock = FakeClock()
+
+        async def scenario():
+            service = make_service(
+                clock,
+                breaker_threshold=1,
+                breaker_reset_s=1000.0,
+                cache_entries=1,
+            )
+            try:
+                await create_session(service, "a")
+                # A second session's snapshot evicts a's from the
+                # single-entry cache.
+                await create_session(
+                    service, "b", edges=tuple((u, u + 2) for u in range(8))
+                )
+                service.inject_engine_failure(1)
+                failed = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="a",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert failed.error["code"] == "engine-failed"
+                shed = await service.submit(Request(op="query", session="a"))
+                assert not shed.ok
+                assert shed.status == "shed"
+                assert shed.error["code"] == "shed"
+                assert "retry_after_s" in shed.error
+                assert service.counters.shed == 1
+                # The healthy session is untouched by a's degradation.
+                healthy = await service.submit(Request(op="query", session="b"))
+                assert healthy.ok and healthy.status in ("ok", "stale")
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestBreaker:
+    def test_open_breaker_refuses_mutations_then_recovers(self):
+        clock = FakeClock()
+
+        async def scenario():
+            service = make_service(clock, breaker_threshold=1, breaker_reset_s=50.0)
+            try:
+                await create_session(service)
+                service.inject_engine_failure(1)
+                await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                refused = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert refused.error["code"] == "circuit-open"
+                assert not service.ready()
+                # After the reset window the half-open probe may compute.
+                clock.advance(50.0)
+                probe = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert probe.ok
+                assert service.sessions["s"].breaker.state == "closed"
+                assert service.ready()
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestDeadlines:
+    def test_expired_deadline_answers_without_running(self):
+        async def scenario():
+            service = make_service()
+            try:
+                await create_session(service)
+                response = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                        deadline_s=1e-9,
+                    )
+                )
+                assert not response.ok
+                assert response.status == "deadline"
+                assert response.error["code"] == "deadline-exceeded"
+                assert service.counters.deadline_exceeded == 1
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_compute_aborted_maps_to_deadline(self):
+        async def scenario():
+            service = make_service()
+            try:
+                await create_session(service)
+                state = service.sessions["s"]
+
+                def aborting_apply(*args, **kwargs):
+                    raise ComputeAborted("test abort")
+
+                state.session.apply_epoch = aborting_apply
+                response = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert response.status == "deadline"
+                assert response.error["code"] == "deadline-exceeded"
+                # A cooperative abort is not an engine failure: the
+                # breaker stays closed.
+                assert state.breaker.state == "closed"
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_success(self):
+        async def scenario():
+            service = make_service(retries=1)
+            try:
+                await create_session(service)
+                service.inject_engine_failure(1)
+                response = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert response.ok
+                assert service.counters.retries == 1
+                assert service.counters.engine_failures == 1
+                assert service.sessions["s"].breaker.state == "closed"
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_retries_exhausted_is_typed_failure(self):
+        async def scenario():
+            service = make_service(retries=1, breaker_threshold=10)
+            try:
+                await create_session(service)
+                service.inject_engine_failure(2)
+                response = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert not response.ok
+                assert response.error["code"] == "engine-failed"
+                assert response.error["cause"] == "ReproError"
+                assert service.counters.engine_failures == 2
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestOverload:
+    def test_bounded_queue_with_explicit_rejections(self):
+        async def scenario():
+            service = make_service(queue_limit=4)
+            try:
+                await create_session(service)
+                requests = [
+                    service.submit(
+                        Request(
+                            op="mutate",
+                            session="s",
+                            mutations=(Mutation("add-edge", i, i + 3),),
+                        )
+                    )
+                    for i in range(40)
+                ]
+                responses = await asyncio.gather(*requests)
+                # Every request is answered — nothing dropped, nothing
+                # raised out of submit().
+                assert len(responses) == 40
+                assert all(isinstance(r, Response) for r in responses)
+                statuses = {r.status for r in responses}
+                assert statuses <= {"ok", "rejected"}
+                rejected = [r for r in responses if r.status == "rejected"]
+                assert rejected, "expected explicit queue-full rejections"
+                assert all(
+                    r.error["code"] == "queue-full"
+                    and "retry_after_s" in r.error
+                    for r in rejected
+                )
+                # The admission counter never exceeded the watermark.
+                assert service.counters.queue_peak <= 4
+                assert service.queue_depth == 0
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_overloaded_query_served_stale(self):
+        async def scenario():
+            service = make_service(queue_limit=1)
+            try:
+                await create_session(service)
+                service._inflight = 1  # pin the service at the watermark
+                try:
+                    query = await service.submit(
+                        Request(op="query", session="s")
+                    )
+                finally:
+                    service._inflight = 0
+                assert query.ok
+                assert query.status == "stale"
+                assert query.served == "stale-cache"
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestCoalescing:
+    def test_concurrent_mutations_share_one_epoch(self):
+        async def scenario():
+            service = make_service(coalesce_window_s=0.01)
+            try:
+                await create_session(service)
+                responses = await asyncio.gather(
+                    *[
+                        service.submit(
+                            Request(
+                                op="mutate",
+                                session="s",
+                                mutations=(Mutation("add-edge", i, i + 4),),
+                            )
+                        )
+                        for i in range(5)
+                    ]
+                )
+                assert all(r.ok for r in responses)
+                epochs = {r.result["epoch"] for r in responses}
+                # Fewer committed epochs than requests: batching happened.
+                assert len(epochs) < 5
+                coalesced = max(r.result["coalesced_requests"] for r in responses)
+                assert coalesced >= 2
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestCommBudgetRegression:
+    """Satellite: a budget-exceeded MPC request returns a structured
+    failure while the server keeps serving."""
+
+    def test_budget_exceeded_is_structured_and_survivable(self):
+        def tiny_budget(graph, seed=0, max_iterations=10000):
+            return run_sharded(
+                "metivier",
+                graph,
+                seed=seed,
+                budget=CommBudget(capacity=1, hard_capacity=1),
+            )
+
+        register_algorithm("tiny-budget-mpc", tiny_budget)
+        try:
+
+            async def scenario():
+                service = make_service(breaker_threshold=10)
+                try:
+                    await create_session(service, "healthy")
+                    # Empty bootstrap skips compute, so creation succeeds
+                    # even though every recompute will blow the budget.
+                    created = await service.submit(
+                        Request(
+                            op="create",
+                            session="mpc",
+                            algorithm="tiny-budget-mpc",
+                        )
+                    )
+                    assert created.ok
+                    # Enough churn to exceed the damage cap → recompute
+                    # via the budgeted MPC engine → typed failure.
+                    response = await service.submit(
+                        Request(
+                            op="mutate",
+                            session="mpc",
+                            mutations=tuple(
+                                Mutation("add-edge", u, u + 1)
+                                for u in range(12)
+                            ),
+                        )
+                    )
+                    assert not response.ok
+                    assert response.status == "error"
+                    assert response.error["code"] == "engine-failed"
+                    assert response.error["cause"] == "CommBudgetExceededError"
+                    # The event loop survived and other sessions serve.
+                    query = await service.submit(
+                        Request(op="query", session="healthy")
+                    )
+                    assert query.ok
+                    assert service.health()["status"] == "ok"
+                finally:
+                    await service.close()
+
+            run(scenario())
+        finally:
+            unregister_algorithm("tiny-budget-mpc")
+
+    def test_comm_budget_error_raises_directly(self):
+        import networkx as nx
+
+        graph = nx.gnp_random_graph(40, 0.2, seed=1)
+        with pytest.raises(CommBudgetExceededError):
+            run_sharded(
+                "metivier",
+                graph,
+                seed=0,
+                budget=CommBudget(capacity=1, hard_capacity=1),
+            )
+
+
+class TestProbes:
+    def test_health_ready_prometheus(self):
+        async def scenario():
+            service = make_service()
+            try:
+                await create_session(service)
+                health = service.health()
+                assert health["status"] == "ok"
+                assert health["sessions"] == 1
+                assert health["breakers"]["s"] == "closed"
+                assert service.ready()
+                text = service.prometheus()
+                assert "repro_serve_requests_total 1" in text
+                assert "repro_serve_ready 1" in text
+                assert "# TYPE repro_serve_queue_depth gauge" in text
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestHttpStatusMapping:
+    def test_status_table_matches_error_classes(self):
+        classes = [
+            serve_errors.QueueFullError,
+            serve_errors.DeadlineExceededError,
+            serve_errors.CircuitOpenError,
+            serve_errors.SessionNotFoundError,
+            serve_errors.SessionExistsError,
+            serve_errors.BadRequestError,
+            serve_errors.EngineFailure,
+            serve_errors.ShedError,
+        ]
+        assert {cls.code for cls in classes} == set(_STATUS_BY_CODE)
+        for cls in classes:
+            assert _STATUS_BY_CODE[cls.code] == cls.http_status
+
+    def test_wrap_engine_error_preserves_cause(self):
+        cause = CommBudgetExceededError(
+            shard=0, round_index=1, bytes_needed=10, limit=1
+        )
+        wrapped = serve_errors.wrap_engine_error(cause)
+        assert wrapped.code == "engine-failed"
+        assert wrapped.to_dict()["cause"] == "CommBudgetExceededError"
+        assert wrapped.cause is cause
