@@ -57,13 +57,18 @@ def segment_max(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
 
     ``reduceat`` quirks handled here: an empty segment would otherwise
     report ``values[start]`` instead of an identity, and a trailing empty
-    segment would index out of bounds — the clip plus the ``nonempty``
-    mask neutralize both.
+    segment's start index (== ``values.size``) would be out of bounds.
+    The out-of-bounds start is kept in range by padding ``values`` with
+    one identity element, never by clipping the start: clipping would
+    shift the *previous* segment's end boundary and silently drop its
+    last element from the reduction.  Empty-segment garbage is discarded
+    by the ``nonempty`` mask.
     """
     result = np.zeros(len(indptr) - 1, dtype=values.dtype)
     nonempty = indptr[:-1] < indptr[1:]
     if values.size:
-        maxima = np.maximum.reduceat(values, indptr[:-1].clip(max=values.size - 1))
+        padded = np.concatenate([values, np.zeros(1, dtype=values.dtype)])
+        maxima = np.maximum.reduceat(padded, indptr[:-1])
         result[nonempty] = maxima[nonempty]
     return result
 
@@ -78,7 +83,10 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     result = np.zeros(len(indptr) - 1, dtype=values.dtype)
     nonempty = indptr[:-1] < indptr[1:]
     if values.size:
-        sums = np.add.reduceat(values, indptr[:-1].clip(max=values.size - 1))
+        # Same identity-padding scheme as segment_max (see its docstring
+        # for why clipping the starts would be wrong).
+        padded = np.concatenate([values, np.zeros(1, dtype=values.dtype)])
+        sums = np.add.reduceat(padded, indptr[:-1])
         result[nonempty] = sums[nonempty]
     return result
 

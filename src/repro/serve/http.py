@@ -21,7 +21,10 @@ Routes::
 
 Backpressure surfaces as HTTP semantics: ``429`` with a ``Retry-After``
 header at the admission watermark, ``504`` on deadline, ``503`` for
-circuit-open and shed.
+circuit-open and shed.  Framing errors are answered and the connection
+closed (never silently truncated, which would desync keep-alive):
+``400`` for a malformed ``Content-Length``, ``413`` for a body over the
+8 MiB cap.
 """
 
 from __future__ import annotations
@@ -37,6 +40,17 @@ __all__ = ["HttpFrontend", "serve_http"]
 
 _MAX_BODY = 8 * 1024 * 1024
 _MAX_HEADER_LINES = 100
+
+
+class _ProtocolError(Exception):
+    """HTTP framing error: answer with ``status`` and close the
+    connection — the stream may hold an unread body, so continuing the
+    keep-alive loop would desync pipelined requests."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        super().__init__(payload.get("error", {}).get("message", ""))
+        self.status = status
+        self.payload = payload
 
 
 class HttpFrontend:
@@ -76,36 +90,51 @@ class HttpFrontend:
     ) -> None:
         try:
             while True:
-                parsed = await self._read_request(reader)
+                try:
+                    parsed = await self._read_request(reader)
+                except _ProtocolError as exc:
+                    await self._write_response(
+                        writer, exc.status, exc.payload, {"Connection": "close"}
+                    )
+                    break
                 if parsed is None:
                     break
                 method, path, body = parsed
                 status, payload, headers = await self._dispatch(
                     method, path, body
                 )
-                raw = (
-                    payload.encode()
-                    if isinstance(payload, str)
-                    else json.dumps(payload).encode()
-                )
-                content_type = (
-                    "text/plain; version=0.0.4"
-                    if isinstance(payload, str)
-                    else "application/json"
-                )
-                head = [
-                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-                    f"Content-Type: {content_type}",
-                    f"Content-Length: {len(raw)}",
-                ]
-                head.extend(f"{k}: {v}" for k, v in headers.items())
-                head.append("\r\n")
-                writer.write("\r\n".join(head).encode() + raw)
-                await writer.drain()
+                await self._write_response(writer, status, payload, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
             writer.close()
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        headers: Dict[str, str],
+    ) -> None:
+        raw = (
+            payload.encode()
+            if isinstance(payload, str)
+            else json.dumps(payload).encode()
+        )
+        content_type = (
+            "text/plain; version=0.0.4"
+            if isinstance(payload, str)
+            else "application/json"
+        )
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(raw)}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in headers.items())
+        head.append("\r\n")
+        writer.write("\r\n".join(head).encode() + raw)
+        await writer.drain()
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -124,7 +153,41 @@ class HttpFrontend:
                 break
             name, _, value = header.decode().partition(":")
             if name.strip().lower() == "content-length":
-                content_length = min(int(value.strip() or 0), _MAX_BODY)
+                try:
+                    content_length = int(value.strip() or 0)
+                except ValueError:
+                    raise _ProtocolError(
+                        400,
+                        {
+                            "error": {
+                                "code": "bad-request",
+                                "message": "invalid Content-Length header",
+                            }
+                        },
+                    ) from None
+                if content_length < 0:
+                    raise _ProtocolError(
+                        400,
+                        {
+                            "error": {
+                                "code": "bad-request",
+                                "message": "negative Content-Length header",
+                            }
+                        },
+                    )
+        if content_length > _MAX_BODY:
+            # Refuse rather than truncate: reading only a prefix would
+            # leave the remainder in the stream to be misparsed as the
+            # next pipelined request.
+            raise _ProtocolError(
+                413,
+                {
+                    "error": {
+                        "code": "payload-too-large",
+                        "message": f"body exceeds {_MAX_BODY} bytes",
+                    }
+                },
+            )
         body: Dict[str, Any] = {}
         if content_length:
             raw = await reader.readexactly(content_length)
@@ -224,6 +287,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     409: "Conflict",
+    413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
     502: "Bad Gateway",

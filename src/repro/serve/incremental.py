@@ -111,8 +111,13 @@ class Mutation:
             raise BadRequestError(
                 f"unknown mutation op {self.op!r}; use one of {MUTATION_OPS}"
             )
-        if self.op.endswith("-edge") and self.v is None:
-            raise BadRequestError(f"{self.op} requires both endpoints")
+        if self.op.endswith("-edge"):
+            if self.v is None:
+                raise BadRequestError(f"{self.op} requires both endpoints")
+            if self.u == self.v:
+                raise BadRequestError(
+                    f"self-loop {self.u}-{self.v} is not a graph edge"
+                )
 
     @classmethod
     def from_dict(cls, record: Dict) -> "Mutation":
@@ -403,9 +408,26 @@ class GraphSession:
             self._fingerprint = graph_fingerprint(self.graph)
         return self._fingerprint
 
-    def cache_key(self) -> Tuple[str, int, str, str]:
-        """The result-cache key: (fingerprint, seed, algorithm, engine)."""
-        return (self.fingerprint, self.seed, self.algorithm, self.engine or "scalar")
+    def cache_key(self) -> Tuple[str, int, str, int, str, str]:
+        """The result-cache key, scoped to one committed snapshot.
+
+        ``(session, epoch)`` pins the entry to this session's history:
+        the maintained MIS draws its coins from ``derive_seed(seed,
+        epoch)`` and snapshots embed session metadata (name, epoch,
+        repair counters), so entries are never shared across sessions —
+        a cross-session hit would leak another session's identity and
+        break same-seed determinism.  The determinism tuple
+        ``(fingerprint, seed, algorithm, engine)`` rides along so a key
+        can never alias two different graph contents or configurations.
+        """
+        return (
+            self.name,
+            self.epoch,
+            self.fingerprint,
+            self.seed,
+            self.algorithm,
+            self.engine or "scalar",
+        )
 
     # -- compute --------------------------------------------------------------
 
@@ -445,13 +467,13 @@ class GraphSession:
         must never cache or return an invalid set.
         """
         undo: List[Tuple] = []
-        damaged = apply_mutations(self.graph, mutations, undo=undo)
-        self._fingerprint = None
-        n = self.graph.number_of_nodes()
-
+        prev_mis = self.mis
         mode = "repair"
         evicted = added = 0
         try:
+            damaged = apply_mutations(self.graph, mutations, undo=undo)
+            self._fingerprint = None
+            n = self.graph.number_of_nodes()
             try:
                 if damaged and n and len(damaged) > self.repair_damage_cap * n:
                     raise RepairBudgetExceeded(
@@ -471,24 +493,29 @@ class GraphSession:
                 self.mis = report.mis
                 rounds = report.repair_rounds
                 evicted, added = len(report.evicted), len(report.added)
-                self.repairs += 1
-                self.total_repair_rounds += rounds
             except RepairBudgetExceeded:
                 mode = "recompute"
                 with self._span(SPAN_SERVE_RECOMPUTE):
                     rounds = self._recompute(should_abort)
-                self.recomputes += 1
-                self.total_recompute_rounds += rounds
+            assert_valid_mis(self.graph, set(self.mis))
         except BaseException:
-            # Transactional epochs: an aborted or failed compute rolls
-            # the mutations back, so the session keeps a consistent
-            # (graph, mis, epoch) triple and a retry replays the exact
-            # same epoch (same coins, same damage).
+            # Transactional epochs: any failure — a bad mutation raised
+            # mid-application, an aborted or failed compute, a validation
+            # error — rolls the mutations and the MIS back, so the
+            # session keeps a consistent (graph, mis, epoch) triple and a
+            # retry replays the exact same epoch (same coins, same
+            # damage).
             rollback_mutations(self.graph, undo)
+            self.mis = prev_mis
             self._fingerprint = None
             raise
 
-        assert_valid_mis(self.graph, set(self.mis))
+        if mode == "repair":
+            self.repairs += 1
+            self.total_repair_rounds += rounds
+        else:
+            self.recomputes += 1
+            self.total_recompute_rounds += rounds
         self.epoch += 1
         return EpochReport(
             epoch=self.epoch,

@@ -28,9 +28,10 @@ The resilience kit, rung by rung (docs/serving.md):
   whole batch, which is what keeps repair cost a function of churn
   rather than request rate.
 * **Result caching with stale-while-revalidate** — committed snapshots
-  are cached under ``(graph fingerprint, seed, algorithm, engine)``;
-  under overload or an open breaker, queries are served the last
-  committed snapshot marked ``stale`` instead of being rejected.
+  are cached per ``(session, epoch)`` alongside the determinism tuple
+  ``(graph fingerprint, seed, algorithm, engine)``; under overload or an
+  open breaker, queries are served the last committed snapshot marked
+  ``stale`` instead of being rejected.
 * **Circuit breaking** — repeated engine failures open a per-session
   breaker; compute is refused (stale/shed instead) until a reset window
   elapses, then a half-open probe decides.
@@ -231,9 +232,12 @@ class CircuitBreaker:
 class ResultCache:
     """Bounded LRU of committed snapshots.
 
-    Keys are ``(graph fingerprint, seed, algorithm, engine)`` — the full
-    determinism key of an MIS result — so identical graphs served under
-    identical configurations share entries across sessions.
+    Keys are ``(session, epoch, graph fingerprint, seed, algorithm,
+    engine)`` — one committed snapshot per session history point.
+    Entries are deliberately *not* shared across sessions: the
+    maintained MIS depends on the epoch history (epoch-derived coins)
+    and snapshots embed session metadata, so a cross-session hit would
+    answer with another session's identity.
     """
 
     def __init__(self, entries: int):
@@ -608,17 +612,30 @@ class MISService:
             self._inflight -= 1
 
     async def _epoch_worker(self, name: str, state: _SessionState) -> None:
-        """Per-session epoch loop: drain, coalesce, compute, commit."""
-        try:
-            while True:
-                batch = [await state.queue.get()]
-                if self.config.coalesce_window_s > 0:
-                    await asyncio.sleep(self.config.coalesce_window_s)
-                while not state.queue.empty():
-                    batch.append(state.queue.get_nowait())
+        """Per-session epoch loop: drain, coalesce, compute, commit.
+
+        The loop must outlive any single batch: an exception escaping
+        :meth:`_commit_batch` (it handles the typed failures itself, so
+        only a genuine bug lands here) resolves every still-pending
+        waiter with a structured ``engine-failed`` response and the
+        worker keeps serving — a dead worker would leave all subsequent
+        mutations for the session queued forever with no response.
+        """
+        while True:
+            batch = [await state.queue.get()]
+            if self.config.coalesce_window_s > 0:
+                await asyncio.sleep(self.config.coalesce_window_s)
+            while not state.queue.empty():
+                batch.append(state.queue.get_nowait())
+            try:
                 await self._commit_batch(name, state, batch)
-        except asyncio.CancelledError:
-            raise
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # backstop: never kill the worker
+                self.counters.engine_failures += 1
+                response = self._error_response(wrap_engine_error(exc))
+                for waiter in batch:
+                    self._resolve(waiter, response)
 
     async def _commit_batch(
         self, name: str, state: _SessionState, batch: List[_MutationWaiter]
@@ -664,7 +681,12 @@ class MISService:
                 self._resolve(waiter, response)
             return
         except ServiceError as exc:
-            state.breaker.record_failure()
+            # Only genuine compute failures feed the breaker: counting
+            # client-caused errors (bad-request class) would let a few
+            # malformed requests open a shared session's circuit and
+            # deny service to well-formed traffic.
+            if isinstance(exc, EngineFailure):
+                state.breaker.record_failure()
             state.epoch_failures += 1
             response = self._error_response(exc)
             for waiter in live:
@@ -778,7 +800,11 @@ class MISService:
                 raise
             except ServiceError:
                 raise
-            except ReproError as exc:
+            except Exception as exc:
+                # Anything the compute raises — ReproError or not (a
+                # networkx/logic bug is as fatal to the epoch as an
+                # engine error) — takes the same retry-then-wrap path,
+                # so nothing non-cancellation escapes the boundary.
                 attempt += 1
                 self.counters.engine_failures += 1
                 if attempt > policy.retries:

@@ -43,10 +43,20 @@ class TestSegmentMax:
         assert list(kernels.segment_max(values, indptr)) == [8, 0, 5]
 
     def test_empty_segment_at_tail(self):
-        # The reduceat clip path: the last segment starts at values.size.
+        # The out-of-bounds-start path: the last segment starts at
+        # values.size.
         indptr = np.array([0, 1, 3, 3], dtype=np.int64)
         values = np.array([2, 6, 1], dtype=np.uint64)
         assert list(kernels.segment_max(values, indptr)) == [2, 6, 0]
+
+    def test_tail_empty_does_not_truncate_previous_segment(self):
+        # Regression: clipping the trailing start to values.size - 1
+        # used to shift the previous segment's end boundary, dropping
+        # its last element.  Here that element (9) is the maximum, so
+        # the old code answered 1.
+        indptr = np.array([0, 2, 2], dtype=np.int64)
+        values = np.array([1, 9], dtype=np.uint64)
+        assert list(kernels.segment_max(values, indptr)) == [9, 0]
 
     def test_all_segments_empty(self):
         indptr = np.zeros(5, dtype=np.int64)
@@ -65,6 +75,13 @@ class TestSegmentSum:
         values = np.array([1.5, 0.25, 2.0, 4.0, 0.5], dtype=np.float64)
         out = kernels.segment_sum(values, indptr)
         assert list(out) == [1.75, 0.0, 6.5]
+
+    def test_tail_empty_does_not_truncate_previous_segment(self):
+        # Same regression as segment_max: the old clip dropped the last
+        # element of the final nonempty segment (answered [1.5, 0.0]).
+        indptr = np.array([0, 2, 2], dtype=np.int64)
+        values = np.array([1.5, 2.5], dtype=np.float64)
+        assert list(kernels.segment_sum(values, indptr)) == [4.0, 0.0]
 
 
 class TestNeighborKernels:
@@ -163,6 +180,21 @@ class TestMaskedCompetition:
         scalar = metivier_mis(graph, seed=0)
         assert bulk.mis == scalar.mis
         assert bulk.iterations == scalar.iterations
+
+    def test_trailing_isolated_node_matches_scalar_engine(self):
+        """Regression for the segment_max boundary bug: a trailing
+        degree-0 node made the previous node's neighbor reduction drop
+        its last edge, so the bulk engine could crown two adjacent
+        winners (an invalid set).  Triangle + isolated node 3, seed 3 is
+        the minimal reproduction."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edges_from([(0, 1), (0, 2), (1, 2)])
+        for seed in range(12):
+            bulk = metivier_mis_bulk(graph, seed=seed)
+            scalar = metivier_mis(graph, seed=seed)
+            assert bulk.mis == scalar.mis, seed
+            assert bulk.iterations == scalar.iterations, seed
 
 
 class TestEliminate:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import socket
 
 from repro.serve.http import HttpFrontend
 from repro.serve.server import MISService, ServeConfig
@@ -108,6 +109,58 @@ class TestRoutes:
         def scenario(port, service):
             status, body, _ = request(port, "GET", "/nope")
             assert status == 404 and body["error"]["code"] == "no-route"
+
+        run_with_frontend(scenario)
+
+
+def raw_request(port, data: bytes) -> bytes:
+    """Send raw bytes, read until the server closes the connection."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(data)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+class TestFraming:
+    def test_malformed_content_length_is_400_and_closes(self):
+        def scenario(port, service):
+            raw = raw_request(
+                port,
+                b"GET /healthz HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            )
+            assert raw.startswith(b"HTTP/1.1 400 ")
+            assert b"Connection: close" in raw
+
+        run_with_frontend(scenario)
+
+    def test_negative_content_length_is_400(self):
+        def scenario(port, service):
+            raw = raw_request(
+                port,
+                b"GET /healthz HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            )
+            assert raw.startswith(b"HTTP/1.1 400 ")
+
+        run_with_frontend(scenario)
+
+    def test_oversized_body_is_413_and_closes(self):
+        def scenario(port, service):
+            # The body is never sent: the server must refuse on the
+            # declared length (and close) instead of truncating the
+            # read and desyncing the keep-alive stream.
+            raw = raw_request(
+                port,
+                b"POST /v1/sessions HTTP/1.1\r\n"
+                b"Content-Length: 9000000\r\n\r\n",
+            )
+            assert raw.startswith(b"HTTP/1.1 413 ")
+            assert b"payload-too-large" in raw
+            assert b"Connection: close" in raw
 
         run_with_frontend(scenario)
 

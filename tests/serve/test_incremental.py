@@ -22,6 +22,15 @@ from repro.serve.incremental import (
 )
 
 
+def _raw_mutation(op, u, v=None):
+    """A Mutation bypassing __post_init__ validation (tests only)."""
+    m = object.__new__(Mutation)
+    object.__setattr__(m, "op", op)
+    object.__setattr__(m, "u", u)
+    object.__setattr__(m, "v", v)
+    return m
+
+
 class TestMutation:
     def test_unknown_op_rejected(self):
         with pytest.raises(BadRequestError):
@@ -34,6 +43,14 @@ class TestMutation:
     def test_round_trips_through_dict(self):
         m = Mutation("add-edge", 1, 2)
         assert Mutation.from_dict(m.to_dict()) == m
+
+    def test_self_loop_rejected_at_parse_time(self):
+        # Parse-time rejection: a self-loop must never reach a batch
+        # where it could fail mid-application.
+        with pytest.raises(BadRequestError):
+            Mutation("add-edge", 3, 3)
+        with pytest.raises(BadRequestError):
+            Mutation.from_dict({"op": "add-edge", "u": 3, "v": 3})
 
     def test_malformed_record_rejected(self):
         with pytest.raises(BadRequestError):
@@ -68,9 +85,11 @@ class TestApplyMutations:
         assert damaged == {0, 1}
         assert sorted(g.edges) == [(0, 1), (1, 2)]
 
-    def test_self_loop_rejected(self):
+    def test_self_loop_rejected_at_apply_time(self):
+        # Defense in depth behind the parse-time check: a mutation built
+        # outside the validating constructor still cannot apply.
         with pytest.raises(BadRequestError):
-            apply_mutations(nx.Graph(), [Mutation("add-edge", 5, 5)])
+            apply_mutations(nx.Graph(), [_raw_mutation("add-edge", 5, 5)])
 
     def test_rollback_restores_graph_exactly(self):
         g = nx.gnp_random_graph(20, 0.2, seed=1)
@@ -199,6 +218,26 @@ class TestGraphSession:
         )
         assert report.epoch == epoch + 1
 
+    def test_mid_batch_failure_rolls_back_whole_batch(self):
+        # A mutation that raises at apply time (validation bypassed to
+        # simulate it) must not leave earlier batch members applied:
+        # the epoch either commits whole or leaves no trace.
+        session = GraphSession("s", seed=1, graph=nx.path_graph(6))
+        fp = session.fingerprint
+        mis = session.mis
+        epoch = session.epoch
+        with pytest.raises(BadRequestError):
+            session.apply_epoch(
+                [Mutation("add-edge", 0, 2), _raw_mutation("add-edge", 3, 3)]
+            )
+        assert not session.graph.has_edge(0, 2)
+        assert session.fingerprint == fp
+        assert session.mis == mis
+        assert session.epoch == epoch
+        # The session is not bricked: the next clean epoch commits.
+        report = session.apply_epoch([Mutation("add-edge", 0, 5)])
+        assert report.epoch == epoch + 1
+
     def test_same_seed_sessions_identical(self):
         batches = [
             [Mutation("add-edge", u, u + 3) for u in range(e, e + 4)]
@@ -211,11 +250,23 @@ class TestGraphSession:
             finals.append((session.mis, [r.rounds for r in reports]))
         assert finals[0] == finals[1]
 
-    def test_cache_key_tracks_content_not_history(self):
+    def test_cache_key_scoped_to_session_and_epoch(self):
+        # Identical graph content and config must NOT share a key: the
+        # maintained MIS depends on the epoch history and snapshots
+        # embed session metadata, so a cross-session hit would leak
+        # another session's identity.
         a = GraphSession("a", seed=0, graph=nx.path_graph(4))
         b = GraphSession("b", seed=0)
         b.apply_epoch([Mutation("add-edge", u, u + 1) for u in range(3)])
-        assert a.cache_key() == b.cache_key()
+        assert a.fingerprint == b.fingerprint
+        assert a.cache_key() != b.cache_key()
+        # Within one session the key moves with every committed epoch,
+        # and carries the content fingerprint.
+        before = b.cache_key()
+        b.apply_epoch([Mutation("add-edge", 0, 3)])
+        after = b.cache_key()
+        assert before != after
+        assert b.fingerprint in after
 
     def test_empty_graph_session(self):
         session = GraphSession("s", seed=0)

@@ -532,6 +532,113 @@ class TestCoalescing:
         run(scenario())
 
 
+class TestWorkerResilience:
+    def test_worker_survives_non_repro_error(self):
+        """A non-ReproError escaping compute (a logic bug) must come
+        back as a structured engine-failed response and leave the
+        per-session worker alive — not strand every later mutation."""
+
+        async def scenario():
+            service = make_service(breaker_threshold=10)
+            try:
+                await create_session(service)
+                state = service.sessions["s"]
+                original = state.session.apply_epoch
+
+                def exploding_apply(*args, **kwargs):
+                    raise ValueError("logic bug outside the ReproError tree")
+
+                state.session.apply_epoch = exploding_apply
+                broken = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert not broken.ok
+                assert broken.error["code"] == "engine-failed"
+                assert broken.error["cause"] == "ValueError"
+                # The worker loop survived: the next request resolves
+                # instead of hanging in the queue forever.
+                state.session.apply_epoch = original
+                healed = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert healed.ok
+            finally:
+                await service.close()
+
+        run(scenario())
+
+    def test_bad_request_failures_do_not_open_breaker(self):
+        """Client-caused errors must not feed the circuit breaker: a
+        few malformed requests would otherwise deny service to every
+        well-formed client sharing the session."""
+
+        async def scenario():
+            service = make_service(breaker_threshold=1)
+            try:
+                await create_session(service)
+                state = service.sessions["s"]
+                original = state.session.apply_epoch
+
+                def rejecting_apply(*args, **kwargs):
+                    raise serve_errors.BadRequestError("client-caused")
+
+                state.session.apply_epoch = rejecting_apply
+                for _ in range(3):
+                    response = await service.submit(
+                        Request(
+                            op="mutate",
+                            session="s",
+                            mutations=(Mutation("add-edge", 0, 5),),
+                        )
+                    )
+                    assert response.error["code"] == "bad-request"
+                assert state.breaker.state == "closed"
+                # Valid traffic still computes immediately.
+                state.session.apply_epoch = original
+                ok = await service.submit(
+                    Request(
+                        op="mutate",
+                        session="s",
+                        mutations=(Mutation("add-edge", 0, 5),),
+                    )
+                )
+                assert ok.ok
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
+class TestCacheIsolation:
+    def test_identical_content_sessions_do_not_share_snapshots(self):
+        """Two sessions with the same graph, seed, algorithm, and
+        engine must never serve each other's snapshots — the cached
+        body embeds the session's name, epoch, and repair counters."""
+
+        async def scenario():
+            service = make_service()
+            try:
+                await create_session(service, "a")
+                await create_session(service, "b")  # identical edges/seed
+                qa = await service.submit(Request(op="query", session="a"))
+                qb = await service.submit(Request(op="query", session="b"))
+                assert qa.ok and qb.ok
+                assert qa.result["session"] == "a"
+                assert qb.result["session"] == "b"
+            finally:
+                await service.close()
+
+        run(scenario())
+
+
 class TestCommBudgetRegression:
     """Satellite: a budget-exceeded MPC request returns a structured
     failure while the server keeps serving."""
